@@ -1,0 +1,69 @@
+"""Defender's view: spotting a covert channel in coherence telemetry.
+
+Attaches the event monitor to the machine, runs (a) a real covert
+transmission and (b) benign workloads, and prints what the detector sees
+for each — the signatures a hardware/hypervisor defender could act on.
+
+Run:  python examples/detect_the_channel.py
+"""
+
+from repro import ChannelSession, SessionConfig, scenario_by_name
+from repro.detection import ChannelDetector, EventMonitor
+from repro.experiments.common import payload_bits
+from repro.kernel.syscalls import Kernel
+from repro.kernel.workloads import spawn_kernel_build
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def watch_attack() -> None:
+    scenario = scenario_by_name("RExclc-LSharedb")
+    session = ChannelSession(SessionConfig(scenario=scenario, seed=5))
+    monitor = EventMonitor(session.machine)
+    monitor.attach()
+    session.transmit(payload_bits(48))
+    detections = ChannelDetector(monitor).scan(session.sim.global_clock)
+    print(f"[attack: {scenario.name}]")
+    if not detections:
+        print("  nothing flagged (detector failed!)")
+        return
+    top = detections[0]
+    print(f"  FLAGGED line {top.line:#x} score={top.score:.2f}")
+    print(f"  cores involved: {sorted(top.cores)} "
+          "(spy=0, trojan local=1,2 / remote=6)")
+    for reason in top.reasons:
+        print(f"   - {reason}")
+
+
+def watch_benign() -> None:
+    rng = RngStreams(17)
+    machine = Machine(MachineConfig(), rng)
+    sim = Simulator(machine.stats)
+    kernel = Kernel(machine, sim, rng)
+    monitor = EventMonitor(machine)
+    monitor.attach()
+    spawn_kernel_build(kernel, 6, avoid_cores={0})
+    idle = kernel.create_process("idle")
+
+    def waiter(cpu):
+        yield from cpu.delay(800_000)
+
+    kernel.spawn(idle, "w", waiter, core_id=0)
+    sim.run()
+    detections = ChannelDetector(monitor).scan(sim.global_clock)
+    print("\n[benign: 6-thread kernel build]")
+    if detections:
+        print(f"  false positive! {detections[0]}")
+    else:
+        print("  nothing flagged (correct: compiles don't flush-storm "
+              "shared lines)")
+
+
+def main() -> None:
+    watch_attack()
+    watch_benign()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""The paper's motivating attack: covert exfiltration of a secret key.
+
+Section VII sketches the setting: a spy has captured ciphertext it
+cannot read; a colluding trojan with access to the key transmits it
+covertly through coherence states.  Here the trojan leaks a 128-bit key
+over the RExclc-LSharedb channel (trojan threads on both sockets); the
+spy reconstructs the key and decrypts the captured message.
+
+The "cipher" is a toy XOR keystream — the point is the covert key
+transfer, not the cryptography.
+
+Run:  python examples/exfiltrate_key.py
+"""
+
+import numpy as np
+
+from repro import ChannelSession, SessionConfig, scenario_by_name
+
+SECRET_MESSAGE = b"wire $1M to account 8861, friday"
+
+
+def keystream(key_bits: list[int], length: int) -> bytes:
+    """Toy deterministic keystream from a 128-bit key."""
+    seed = 0
+    for bit in key_bits:
+        seed = (seed << 1 | bit) & 0xFFFFFFFF
+    rng = np.random.default_rng(seed)
+    return bytes(rng.integers(0, 256, length, dtype=np.uint8))
+
+
+def xor(data: bytes, pad: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, pad))
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    key = [int(b) for b in rng.integers(0, 2, 128)]
+
+    # The "victim side": the trojan's process encrypts with the key; the
+    # spy has only the ciphertext.
+    ciphertext = xor(SECRET_MESSAGE, keystream(key, len(SECRET_MESSAGE)))
+    print(f"Spy captured ciphertext: {ciphertext.hex()}")
+
+    # Covert key transfer through the coherence channel.
+    scenario = scenario_by_name("RExclc-LSharedb")
+    session = ChannelSession(SessionConfig(scenario=scenario, seed=7))
+    print(f"\nTransmitting 128-bit key over {scenario.name} "
+          f"({scenario.local_threads} local + {scenario.remote_threads} "
+          "remote trojan threads)...")
+    result = session.transmit(key)
+    print(f"Raw bit accuracy: {result.accuracy * 100:.1f}% at "
+          f"{result.achieved_rate_kbps:.0f} Kbits/s")
+
+    recovered = result.received[:128]
+    plaintext = xor(ciphertext, keystream(recovered, len(ciphertext)))
+    print(f"\nSpy recovered key bits match: "
+          f"{recovered == key} ({sum(a == b for a, b in zip(recovered, key))}"
+          f"/128 bits)")
+    print(f"Spy decrypts: {plaintext!r}")
+    assert plaintext == SECRET_MESSAGE, "exfiltration failed"
+    print("\nSecret exfiltrated without any direct communication.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Throughput shoot-out: binary scenarios vs 2-bit symbol encoding.
+
+Reproduces the headline of Section VIII-D interactively: binary channels
+peak around 700-800 Kbits/s before accuracy collapses, while encoding
+2 bits per symbol over all four latency bands sustains ~1.1 Mbits/s.
+
+Run:  python examples/multibit_throughput.py
+"""
+
+from repro import (
+    MultiBitSession,
+    ProtocolParams,
+    SessionConfig,
+    SymbolParams,
+    ChannelSession,
+    scenario_by_name,
+)
+from repro.experiments.common import payload_bits
+
+PAYLOAD = payload_bits(100)
+RATES = (500, 800, 1100)
+
+
+def binary_row(scenario_name: str) -> str:
+    cells = []
+    for rate in RATES:
+        session = ChannelSession(SessionConfig(
+            scenario=scenario_by_name(scenario_name),
+            params=ProtocolParams().at_rate(rate),
+            seed=3,
+        ))
+        result = session.transmit(PAYLOAD)
+        cells.append(f"{result.accuracy * 100:5.1f}%")
+    return f"{scenario_name:22s} " + "  ".join(cells)
+
+
+def multibit_row() -> str:
+    cells = []
+    for rate in RATES:
+        session = MultiBitSession(
+            symbol_params=SymbolParams().at_rate(rate), seed=3,
+        )
+        result = session.transmit(PAYLOAD)
+        cells.append(f"{result.accuracy * 100:5.1f}%")
+    return f"{'2-bit symbols':22s} " + "  ".join(cells)
+
+
+def main() -> None:
+    header = f"{'channel':22s} " + "  ".join(f"{r:>5d}K" for r in RATES)
+    print(header)
+    print("-" * len(header))
+    for name in ("LExclc-LSharedb", "RExclc-LExclb", "RExclc-LSharedb"):
+        print(binary_row(name))
+    print(multibit_row())
+    print("\nAccuracy at each nominal rate: the 2-bit symbol channel "
+          "holds at 1.1 Mbps\nwhere binary channels have already "
+          "degraded (paper Section VIII-D).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: covertly transmit a message through coherence states.
+
+Builds the full simulated stack — dual-socket machine, OS kernel with
+KSM, trojan and spy processes — and sends the bytes of a short message
+through the LExclc-LSharedb channel (Table I, row 1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TABLE_I, ChannelSession, SessionConfig
+
+MESSAGE = b"HI SPY"
+
+
+def bytes_to_bits(data: bytes) -> list[int]:
+    return [(byte >> (7 - i)) & 1 for byte in data for i in range(8)]
+
+
+def bits_to_text(bits: list[int]) -> str:
+    chars = []
+    for i in range(0, len(bits) - 7, 8):
+        value = 0
+        for bit in bits[i:i + 8]:
+            value = (value << 1) | bit
+        chars.append(chr(value) if 32 <= value < 127 else "?")
+    return "".join(chars)
+
+
+def main() -> None:
+    scenario = TABLE_I[0]
+    print(f"Scenario: {scenario.name} "
+          f"({scenario.total_threads} trojan threads)")
+    session = ChannelSession(SessionConfig(scenario=scenario, seed=42))
+    print("Shared page established via KSM dedup: "
+          f"trojan VA {session.trojan_va:#x} and spy VA "
+          f"{session.spy_va:#x} -> same physical frame")
+    tc = session.bands.band_for(scenario.csc)
+    tb = session.bands.band_for(scenario.csb)
+    print(f"Calibrated bands: Tc={tc}  Tb={tb}")
+
+    payload = bytes_to_bits(MESSAGE)
+    result = session.transmit(payload)
+
+    print(f"\nTrojan sent      : {MESSAGE.decode()} ({len(payload)} bits)")
+    print(f"Spy decoded      : {bits_to_text(result.received)}")
+    print(f"Raw bit accuracy : {result.accuracy * 100:.1f}%")
+    print(f"Transmission rate: {result.achieved_rate_kbps:.0f} Kbits/s "
+          f"(nominal {result.nominal_rate_kbps:.0f})")
+    print(f"Spy samples      : {len(result.samples)} timed loads")
+
+
+if __name__ == "__main__":
+    main()

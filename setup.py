@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without
+the ``wheel`` package (``pip install -e . --no-use-pep517``).  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro: a coherence-state covert-channel laboratory.
+
+A from-scratch reproduction of Yao, Doroslovacki and Venkataramani,
+*"Are Coherence Protocol States Vulnerable to Information Leakage?"*
+(HPCA 2018), on a simulated dual-socket machine:
+
+* :mod:`repro.sim` — deterministic discrete-event engine.
+* :mod:`repro.mem` — caches, MESI/MESIF/MOESI coherence, latency model.
+* :mod:`repro.kernel` — processes, paging, KSM dedup, scheduler, noise.
+* :mod:`repro.channel` — the paper's trojan/spy channels (the core).
+* :mod:`repro.mitigation` — the Section VIII-E defenses.
+* :mod:`repro.analysis` — CDFs, band discovery, channel capacity.
+* :mod:`repro.experiments` — one runnable driver per paper figure/table.
+
+Quickstart::
+
+    from repro import TABLE_I, run_transmission
+    result = run_transmission(TABLE_I[0], [1, 0, 1, 1, 0])
+    print(result.received, result.accuracy, result.achieved_rate_kbps)
+"""
+
+from repro.channel import (
+    TABLE_I,
+    ChannelSession,
+    LatencyBands,
+    MultiBitSession,
+    ProtocolParams,
+    ReliableChannel,
+    Scenario,
+    SessionConfig,
+    SymbolParams,
+    TransmissionResult,
+    calibrate,
+    run_transmission,
+    scenario_by_name,
+)
+from repro.errors import ReproError
+from repro.kernel import Kernel
+from repro.mem import (
+    CLOCK_HZ,
+    CoherenceState,
+    LatencyProfile,
+    Machine,
+    MachineConfig,
+    NoiseModel,
+    check_machine,
+)
+from repro.sim import RngStreams, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLOCK_HZ",
+    "ChannelSession",
+    "CoherenceState",
+    "Kernel",
+    "LatencyBands",
+    "LatencyProfile",
+    "Machine",
+    "MachineConfig",
+    "MultiBitSession",
+    "NoiseModel",
+    "ProtocolParams",
+    "ReliableChannel",
+    "ReproError",
+    "RngStreams",
+    "Scenario",
+    "SessionConfig",
+    "Simulator",
+    "SymbolParams",
+    "TABLE_I",
+    "TransmissionResult",
+    "calibrate",
+    "check_machine",
+    "run_transmission",
+    "scenario_by_name",
+]

@@ -1,0 +1,52 @@
+"""Analysis utilities: CDFs, band discovery, capacity, text reporting."""
+
+from repro.analysis.bands import DiscoveredBands, discover_bands
+from repro.analysis.capacity import (
+    blahut_arimoto,
+    capacity_kbps,
+    confusion_matrix,
+    mutual_information,
+)
+from repro.analysis.cdf import (
+    EmpiricalCdf,
+    band_separation,
+    empirical_cdf,
+    overlap_fraction,
+)
+from repro.analysis.trace import (
+    ascii_timeline,
+    load_trace,
+    samples_from_csv,
+    samples_to_csv,
+    save_trace,
+)
+from repro.analysis.reporting import (
+    ascii_cdf,
+    ascii_histogram,
+    ascii_table,
+    bitstring,
+    pct,
+)
+
+__all__ = [
+    "DiscoveredBands",
+    "EmpiricalCdf",
+    "ascii_cdf",
+    "ascii_histogram",
+    "ascii_table",
+    "ascii_timeline",
+    "load_trace",
+    "samples_from_csv",
+    "samples_to_csv",
+    "save_trace",
+    "band_separation",
+    "bitstring",
+    "blahut_arimoto",
+    "capacity_kbps",
+    "confusion_matrix",
+    "discover_bands",
+    "empirical_cdf",
+    "mutual_information",
+    "overlap_fraction",
+    "pct",
+]

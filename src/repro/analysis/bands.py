@@ -1,0 +1,72 @@
+"""Unsupervised latency-band discovery.
+
+An attacker without labeled calibration data can still find the latency
+bands: sort the observed latencies and split at unusually large gaps.
+This is the statistical counterpart of eyeballing Figure 2's CDF steps,
+and the tests use it to confirm the four coherence bands really are
+discoverable from raw timing alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.calibration import Band
+
+
+@dataclass(frozen=True)
+class DiscoveredBands:
+    """Outcome of unsupervised band discovery."""
+
+    bands: tuple[Band, ...]
+
+    @property
+    def count(self) -> int:
+        """How many distinct bands were found."""
+        return len(self.bands)
+
+    def classify(self, latency: float) -> int | None:
+        """Index of the band containing *latency*, or None."""
+        for i, band in enumerate(self.bands):
+            if band.contains(latency):
+                return i
+        return None
+
+
+def discover_bands(
+    samples: np.ndarray,
+    min_gap: float = 14.0,
+    min_cluster: int = 8,
+    trim: float = 1.0,
+) -> DiscoveredBands:
+    """Split sorted latencies into bands at gaps larger than *min_gap*.
+
+    Parameters
+    ----------
+    samples:
+        Raw latency observations (mixed bands).
+    min_gap:
+        Minimum cycle gap between consecutive sorted samples that starts
+        a new band.
+    min_cluster:
+        Clusters smaller than this are discarded as outliers (jitter
+        tails).
+    trim:
+        Percentile trimmed from each side of every cluster when forming
+        its band interval.
+    """
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        return DiscoveredBands(bands=())
+    splits = np.where(np.diff(data) > min_gap)[0]
+    clusters = np.split(data, splits + 1)
+    bands = []
+    for i, cluster in enumerate(clusters):
+        if cluster.size < min_cluster:
+            continue
+        lo = float(np.percentile(cluster, trim))
+        hi = float(np.percentile(cluster, 100 - trim))
+        bands.append(Band(label=f"band{i}", lo=lo - 2.0, hi=hi + 2.0))
+    return DiscoveredBands(bands=tuple(bands))

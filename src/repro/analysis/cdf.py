@@ -1,0 +1,59 @@
+"""Empirical CDFs and latency-distribution summaries (Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical cumulative distribution function."""
+
+    x: np.ndarray
+    p: np.ndarray
+
+    def at(self, value: float) -> float:
+        """P(X <= value)."""
+        return float(np.searchsorted(self.x, value, side="right") / len(self.x))
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        index = min(len(self.x) - 1, int(q * len(self.x)))
+        return float(self.x[index])
+
+
+def empirical_cdf(samples: np.ndarray) -> EmpiricalCdf:
+    """Build the empirical CDF of a 1-D sample array."""
+    data = np.sort(np.asarray(samples, dtype=float))
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    p = np.arange(1, data.size + 1) / data.size
+    return EmpiricalCdf(x=data, p=p)
+
+
+def band_separation(first: np.ndarray, second: np.ndarray) -> float:
+    """Gap between two latency distributions in pooled-sigma units.
+
+    Positive values mean clean separation (the covert channel's
+    prerequisite); the larger the value, the more robust the pair is to
+    jitter — the effect behind Figure 8's per-scenario differences.
+    """
+    a = np.asarray(first, dtype=float)
+    b = np.asarray(second, dtype=float)
+    lo, hi = (a, b) if np.median(a) <= np.median(b) else (b, a)
+    gap = np.percentile(hi, 5) - np.percentile(lo, 95)
+    pooled = np.sqrt((lo.std() ** 2 + hi.std() ** 2) / 2.0) or 1.0
+    return float(gap / pooled)
+
+
+def overlap_fraction(first: np.ndarray, second: np.ndarray) -> float:
+    """Fraction of samples falling inside the other distribution's range."""
+    a = np.asarray(first, dtype=float)
+    b = np.asarray(second, dtype=float)
+    a_in_b = np.mean((a >= b.min()) & (a <= b.max()))
+    b_in_a = np.mean((b >= a.min()) & (b <= a.max()))
+    return float((a_in_b + b_in_a) / 2.0)

@@ -1,0 +1,82 @@
+"""Plain-text reporting: tables, histograms and CDF sketches.
+
+The experiment drivers print their figures/tables through these helpers
+so every paper artifact renders in a terminal and diffs cleanly in CI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    samples: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Render a horizontal-bar histogram."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        return "(no samples)"
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() or 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{lo:8.1f}-{hi:8.1f} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    labeled_samples: dict[str, Sequence[float]],
+    points: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render per-label CDF quantiles side by side (Figure 2 in text)."""
+    lines = [title] if title else []
+    qs = np.linspace(0.05, 0.95, points)
+    header = "quantile | " + " | ".join(f"{k:>12s}" for k in labeled_samples)
+    lines.append(header)
+    lines.append("-" * len(header))
+    arrays = {k: np.sort(np.asarray(list(v), dtype=float))
+              for k, v in labeled_samples.items()}
+    for q in qs:
+        row = [f"{q:8.2f}"]
+        for _k, arr in arrays.items():
+            idx = min(arr.size - 1, int(q * arr.size))
+            row.append(f"{arr[idx]:12.1f}")
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def bitstring(bits: Sequence[int], group: int = 10) -> str:
+    """Format a bit list as grouped 0/1 text (Figure 6 style)."""
+    s = "".join(str(int(b)) for b in bits)
+    return " ".join(s[i:i + group] for i in range(0, len(s), group))
+
+
+def pct(value: float) -> str:
+    """Format a ratio as a percentage string."""
+    return f"{value * 100:.1f}%"

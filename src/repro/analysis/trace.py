@@ -1,0 +1,90 @@
+"""Trace export and text timelines for transmissions.
+
+Figures 7 and 11 are scatter plots of timed-load latencies; these
+helpers export the equivalent raw data (CSV) and render terminal
+timelines so a run's trace can be inspected, archived and diffed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.channel.decoder import Sample
+
+
+def samples_to_csv(samples: Sequence[Sample]) -> str:
+    """Serialize spy samples as CSV text (timestamp, latency, label, path)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(("timestamp", "latency", "label", "path"))
+    for sample in samples:
+        writer.writerow((
+            f"{sample.timestamp:.1f}",
+            f"{sample.latency:.2f}",
+            sample.label,
+            getattr(sample.path, "value", "") if sample.path else "",
+        ))
+    return out.getvalue()
+
+
+def samples_from_csv(text: str) -> list[Sample]:
+    """Parse CSV text produced by :func:`samples_to_csv`.
+
+    The path column is restored as a plain string (sufficient for
+    analysis; the enum identity is not needed offline).
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    samples = []
+    for row in reader:
+        samples.append(Sample(
+            timestamp=float(row["timestamp"]),
+            latency=float(row["latency"]),
+            label=row["label"],
+            path=row["path"] or None,
+        ))
+    return samples
+
+
+def save_trace(path: str, samples: Sequence[Sample]) -> None:
+    """Write a trace CSV to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(samples_to_csv(samples))
+
+
+def load_trace(path: str) -> list[Sample]:
+    """Read a trace CSV from *path*."""
+    with open(path, encoding="utf-8") as handle:
+        return samples_from_csv(handle.read())
+
+
+def ascii_timeline(
+    samples: Sequence[Sample],
+    lo: float = 60.0,
+    hi: float = 360.0,
+    width: int = 60,
+    max_rows: int | None = None,
+) -> str:
+    """Render samples as a latency-vs-time dot plot (Figure 7 in text).
+
+    One row per sample; the column position encodes latency, the glyph
+    encodes the classified label ('*' = communication band, 'o' =
+    boundary band, '.' = unclassified).
+    """
+    rows = []
+    glyphs = {"c": "*", "b": "o"}
+    shown = list(samples)[:max_rows] if max_rows else list(samples)
+    span = max(1e-9, hi - lo)
+    for sample in shown:
+        column = int((min(hi, max(lo, sample.latency)) - lo) / span * (width - 1))
+        glyph = glyphs.get(sample.label, ".")
+        rows.append(
+            f"{sample.timestamp:12.0f} |"
+            + " " * column + glyph + " " * (width - 1 - column)
+            + f"| {sample.latency:6.1f}"
+        )
+    header = (
+        f"{'cycles':>12s} |{'latency ' + str(lo) + ' -> ' + str(hi):^{width}s}|"
+    )
+    return "\n".join([header, *rows])

@@ -1,0 +1,214 @@
+"""Latency-band calibration (Section V / Figure 2).
+
+Before transmitting, the trojan and spy learn the latency bands Tc/Tb by
+self-measurement: place the shared block in each (location, state)
+combination and time loads.  :func:`calibrate` reproduces the paper's
+micro-benchmark — 1,000 timed loads per combination — and returns
+:class:`LatencyBands`, the classifier the spy-side decoder uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.config import ALL_PAIRS, LineState, Location, StatePair
+from repro.errors import CalibrationError
+from repro.mem.hierarchy import Machine
+
+#: Extra padding (cycles) added around the measured percentile range.
+BAND_PAD = 5.0
+
+#: Label used for the no-cached-copy band.
+DRAM_LABEL = "dram"
+
+
+@dataclass(frozen=True)
+class Band:
+    """A closed latency interval believed to identify one service path."""
+
+    label: str
+    lo: float
+    hi: float
+
+    def contains(self, latency: float) -> bool:
+        """Whether *latency* falls inside the band."""
+        return self.lo <= latency <= self.hi
+
+    @property
+    def center(self) -> float:
+        """Band midpoint."""
+        return (self.lo + self.hi) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.label}[{self.lo:.0f},{self.hi:.0f}]"
+
+
+@dataclass
+class LatencyBands:
+    """The calibrated band set: one per (location, state) pair plus DRAM."""
+
+    bands: dict[StatePair, Band] = field(default_factory=dict)
+    dram: Band | None = None
+
+    def band_for(self, pair: StatePair) -> Band:
+        """The band calibrated for *pair* (KeyError if not calibrated)."""
+        return self.bands[pair]
+
+    def classify(self, latency: float) -> StatePair | str | None:
+        """Map a latency to its state pair, ``"dram"``, or None.
+
+        Bands are checked narrowest-first so overlap resolves to the
+        tighter (more specific) band.
+        """
+        candidates: list[tuple[float, StatePair | str]] = []
+        for pair, band in self.bands.items():
+            if band.contains(latency):
+                candidates.append((band.hi - band.lo, pair))
+        if self.dram is not None and self.dram.contains(latency):
+            candidates.append((self.dram.hi - self.dram.lo, DRAM_LABEL))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda item: item[0])
+        return candidates[0][1]
+
+    def check_separation(self, first: StatePair, second: StatePair) -> None:
+        """Raise CalibrationError if two bands overlap (unusable pair)."""
+        a = self.band_for(first)
+        b = self.band_for(second)
+        if a.lo <= b.hi and b.lo <= a.hi:
+            raise CalibrationError(
+                f"bands overlap: {a} vs {b}; cannot build a channel on them"
+            )
+
+
+def _place_pair(
+    machine: Machine,
+    pair: StatePair,
+    paddr: int,
+    now: float,
+    local_cores: tuple[int, int],
+    remote_cores: tuple[int, int],
+) -> float:
+    """Drive the machine so the line sits in *pair*'s location and state.
+
+    Returns the cycles the placement loads took (the measurement clock
+    must advance realistically or the contention model sees an
+    impossible burst at a single instant).
+    """
+    cores = local_cores if pair.location is Location.LOCAL else remote_cores
+    _v, latency, _p = machine.load(cores[0], paddr, now)
+    elapsed = latency
+    if pair.state is LineState.SHARED:
+        _v, latency, _p = machine.load(cores[1], paddr, now + elapsed)
+        elapsed += latency
+    return elapsed
+
+
+def measure_pair(
+    machine: Machine,
+    pair: StatePair,
+    paddr: int,
+    samples: int,
+    spy_core: int = 0,
+    local_cores: tuple[int, int] = (1, 2),
+    remote_cores: tuple[int, int] | None = None,
+) -> np.ndarray:
+    """Timed-load latencies for one (location, state) pair.
+
+    Each sample is a full flush / place-state / timed-load round, exactly
+    the measurement loop of Section V.
+    """
+    if remote_cores is None:
+        remote_cores = _default_remote_cores(machine)
+    out = np.empty(samples, dtype=float)
+    now = 0.0
+    for i in range(samples):
+        now += machine.flush(spy_core, paddr, now)
+        now += _place_pair(machine, pair, paddr, now, local_cores, remote_cores)
+        _value, latency, _path = machine.load(spy_core, paddr, now)
+        now += latency
+        out[i] = latency
+    return out
+
+
+def measure_dram(
+    machine: Machine, paddr: int, samples: int, spy_core: int = 0
+) -> np.ndarray:
+    """Timed-load latencies with no cached copy anywhere."""
+    out = np.empty(samples, dtype=float)
+    now = 0.0
+    for i in range(samples):
+        now += machine.flush(spy_core, paddr, now)
+        _value, latency, _path = machine.load(spy_core, paddr, now)
+        now += latency
+        out[i] = latency
+    return out
+
+
+def _default_remote_cores(machine: Machine) -> tuple[int, int]:
+    cfg = machine.config
+    if cfg.n_sockets < 2:
+        # Single-socket machine: remote pairs are not measurable; callers
+        # should restrict themselves to local pairs.
+        return (1, 2)
+    base = cfg.cores_per_socket
+    return (base, base + 1)
+
+
+#: How far a band's upper edge is stretched toward the next band.
+#: Queuing delay only ever *adds* latency, so a sample pushed slightly
+#: past its quiet-machine band must still belong to it; the paper's own
+#: calibration runs under a representative ambient workload and gets
+#: this headroom for free.
+BAND_STRETCH = 14.0
+
+
+def _stretch_upward(bands: LatencyBands, stretch: float = BAND_STRETCH) -> None:
+    ordered = sorted(bands.bands.items(), key=lambda kv: kv[1].lo)
+    for i, (pair, band) in enumerate(ordered):
+        hi = band.hi + stretch
+        if i + 1 < len(ordered):
+            hi = min(hi, ordered[i + 1][1].lo - 2.0)
+        hi = max(hi, band.hi)
+        bands.bands[pair] = Band(label=band.label, lo=band.lo, hi=hi)
+
+
+def calibrate(
+    machine: Machine,
+    paddr: int = 0x40_0000,
+    samples: int = 1000,
+    spy_core: int = 0,
+    percentiles: tuple[float, float] = (2.0, 98.0),
+    pad: float = BAND_PAD,
+    include_dram: bool = True,
+) -> tuple[LatencyBands, dict[str, np.ndarray]]:
+    """Calibrate every measurable band; returns (bands, raw samples).
+
+    The raw sample arrays (keyed by pair notation and ``"dram"``) are what
+    Figure 2's CDFs are drawn from.
+    """
+    bands = LatencyBands()
+    raw: dict[str, np.ndarray] = {}
+    multi_socket = machine.config.n_sockets >= 2
+    for pair in ALL_PAIRS:
+        if pair.location is Location.REMOTE and not multi_socket:
+            continue
+        machine.interconnect.reset()
+        data = measure_pair(machine, pair, paddr, samples, spy_core)
+        raw[pair.notation] = data
+        lo = float(np.percentile(data, percentiles[0])) - pad
+        hi = float(np.percentile(data, percentiles[1])) + pad
+        bands.bands[pair] = Band(label=pair.notation, lo=lo, hi=hi)
+    _stretch_upward(bands)
+    if include_dram:
+        machine.interconnect.reset()
+        data = measure_dram(machine, paddr, samples, spy_core)
+        raw[DRAM_LABEL] = data
+        lo = float(np.percentile(data, percentiles[0])) - pad
+        hi = float(np.percentile(data, percentiles[1])) + pad * 8
+        bands.dram = Band(label=DRAM_LABEL, lo=lo, hi=hi)
+    machine.flush(spy_core, paddr)
+    machine.interconnect.reset()
+    return bands, raw

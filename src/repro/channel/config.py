@@ -1,0 +1,266 @@
+"""Channel configuration: (location, state) pairs, Table I, knobs.
+
+A covert-channel scenario is a pair of *(cache location, coherence
+state)* combinations: ``csc`` modulates bit values and ``csb`` marks bit
+boundaries (Section VII-B).  Locations are always relative to the spy,
+which does the timing.  Table I of the paper enumerates the six
+practical scenarios along with the trojan thread placement each needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.mem.latency import CLOCK_HZ
+from repro.sim.events import AccessPath
+
+
+class Location(enum.Enum):
+    """Cache location relative to the spy's socket."""
+
+    LOCAL = "L"
+    REMOTE = "R"
+
+
+class LineState(enum.Enum):
+    """Coherence state the trojan parks the shared block in."""
+
+    EXCLUSIVE = "Excl"
+    SHARED = "Shared"
+
+
+@dataclass(frozen=True)
+class StatePair:
+    """One (location, coherence state) combination."""
+
+    location: Location
+    state: LineState
+
+    @property
+    def notation(self) -> str:
+        """Short name as used in the paper, e.g. ``"RExcl"``."""
+        return f"{self.location.value}{self.state.value}"
+
+    @property
+    def threads_needed(self) -> int:
+        """Trojan reader threads needed to hold the block in this pair.
+
+        One thread keeps a block Exclusive; two sharers make it Shared
+        (Section VI-A).
+        """
+        return 1 if self.state is LineState.EXCLUSIVE else 2
+
+    @property
+    def expected_path(self) -> AccessPath:
+        """The service path the spy's timed load takes for this pair."""
+        table = {
+            (Location.LOCAL, LineState.EXCLUSIVE): AccessPath.LOCAL_EXCL,
+            (Location.LOCAL, LineState.SHARED): AccessPath.LOCAL_SHARED,
+            (Location.REMOTE, LineState.EXCLUSIVE): AccessPath.REMOTE_EXCL,
+            (Location.REMOTE, LineState.SHARED): AccessPath.REMOTE_SHARED,
+        }
+        return table[(self.location, self.state)]
+
+
+LEXCL = StatePair(Location.LOCAL, LineState.EXCLUSIVE)
+LSHARED = StatePair(Location.LOCAL, LineState.SHARED)
+REXCL = StatePair(Location.REMOTE, LineState.EXCLUSIVE)
+RSHARED = StatePair(Location.REMOTE, LineState.SHARED)
+
+ALL_PAIRS = (LSHARED, LEXCL, RSHARED, REXCL)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One covert-channel scenario: communication + boundary pairs."""
+
+    csc: StatePair
+    csb: StatePair
+
+    def __post_init__(self) -> None:
+        if self.csc == self.csb:
+            raise ConfigError(
+                "communication and boundary state pairs must differ"
+            )
+
+    @property
+    def name(self) -> str:
+        """Paper notation, e.g. ``"RExclc-LSharedb"``."""
+        return f"{self.csc.notation}c-{self.csb.notation}b"
+
+    @property
+    def local_threads(self) -> int:
+        """Trojan threads needed on the spy's socket."""
+        return max(
+            (p.threads_needed for p in (self.csc, self.csb)
+             if p.location is Location.LOCAL),
+            default=0,
+        )
+
+    @property
+    def remote_threads(self) -> int:
+        """Trojan threads needed on the other socket."""
+        return max(
+            (p.threads_needed for p in (self.csc, self.csb)
+             if p.location is Location.REMOTE),
+            default=0,
+        )
+
+    @property
+    def total_threads(self) -> int:
+        """Total trojan threads (matches Table I's last column)."""
+        return self.local_threads + self.remote_threads
+
+    @property
+    def needs_remote_socket(self) -> bool:
+        """Whether the scenario requires a second socket."""
+        return self.remote_threads > 0
+
+
+#: The six practical scenarios of Table I, in the paper's order.
+TABLE_I: tuple[Scenario, ...] = (
+    Scenario(csc=LEXCL, csb=LSHARED),
+    Scenario(csc=REXCL, csb=RSHARED),
+    Scenario(csc=REXCL, csb=LEXCL),
+    Scenario(csc=REXCL, csb=LSHARED),
+    Scenario(csc=RSHARED, csb=LEXCL),
+    Scenario(csc=RSHARED, csb=LSHARED),
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a Table I scenario by its paper notation."""
+    for scenario in TABLE_I:
+        if scenario.name == name:
+            return scenario
+    raise ConfigError(f"unknown scenario {name!r}; see TABLE_I")
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Tunable knobs of the transmission protocol (Algorithms 1 and 2).
+
+    Attributes
+    ----------
+    c1, c0, cb:
+        Slots the trojan holds the block in CSc for a '1', for a '0',
+        and in CSb for a bit boundary.
+    slot_cycles:
+        Total duration of one spy sampling slot (flush + wait + timed
+        load).  The spy and trojan agree on this beforehand, as the
+        paper's Tc/Tb/Ts values are agreed through self-measurement.
+    spy_overhead_cycles:
+        Worst-case non-wait portion of a spy slot (flush + timed load +
+        fences); the spy waits ``slot_cycles - spy_overhead_cycles``
+        after its flush and idles out the remainder of the slot, so its
+        sampling period stays locked to ``slot_cycles``.
+    reload_divisor:
+        While *inactive*, trojan workers poll the shared control state
+        every ``slot_cycles / reload_divisor`` cycles.
+    worker_spin_cycles:
+        Loop cost between back-to-back re-loads while a worker is
+        *active* (workers spin, as the real attack's reader threads do).
+    end_run:
+        Consecutive out-of-band samples after which the spy declares the
+        transmission over (the paper's N).
+    max_poll_slots:
+        Spy gives up polling for a transmission start after this many
+        slots (guards the sync phase).
+    max_reception_slots:
+        Spy gives up mid-reception after this many slots (guards
+        against a channel that never goes quiet).
+    """
+
+    c1: int = 5
+    c0: int = 2
+    cb: int = 3
+    slot_cycles: float = 1_200.0
+    spy_overhead_cycles: float = 430.0
+    reload_divisor: float = 10.0
+    worker_spin_cycles: float = 24.0
+    #: Adaptive worker pacing: after a reload that missed to DRAM (the
+    #: worker just re-established the state following a spy flush), the
+    #: worker sleeps ``worker_backoff_fraction * slot_cycles`` instead of
+    #: spinning.  This phase-locks reloads into the spy's wait window and
+    #: is required for eviction-based flushing, where a mid-sweep reload
+    #: would re-MRU the block and defeat the eviction.
+    adaptive_backoff: bool = False
+    worker_backoff_fraction: float = 0.6
+    #: Latency above which a worker treats its own reload as a re-fill
+    #: after a flush (anything beyond an L1/L2 hit — a coherence service
+    #: or a DRAM fill both mean the block had been flushed/evicted).
+    worker_refill_floor: float = 60.0
+    end_run: int = 8
+    max_poll_slots: int = 4_000
+    #: Hard cap on reception samples: if the channel never goes quiet
+    #: (e.g. a defender's noise injector keeps the block cached), the
+    #: spy gives up after this many slots.
+    max_reception_slots: int = 30_000
+
+    def __post_init__(self) -> None:
+        if min(self.c1, self.c0, self.cb) < 1:
+            raise ConfigError("c1, c0 and cb must all be >= 1")
+        if self.c1 <= self.c0:
+            raise ConfigError("c1 must exceed c0 to be distinguishable")
+        if self.slot_cycles <= self.spy_overhead_cycles:
+            raise ConfigError("slot_cycles must exceed spy overhead")
+
+    @property
+    def spy_wait_cycles(self) -> float:
+        """Cycles the spy waits between its flush and its timed load."""
+        return self.slot_cycles - self.spy_overhead_cycles
+
+    @property
+    def reload_period(self) -> float:
+        """Cycles between a trojan worker's re-loads while active."""
+        return self.slot_cycles / self.reload_divisor
+
+    @property
+    def threshold(self) -> float:
+        """The paper's Thold separating '1' runs from '0' runs."""
+        return (self.c1 + self.c0) / 2.0
+
+    @property
+    def avg_slots_per_bit(self) -> float:
+        """Expected slots per transmitted bit (uniform bit mix)."""
+        return self.cb + (self.c1 + self.c0) / 2.0
+
+    @property
+    def nominal_rate_kbps(self) -> float:
+        """Design transmission rate in Kbits/s at the modeled clock."""
+        cycles_per_bit = self.avg_slots_per_bit * self.slot_cycles
+        return CLOCK_HZ / cycles_per_bit / 1e3
+
+    @classmethod
+    def for_eviction_flush(cls) -> "ProtocolParams":
+        """Knobs tuned for eviction-based flushing (Section VI-B).
+
+        An eviction sweep (one load per LLC way) costs ~50x a clflush,
+        so slots are long and the trojan workers must use adaptive
+        backoff: a mid-sweep reload would re-MRU the block and defeat
+        the eviction.  Yields a slower (~30 Kbit/s) but clflush-free
+        channel.
+        """
+        return cls(
+            slot_cycles=13_000.0,
+            spy_overhead_cycles=6_200.0,
+            adaptive_backoff=True,
+            worker_backoff_fraction=0.5,
+        )
+
+    def at_rate(self, kbps: float) -> "ProtocolParams":
+        """A copy retuned so the nominal rate is *kbps* Kbits/s.
+
+        Only the slot duration changes; the symbol structure (c1/c0/cb)
+        is preserved, mirroring the paper's knob 2 (reducing Ts).
+        """
+        if kbps <= 0:
+            raise ConfigError("rate must be positive")
+        cycles_per_bit = CLOCK_HZ / (kbps * 1e3)
+        slot = cycles_per_bit / self.avg_slots_per_bit
+        overhead = min(self.spy_overhead_cycles, slot * 0.6)
+        return replace(
+            self, slot_cycles=slot, spy_overhead_cycles=overhead
+        )

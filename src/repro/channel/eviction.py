@@ -1,0 +1,152 @@
+"""Timing-based eviction-set discovery (attacker-side, no kernel help).
+
+:meth:`repro.kernel.syscalls.Kernel.build_eviction_set` uses the
+kernel's knowledge of the physical layout; a real attacker has only
+virtual addresses and a timer.  This module implements the classic
+discovery procedure (as in Liu et al. [12], which the paper cites for
+the eviction alternative to clflush):
+
+1. allocate a large candidate buffer;
+2. *test* whether a candidate set evicts the target: load the target,
+   traverse the candidates, time a target reload — a slow reload means
+   the candidates evicted it;
+3. *reduce* greedily: drop one candidate at a time (or group-by-group),
+   keeping the set minimal while it still evicts.
+
+Everything here runs on machine accesses and timing alone — the same
+information a user-space attacker has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ChannelError
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Kernel
+from repro.mem.cacheline import LINE_SIZE
+from repro.mem.physical import PAGE_SIZE
+
+#: Reload latency above which the target is considered evicted (between
+#: the coherence bands and the DRAM band).
+EVICTION_LATENCY_THRESHOLD = 280.0
+
+
+@dataclass
+class DiscoveryStats:
+    """Bookkeeping for one discovery run."""
+
+    candidates_allocated: int = 0
+    eviction_tests: int = 0
+    accesses: int = 0
+
+
+class EvictionSetDiscovery:
+    """Find a minimal eviction set for a target line by timing alone.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel the attacking process runs on (used only to issue
+        machine accesses the way the process itself would — translation
+        happens through the process's own page table).
+    process:
+        The attacker's process.
+    core_id:
+        Core the attacker's measurement thread is pinned to.
+    """
+
+    def __init__(self, kernel: Kernel, process: Process, core_id: int = 0):
+        self.kernel = kernel
+        self.process = process
+        self.core_id = core_id
+        self.stats = DiscoveryStats()
+        self._clock = 0.0
+
+    # -- machine access as the attacker's process -----------------------
+
+    def _load(self, vaddr: int) -> float:
+        paddr = self.process.translate(vaddr)
+        _value, latency, _path = self.kernel.machine.load(
+            self.core_id, paddr, self._clock
+        )
+        self._clock += latency
+        self.stats.accesses += 1
+        return latency
+
+    def _flush(self, vaddr: int) -> None:
+        paddr = self.process.translate(vaddr)
+        self._clock += self.kernel.machine.flush(
+            self.core_id, paddr, self._clock
+        )
+
+    # -- the discovery procedure ----------------------------------------
+
+    def evicts(self, target_va: int, candidate_vas: list[int]) -> bool:
+        """Timing test: does traversing *candidate_vas* evict the target?"""
+        self.stats.eviction_tests += 1
+        self._load(target_va)           # target cached (MRU)
+        for vaddr in candidate_vas:     # traverse candidates
+            self._load(vaddr)
+        latency = self._load(target_va)  # timed reload
+        return latency >= EVICTION_LATENCY_THRESHOLD
+
+    def discover(
+        self,
+        target_va: int,
+        pool_pages: int = 2_048,
+        max_set_size: int | None = None,
+    ) -> list[int]:
+        """Return a minimal eviction set for *target_va*'s line.
+
+        Allocates a *pool_pages*-page candidate buffer, filters it down
+        to the lines that conflict with the target, then greedily
+        reduces to a minimal set (associativity-many lines).  Raises
+        :class:`~repro.errors.ChannelError` if the pool is too small to
+        evict the target at all.
+        """
+        cfg = self.kernel.machine.config
+        assoc = cfg.llc_assoc if max_set_size is None else max_set_size
+        pool_base = self.process.mmap(pool_pages)
+        self.stats.candidates_allocated = pool_pages
+        # One candidate line per page, all at the target's page offset:
+        # same-offset lines are the only ones that can share the
+        # target's set on a page-granular mapping.
+        offset = target_va % PAGE_SIZE - (target_va % LINE_SIZE)
+        candidates = [
+            pool_base + page * PAGE_SIZE + offset
+            for page in range(pool_pages)
+        ]
+        self._flush(target_va)
+        if not self.evicts(target_va, candidates):
+            raise ChannelError(
+                "candidate pool does not evict the target; enlarge it"
+            )
+        # Group reduction: repeatedly split into assoc+1 groups and drop
+        # any group whose removal still leaves an evicting set.
+        working = candidates
+        while len(working) > assoc:
+            n_groups = assoc + 1
+            size = (len(working) + n_groups - 1) // n_groups
+            groups = [
+                working[i:i + size] for i in range(0, len(working), size)
+            ]
+            for group in groups:
+                reduced = [va for va in working if va not in set(group)]
+                if reduced and self.evicts(target_va, reduced):
+                    working = reduced
+                    break
+            else:
+                # No whole group can be dropped; groups mix essential
+                # and non-essential lines.  Fall through to
+                # one-at-a-time elimination.
+                break
+        # Singleton elimination: strip any line whose removal still
+        # leaves an evicting set (cheap once the set is small).
+        for vaddr in list(working):
+            if len(working) <= assoc:
+                break
+            reduced = [va for va in working if va != vaddr]
+            if self.evicts(target_va, reduced):
+                working = reduced
+        return working

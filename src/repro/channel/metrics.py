@@ -1,0 +1,104 @@
+"""Transmission-quality metrics: raw-bit accuracy, error budget, rates.
+
+The paper counts three raw-bit error kinds (Section VIII-B): lost bits,
+duplicated bits and flipped bits.  :func:`align_bits` computes the
+minimum-edit alignment between sent and received bit strings and reports
+all three, from which raw-bit accuracy = matches / bits sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mem.latency import kbps
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Outcome of aligning a received bit string against the sent one."""
+
+    matches: int
+    flips: int       # substitutions
+    losses: int      # deletions (sent but not received)
+    duplicates: int  # insertions (received but never sent)
+    sent: int
+    received: int
+
+    @property
+    def accuracy(self) -> float:
+        """Raw-bit accuracy: correctly received bits / bits sent."""
+        if self.sent == 0:
+            return 1.0 if self.received == 0 else 0.0
+        return self.matches / self.sent
+
+    @property
+    def error_rate(self) -> float:
+        """1 - accuracy."""
+        return 1.0 - self.accuracy
+
+
+def align_bits(sent: list[int], received: list[int]) -> Alignment:
+    """Minimum-edit alignment of two bit strings.
+
+    Uses the standard Levenshtein DP (unit costs) and backtraces to
+    count matches, substitutions, insertions and deletions.
+    """
+    n, m = len(sent), len(received)
+    if n == 0 or m == 0:
+        return Alignment(
+            matches=0, flips=0, losses=n, duplicates=m, sent=n, received=m
+        )
+    a = np.asarray(sent, dtype=np.int8)
+    b = np.asarray(received, dtype=np.int8)
+    dp = np.zeros((n + 1, m + 1), dtype=np.int32)
+    dp[0, :] = np.arange(m + 1)
+    dp[:, 0] = np.arange(n + 1)
+    for i in range(1, n + 1):
+        sub = dp[i - 1, :-1] + (b != a[i - 1])
+        row = dp[i]
+        prev = dp[i - 1]
+        # dp[i][j] = min(prev[j]+1, dp[i][j-1]+1, sub[j-1]); the second
+        # term needs a left-to-right scan.
+        np.minimum(prev[1:] + 1, sub, out=row[1:])
+        for j in range(1, m + 1):
+            left = row[j - 1] + 1
+            if left < row[j]:
+                row[j] = left
+    # Backtrace.
+    matches = flips = losses = dups = 0
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and dp[i, j] == dp[i - 1, j - 1] + (a[i - 1] != b[j - 1]):
+            if a[i - 1] == b[j - 1]:
+                matches += 1
+            else:
+                flips += 1
+            i -= 1
+            j -= 1
+        elif i > 0 and dp[i, j] == dp[i - 1, j] + 1:
+            losses += 1
+            i -= 1
+        else:
+            dups += 1
+            j -= 1
+    return Alignment(
+        matches=matches, flips=flips, losses=losses, duplicates=dups,
+        sent=n, received=m,
+    )
+
+
+def raw_bit_accuracy(sent: list[int], received: list[int]) -> float:
+    """Convenience wrapper: alignment accuracy only."""
+    return align_bits(sent, received).accuracy
+
+
+def transmission_rate_kbps(bits: int, cycles: float) -> float:
+    """Raw transmission rate in Kbits/s over a cycle span."""
+    return kbps(bits, cycles)
+
+
+def goodput_kbps(info_bits: int, cycles: float) -> float:
+    """Effective information rate (payload bits only) in Kbits/s."""
+    return kbps(info_bits, cycles)

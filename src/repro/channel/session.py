@@ -1,0 +1,325 @@
+"""End-to-end covert-channel sessions: machine + kernel + trojan + spy.
+
+:class:`ChannelSession` assembles the full stack for one Table I
+scenario — builds the simulated machine, creates the trojan and spy
+processes, force-creates the shared physical page (KSM or explicit
+sharing), calibrates the latency bands, and runs transmissions,
+returning a :class:`TransmissionResult` with everything the paper's
+figures need (reception trace, accuracy, rates).
+
+:class:`SessionBase` carries the stack-assembly plumbing so the
+multi-bit symbol channel (:mod:`repro.channel.symbols`) and the
+mitigation experiments can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channel.calibration import LatencyBands, calibrate
+from repro.channel.config import Location, ProtocolParams, Scenario
+from repro.channel.decoder import BitDecoder, DecodeReport, Sample
+from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
+from repro.channel.spy import SpyResult, eviction_flusher, spy_program
+from repro.channel.trojan import (
+    TrojanControl,
+    WorkerRole,
+    controller_program,
+    worker_program,
+    worker_roles,
+)
+from repro.errors import ConfigError
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Kernel
+from repro.kernel.workloads import spawn_kernel_build
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class SessionConfig:
+    """Everything needed to stand up one covert-channel session."""
+
+    scenario: Scenario
+    params: ProtocolParams = field(default_factory=ProtocolParams)
+    seed: int = 0
+    #: "ksm" forces page sharing through memory deduplication
+    #: (Section IV); "explicit" maps a shared read-only frame directly
+    #: (the shared-library model of prior work).
+    sharing: str = "ksm"
+    noise_threads: int = 0
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    calibration_samples: int = 400
+    #: Spy core; local trojan cores are chosen on its socket, remote
+    #: cores on the next socket.
+    spy_core: int = 0
+    #: "clflush" uses the flush instruction; "evict" makes the spy evict
+    #: the shared block by loading every way of its LLC set — the
+    #: paper's Section VI-B alternative for clflush-less environments.
+    #: Evict-based flushing is slow (one load per LLC way), so pair it
+    #: with a low-rate ProtocolParams (slot of several thousand cycles).
+    flush_method: str = "clflush"
+
+    def __post_init__(self) -> None:
+        if self.sharing not in ("ksm", "explicit"):
+            raise ConfigError(f"unknown sharing mode {self.sharing!r}")
+        if self.flush_method not in ("clflush", "evict"):
+            raise ConfigError(f"unknown flush method {self.flush_method!r}")
+        if self.scenario is not None:
+            if self.scenario.needs_remote_socket and self.machine.n_sockets < 2:
+                raise ConfigError(
+                    f"scenario {self.scenario.name} needs two sockets"
+                )
+
+
+@dataclass
+class TransmissionResult:
+    """Outcome of one payload transmission."""
+
+    scenario_name: str
+    sent: list[int]
+    received: list[int]
+    alignment: Alignment
+    samples: list[Sample]
+    decode: DecodeReport
+    cycles: float
+    nominal_rate_kbps: float
+
+    @property
+    def accuracy(self) -> float:
+        """Raw-bit accuracy (Figure 8/9's y-axis)."""
+        return self.alignment.accuracy
+
+    @property
+    def achieved_rate_kbps(self) -> float:
+        """Measured raw bit rate over the reception window."""
+        return transmission_rate_kbps(len(self.sent), self.cycles)
+
+
+class SessionBase:
+    """Shared plumbing: machine, kernel, processes, shared page, bands."""
+
+    def __init__(self, config: SessionConfig):
+        self.config = config
+        self.rng = RngStreams(config.seed)
+        self.machine = Machine(config.machine, self.rng)
+        self.sim = Simulator(self.machine.stats)
+        self.kernel = Kernel(self.machine, self.sim, self.rng)
+        self.trojan_proc: Process = self.kernel.create_process("trojan")
+        self.spy_proc: Process = self.kernel.create_process("spy")
+        self._setup_sharing()
+        self._assign_cores()
+        self.bands: LatencyBands = self._calibrate()
+        self.noise_threads = []
+        if config.noise_threads:
+            self.noise_threads = spawn_kernel_build(
+                self.kernel,
+                config.noise_threads,
+                avoid_cores=set(self.reserved_cores()),
+            )
+        self.eviction_set: list[int] = []
+        if config.flush_method == "evict":
+            self.eviction_set = self.kernel.build_eviction_set(
+                self.spy_proc, self.spy_va
+            )
+        self._transmissions = 0
+
+    # -- setup ----------------------------------------------------------
+
+    def _setup_sharing(self) -> None:
+        if self.config.sharing == "ksm":
+            seed = 0xC0FFEE ^ self.config.seed
+            self.trojan_va, self.spy_va = self.kernel.setup_ksm_shared_page(
+                self.trojan_proc, self.spy_proc, pattern_seed=seed
+            )
+        else:
+            bases = self.kernel.map_shared_readonly(
+                [self.trojan_proc, self.spy_proc]
+            )
+            self.trojan_va, self.spy_va = bases[0], bases[1]
+        if self.trojan_proc.translate(self.trojan_va) != self.spy_proc.translate(
+            self.spy_va
+        ):
+            raise ConfigError("shared-page setup failed: different frames")
+
+    def _worker_demand(self) -> tuple[int, int]:
+        scenario = self.config.scenario
+        return scenario.local_threads, scenario.remote_threads
+
+    def _assign_cores(self) -> None:
+        cfg = self.config
+        n_local, n_remote = self._worker_demand()
+        per_socket = cfg.machine.cores_per_socket
+        spy_socket = cfg.spy_core // per_socket
+        local_pool = [
+            c
+            for c in range(spy_socket * per_socket, (spy_socket + 1) * per_socket)
+            if c != cfg.spy_core
+        ]
+        remote_socket = (spy_socket + 1) % cfg.machine.n_sockets
+        remote_pool = list(
+            range(remote_socket * per_socket, (remote_socket + 1) * per_socket)
+        )
+        if n_local > len(local_pool):
+            raise ConfigError("not enough local cores for the trojan")
+        if n_remote > len(remote_pool) or (
+            n_remote and remote_socket == spy_socket
+        ):
+            raise ConfigError("not enough remote cores for the trojan")
+        self.local_cores = local_pool[: max(2, n_local)]
+        if cfg.machine.n_sockets < 2:
+            self.remote_cores = []
+        else:
+            self.remote_cores = remote_pool[: max(2, n_remote)]
+
+    def reserved_cores(self) -> list[int]:
+        """Cores the trojan/spy occupy (noise workloads avoid these)."""
+        return [self.config.spy_core, *self.local_cores, *self.remote_cores]
+
+    def _calibrate(self) -> LatencyBands:
+        paddr = self.spy_proc.translate(self.spy_va)
+        bands, _raw = calibrate(
+            self.machine,
+            paddr=paddr,
+            samples=self.config.calibration_samples,
+            spy_core=self.config.spy_core,
+        )
+        return bands
+
+    def spawn_workers(
+        self, roles: list[WorkerRole], control: TrojanControl, tag: int
+    ) -> None:
+        """Spawn trojan reader threads on the cores their roles demand."""
+        for role in roles:
+            pool = (
+                self.local_cores
+                if role.location is Location.LOCAL
+                else self.remote_cores
+            )
+            self.kernel.spawn(
+                self.trojan_proc,
+                f"trojan-{role.location.value}{role.index}-{tag}",
+                worker_program(control, role, self.trojan_va, self.config.params),
+                core_id=pool[role.index],
+                daemon=True,
+            )
+
+    def spawn_controller(self, program, tag: int):
+        """Spawn the trojan's orchestration thread.
+
+        The controller only flushes at transitions and waits out slots;
+        it is modeled as an unscheduled thread of the trojan process so
+        it does not distort a worker core's timing.
+        """
+        return self.sim.spawn(
+            name=f"trojan-ctl-{tag}",
+            program=program,
+            core_id=self.local_cores[0],
+            executor=self.kernel._execute,
+            daemon=False,
+            process=self.trojan_proc,
+        )
+
+    def next_tag(self) -> int:
+        """A unique per-transmission tag for thread names."""
+        tag = self._transmissions
+        self._transmissions += 1
+        return tag
+
+    def idle(self, cycles: float) -> None:
+        """Advance simulated time with the channel quiet.
+
+        Background daemons (noise workloads, KSM) keep running; the
+        trojan and spy do nothing.  Used for retransmission backoff.
+        """
+
+        def program(cpu):
+            yield from cpu.delay(cycles)
+
+        self.sim.spawn(
+            name=f"idle-{self.next_tag()}",
+            program=program,
+            core_id=self.config.spy_core,
+            executor=self.kernel._execute,
+            daemon=False,
+        )
+        self.sim.run()
+
+
+class ChannelSession(SessionBase):
+    """One binary trojan/spy channel on one simulated machine.
+
+    Reusable: call :meth:`transmit` repeatedly; simulated time keeps
+    advancing on the same machine and shared page.
+    """
+
+    def transmit(self, payload: list[int]) -> TransmissionResult:
+        """Send *payload* from the trojan to the spy; decode and score."""
+        cfg = self.config
+        if any(bit not in (0, 1) for bit in payload):
+            raise ConfigError("payload must be a list of 0/1 ints")
+        tag = self.next_tag()
+
+        control = TrojanControl()
+        decoder = BitDecoder(self.bands, cfg.scenario, cfg.params)
+        spy_result = SpyResult()
+
+        self.spawn_workers(worker_roles(cfg.scenario), control, tag)
+        controller_thread = self.spawn_controller(
+            controller_program(
+                control, cfg.scenario, cfg.params, self.trojan_va, list(payload)
+            ),
+            tag,
+        )
+        flusher = (
+            eviction_flusher(self.eviction_set)
+            if cfg.flush_method == "evict"
+            else None
+        )
+        self.kernel.spawn(
+            self.spy_proc,
+            f"spy-{tag}",
+            spy_program(spy_result, decoder, cfg.params, self.spy_va,
+                        flusher=flusher),
+            core_id=cfg.spy_core,
+            daemon=False,
+        )
+        self.sim.run()
+        if controller_thread.failure is not None:  # pragma: no cover
+            raise controller_thread.failure
+
+        report = decoder.decode(spy_result.samples)
+        alignment = align_bits(list(payload), report.bits)
+        return TransmissionResult(
+            scenario_name=cfg.scenario.name,
+            sent=list(payload),
+            received=report.bits,
+            alignment=alignment,
+            samples=list(spy_result.samples),
+            decode=report,
+            cycles=spy_result.reception_cycles,
+            nominal_rate_kbps=cfg.params.nominal_rate_kbps,
+        )
+
+
+def run_transmission(
+    scenario: Scenario,
+    payload: list[int],
+    params: ProtocolParams | None = None,
+    seed: int = 0,
+    noise_threads: int = 0,
+    sharing: str = "ksm",
+    machine: MachineConfig | None = None,
+) -> TransmissionResult:
+    """One-shot convenience: build a session and send one payload."""
+    config = SessionConfig(
+        scenario=scenario,
+        params=params if params is not None else ProtocolParams(),
+        seed=seed,
+        noise_threads=noise_threads,
+        sharing=sharing,
+        machine=machine if machine is not None else MachineConfig(),
+    )
+    session = ChannelSession(config)
+    return session.transmit(payload)

@@ -1,0 +1,137 @@
+"""The spy: Algorithm 2 of the paper.
+
+A single-threaded observer that repeatedly flushes the shared block and
+times a reload one sampling slot later.  Three phases: poll for the
+start of a transmission, record latencies until the channel goes quiet,
+then hand the samples to the decoder (:mod:`repro.channel.decoder`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+
+from repro.channel.config import ProtocolParams
+from repro.channel.decoder import BitDecoder, Sample
+from repro.errors import SyncTimeoutError
+from repro.sim.thread import Cpu
+
+
+@dataclass
+class SpyResult:
+    """Everything the spy recorded during one reception."""
+
+    samples: list[Sample] = field(default_factory=list)
+    poll_samples: list[Sample] = field(default_factory=list)
+    started_at: float | None = None
+    finished_at: float | None = None
+    timed_out: bool = False
+
+    @property
+    def reception_cycles(self) -> float:
+        """Duration of the reception window in cycles."""
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+
+def eviction_flusher(eviction_set: list[int]) -> Callable[[Cpu], Generator]:
+    """A flush primitive built from LLC set eviction (Section VI-B).
+
+    Loading every way of the target's LLC set evicts the shared block
+    from the inclusive LLC, back-invalidating all private copies on the
+    socket — the paper's clflush alternative for environments where
+    ``clflush`` is unavailable.  Slower than clflush (one load per way),
+    so evict-based channels run at lower slot rates.
+    """
+
+    def flusher(cpu: Cpu) -> Generator:
+        for vaddr in eviction_set:
+            yield from cpu.load(vaddr)
+
+    return flusher
+
+
+def spy_program(
+    result: SpyResult,
+    decoder: BitDecoder,
+    params: ProtocolParams,
+    block_va: int,
+    flusher: Callable[[Cpu], Generator] | None = None,
+) -> Callable[[Cpu], Generator]:
+    """Build the spy's thread program.
+
+    The spy performs ``flush B; wait Ts; timed load B`` every slot.  It
+    starts recording at the first boundary-band (Tb) observation and
+    stops after ``params.end_run`` consecutive samples fall outside both
+    Tc and Tb — the trojan going dark (Algorithm 2's N).
+
+    ``flusher`` replaces the default clflush with an alternative flush
+    primitive (see :func:`eviction_flusher`).
+    """
+
+    # Slot pacing state: the spy anchors its sampling grid on absolute
+    # deadlines so its period equals the agreed slot duration regardless
+    # of how long each timed load happened to take.  (A real spy does
+    # the same: it spins on rdtsc until the next slot boundary.)
+    pacing = {"next_slot": None}
+
+    def sample_once(cpu: Cpu) -> Generator:
+        now = yield from cpu.rdtsc()
+        target = pacing["next_slot"]
+        if target is None:
+            target = now
+        if target > now:
+            yield from cpu.delay(target - now)
+        else:
+            # We overran (a slow load or a preemption); re-anchor.
+            target = now
+        pacing["next_slot"] = target + params.slot_cycles
+        if flusher is None:
+            yield from cpu.flush(block_va)
+        else:
+            yield from flusher(cpu)
+        yield from cpu.delay(params.spy_wait_cycles)
+        load = yield from cpu.timed_load(block_va)
+        return Sample(
+            timestamp=load.timestamp,
+            latency=load.latency,
+            label=decoder.label(load.latency),
+            path=load.path,
+        )
+
+    def program(cpu: Cpu) -> Generator:
+        # Phase 1: poll for the start of transmission.
+        polls = 0
+        while True:
+            sample = yield from sample_once(cpu)
+            result.poll_samples.append(sample)
+            if sample.label == "b":
+                result.started_at = sample.timestamp
+                result.samples.append(sample)
+                break
+            polls += 1
+            if polls >= params.max_poll_slots:
+                result.timed_out = True
+                raise SyncTimeoutError(
+                    f"spy saw no transmission start in {polls} slots"
+                )
+        # Phase 2: reception.
+        quiet = 0
+        while quiet < params.end_run:
+            sample = yield from sample_once(cpu)
+            result.samples.append(sample)
+            quiet = quiet + 1 if sample.label == "x" else 0
+            if len(result.samples) >= params.max_reception_slots:
+                # The channel never went quiet (e.g. a defender keeps
+                # the block cached); give up with what we have.
+                result.timed_out = True
+                result.finished_at = sample.timestamp
+                return
+        # Drop the trailing quiet run; it is not part of the payload.
+        del result.samples[-params.end_run:]
+        result.finished_at = (
+            result.samples[-1].timestamp if result.samples else None
+        )
+
+    return program

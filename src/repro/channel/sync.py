@@ -1,0 +1,173 @@
+"""Pre-transmission synchronization (Section VII-A).
+
+Before the first bit (and after any context switch involving either
+party), the trojan and spy perform a timing handshake on the shared
+block: the trojan repeatedly flushes and reloads B; the spy periodically
+flushes and times a reload.  The trojan proceeds once it has observed a
+run of long (memory) latencies on its own reloads — evidence that a
+second party keeps flushing its freshly loaded block — and the spy locks
+on once its timed reloads converge to a stable coherence band, evidence
+that the trojan is actively re-caching B.  The paper measures this
+handshake at ~90 ms on average; the default knobs here land in that
+regime at the modeled 2.67 GHz clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channel.calibration import LatencyBands
+from repro.kernel.syscalls import Kernel
+from repro.mem.latency import cycles_to_seconds
+from repro.sim.thread import Cpu
+
+
+@dataclass(frozen=True)
+class SyncParams:
+    """Knobs of the synchronization handshake.
+
+    Defaults model the coarse, scheduler-quantum-scale cadence the real
+    attack uses before fine-grained transmission begins (the paper's
+    ~90 ms average handshake).
+    """
+
+    #: Flush+reload rounds the trojan performs (the paper uses ~20).
+    trojan_rounds: int = 20
+    #: Cycle period of one trojan flush+reload round.
+    trojan_round_cycles: float = 12_000_000.0
+    #: Spy sampling period during the handshake.
+    spy_poll_cycles: float = 36_000_000.0
+    #: Consecutive in-band spy samples that declare the channel live.
+    spy_stable_run: int = 5
+    #: Cumulative long-latency (re-flushed) trojan observations required.
+    trojan_long_run: int = 5
+    #: Give up after this many spy polls.
+    max_spy_polls: int = 600
+
+
+@dataclass
+class SyncResult:
+    """Outcome of the handshake."""
+
+    synced: bool = False
+    trojan_cycles: float = 0.0
+    spy_cycles: float = 0.0
+    spy_latencies: list[float] = field(default_factory=list)
+    trojan_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def duration_cycles(self) -> float:
+        """Handshake duration (the slower party defines it)."""
+        return max(self.trojan_cycles, self.spy_cycles)
+
+    @property
+    def duration_ms(self) -> float:
+        """Handshake duration in milliseconds at the modeled clock."""
+        return cycles_to_seconds(self.duration_cycles) * 1e3
+
+
+def trojan_sync_program(
+    result: SyncResult,
+    params: SyncParams,
+    bands: LatencyBands,
+    block_va: int,
+):
+    """The trojan side: flush, re-warm, wait, then time a reload.
+
+    The timed reload comes back long (memory latency) exactly when a
+    second party flushed the freshly warmed block during the wait — the
+    spy announcing itself.  The trojan finishes after its minimum round
+    count once enough long observations have accumulated.
+    """
+    dram_floor = bands.dram.lo if bands.dram is not None else 280.0
+
+    def program(cpu: Cpu):
+        start = yield from cpu.rdtsc()
+        longs = 0
+        rounds = 0
+        while rounds < params.trojan_rounds or longs < params.trojan_long_run:
+            yield from cpu.flush(block_va)
+            yield from cpu.load(block_va)  # re-warm B into our cache
+            yield from cpu.delay(params.trojan_round_cycles)
+            load = yield from cpu.timed_load(block_va)
+            result.trojan_latencies.append(load.latency)
+            if load.latency >= dram_floor:
+                longs += 1
+            rounds += 1
+            if rounds > params.max_spy_polls:  # safety valve
+                break
+        end = yield from cpu.rdtsc()
+        result.trojan_cycles = end - start
+
+    return program
+
+
+def spy_sync_program(
+    result: SyncResult,
+    params: SyncParams,
+    bands: LatencyBands,
+    block_va: int,
+):
+    """The spy side: poll until reload latencies stabilize in a band."""
+
+    def in_coherence_band(latency: float) -> bool:
+        label = bands.classify(latency)
+        return label is not None and label != "dram"
+
+    def program(cpu: Cpu):
+        start = yield from cpu.rdtsc()
+        stable = 0
+        polls = 0
+        while stable < params.spy_stable_run:
+            yield from cpu.flush(block_va)
+            yield from cpu.delay(params.spy_poll_cycles)
+            load = yield from cpu.timed_load(block_va)
+            result.spy_latencies.append(load.latency)
+            stable = stable + 1 if in_coherence_band(load.latency) else 0
+            polls += 1
+            if polls >= params.max_spy_polls:
+                result.synced = False
+                return
+        end = yield from cpu.rdtsc()
+        result.spy_cycles = end - start
+        result.synced = True
+
+    return program
+
+
+def run_synchronization(
+    kernel: Kernel,
+    bands: LatencyBands,
+    trojan_proc,
+    spy_proc,
+    trojan_va: int,
+    spy_va: int,
+    trojan_core: int,
+    spy_core: int,
+    params: SyncParams | None = None,
+) -> SyncResult:
+    """Run the handshake on an existing session stack; returns the result.
+
+    Spawns one trojan thread and one spy thread, runs the engine until
+    both finish, and reports durations.  The trojan's reloads keep B
+    cached, so the spy's flush+reload lands in a coherence band rather
+    than DRAM — that convergence is the sync signal.
+    """
+    params = params if params is not None else SyncParams()
+    result = SyncResult()
+    kernel.spawn(
+        trojan_proc,
+        "sync-trojan",
+        trojan_sync_program(result, params, bands, trojan_va),
+        core_id=trojan_core,
+        daemon=True,
+    )
+    kernel.spawn(
+        spy_proc,
+        "sync-spy",
+        spy_sync_program(result, params, bands, spy_va),
+        core_id=spy_core,
+        daemon=False,
+    )
+    kernel.sim.run()
+    return result

@@ -1,0 +1,157 @@
+"""The trojan: Algorithm 1 of the paper.
+
+The trojan is multi-threaded: a *controller* walks the payload and
+decides which (location, state) combination the shared block B should be
+in during each slot, and *worker* threads — placed on local/remote cores
+per Table I — keep re-loading B so the intended coherence state is
+re-established after every flush the spy issues.
+
+Workers coordinate with the controller through a plain shared object;
+this models ordinary intra-process shared memory inside the trojan and
+carries no information to the spy, who only ever observes load timing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+
+from repro.channel.config import (
+    LineState,
+    Location,
+    ProtocolParams,
+    Scenario,
+    StatePair,
+)
+from repro.sim.thread import Cpu
+
+
+@dataclass(frozen=True)
+class WorkerRole:
+    """Identity of one trojan worker: its location and rank there."""
+
+    location: Location
+    index: int
+
+
+@dataclass
+class TrojanControl:
+    """Shared state between the trojan's controller and its workers."""
+
+    active_pair: StatePair | None = None
+    running: bool = True
+    generation: int = 0
+    transitions: int = 0
+    bits_sent: list[int] = field(default_factory=list)
+
+    def set_pair(self, pair: StatePair | None) -> None:
+        """Activate a new (location, state) target (None = go idle)."""
+        if pair != self.active_pair:
+            self.transitions += 1
+        self.active_pair = pair
+        self.generation += 1
+
+    def stop(self) -> None:
+        """Tell every worker to exit its loop."""
+        self.running = False
+        self.active_pair = None
+
+    def is_active(self, role: WorkerRole) -> bool:
+        """Whether a worker with *role* should be re-loading B now."""
+        pair = self.active_pair
+        if pair is None or role.location is not pair.location:
+            return False
+        needed = 1 if pair.state is LineState.EXCLUSIVE else 2
+        return role.index < needed
+
+
+def worker_program(
+    control: TrojanControl,
+    role: WorkerRole,
+    block_va: int,
+    params: ProtocolParams,
+) -> Callable[[Cpu], Generator]:
+    """A trojan reader thread: keep B cached while my role is active.
+
+    While active the worker re-loads B every ``params.reload_period``
+    cycles, restoring the target coherence state after each spy flush;
+    while inactive it polls the control state at the same period.
+    """
+
+    def program(cpu: Cpu) -> Generator:
+        idle_period = params.reload_period
+        backoff = params.worker_backoff_fraction * params.slot_cycles
+        while control.running:
+            if control.is_active(role):
+                # Spin: re-load as fast as the machine allows, with only a
+                # tiny loop cost between issues, so the target state is
+                # re-established as soon as possible after each spy flush.
+                result = yield from cpu.load(block_va)
+                if (
+                    params.adaptive_backoff
+                    and result.latency >= params.worker_refill_floor
+                ):
+                    # We just re-established the state after a flush;
+                    # stay quiet until the next slot so the spy's flush
+                    # primitive (clflush or eviction sweep) is not
+                    # disturbed by our reloads.
+                    yield from cpu.delay(backoff)
+                else:
+                    yield from cpu.delay(params.worker_spin_cycles)
+            else:
+                yield from cpu.delay(idle_period)
+
+    return program
+
+
+def controller_program(
+    control: TrojanControl,
+    scenario: Scenario,
+    params: ProtocolParams,
+    block_va: int,
+    payload: list[int],
+    lead_in_slots: int = 4,
+    tail_slots: int = 4,
+) -> Callable[[Cpu], Generator]:
+    """Algorithm 1: modulate B's coherence state to send *payload*.
+
+    For each bit the controller holds B in the boundary combination CSb
+    for ``cb`` slots and then in the communication combination CSc for
+    ``c1`` (bit 1) or ``c0`` (bit 0) slots.  Transitions flush B from
+    all caches so the workers rebuild the new placement immediately;
+    the spy's own flush-per-slot keeps the placement fresh afterwards.
+    """
+
+    def hold(cpu: Cpu, pair: StatePair, slots: int) -> Generator:
+        control.set_pair(pair)
+        yield from cpu.flush(block_va)
+        yield from cpu.delay(slots * params.slot_cycles)
+
+    def program(cpu: Cpu) -> Generator:
+        # Lead-in: park B in the communication state so the spy's
+        # start-of-transmission poll locks on when the first boundary
+        # arrives (Algorithm 2 waits for a Tb observation).
+        yield from hold(cpu, scenario.csc, lead_in_slots)
+        for bit in payload:
+            yield from hold(cpu, scenario.csb, params.cb)
+            slots = params.c1 if bit else params.c0
+            yield from hold(cpu, scenario.csc, slots)
+            control.bits_sent.append(bit)
+        # Closing boundary so the final communication run is delimited.
+        yield from hold(cpu, scenario.csb, params.cb)
+        # Go dark: the spy sees out-of-band samples and ends reception.
+        control.stop()
+        yield from cpu.delay(tail_slots * params.slot_cycles)
+
+    return program
+
+
+def worker_roles(scenario: Scenario) -> list[WorkerRole]:
+    """The worker set Table I prescribes for *scenario*."""
+    roles = [
+        WorkerRole(Location.LOCAL, i) for i in range(scenario.local_threads)
+    ]
+    roles.extend(
+        WorkerRole(Location.REMOTE, i) for i in range(scenario.remote_threads)
+    )
+    return roles

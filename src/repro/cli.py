@@ -1,0 +1,134 @@
+"""Unified command-line interface: ``python -m repro <command>``.
+
+Commands map to the experiment drivers plus a couple of conveniences::
+
+    python -m repro list                 # what can I run?
+    python -m repro fig8 --scenario ...  # any experiment by short name
+    python -m repro send 10110. --scenario RExclc-LSharedb
+    python -m repro bands                # print calibrated latency bands
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments import (  # noqa: F401  (resolved lazily below)
+    common,
+)
+
+#: Short command name -> experiments module name.
+EXPERIMENTS: dict[str, str] = {
+    "fig2": "fig2_latency_cdf",
+    "table1": "table1_scenarios",
+    "fig7": "fig7_reception",
+    "fig8": "fig8_bandwidth",
+    "fig9": "fig9_noise",
+    "fig10": "fig10_ecc",
+    "fig11": "fig11_multibit",
+    "sync": "sync_handshake",
+    "mitigations": "mitigations",
+    "ablations": "ablations",
+    "detect": "detection_roc",
+    "capacity": "capacity_analysis",
+}
+
+
+def _experiment_main(name: str) -> Callable[[list[str] | None], None]:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{EXPERIMENTS[name]}")
+    return module.main
+
+
+def cmd_list(_argv: list[str]) -> None:
+    """Print the available commands."""
+    print("experiments:")
+    for short, module in EXPERIMENTS.items():
+        print(f"  {short:12s} -> repro.experiments.{module}")
+    print("utilities:")
+    print("  send         transmit a bit string over a chosen scenario")
+    print("  bands        print the calibrated latency bands")
+
+
+def cmd_send(argv: list[str]) -> None:
+    """Transmit a bit string through a covert-channel session."""
+    parser = argparse.ArgumentParser(prog="repro send")
+    parser.add_argument("bits", help="payload, e.g. 10110")
+    parser.add_argument("--scenario", default="LExclc-LSharedb")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="nominal Kbits/s")
+    parser.add_argument("--noise", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.channel.config import ProtocolParams, scenario_by_name
+    from repro.channel.session import ChannelSession, SessionConfig
+
+    payload = [int(c) for c in args.bits if c in "01"]
+    if not payload:
+        parser.error("payload must contain 0/1 characters")
+    params = ProtocolParams()
+    if args.rate:
+        params = params.at_rate(args.rate)
+    session = ChannelSession(SessionConfig(
+        scenario=scenario_by_name(args.scenario),
+        params=params,
+        seed=args.seed,
+        noise_threads=args.noise,
+    ))
+    result = session.transmit(payload)
+    print(f"sent     {''.join(map(str, result.sent))}")
+    print(f"received {''.join(map(str, result.received))}")
+    print(f"accuracy {result.accuracy * 100:.1f}%  "
+          f"rate {result.achieved_rate_kbps:.0f} Kbit/s")
+
+
+def cmd_bands(argv: list[str]) -> None:
+    """Calibrate and print the latency bands (Figure 2's summary)."""
+    parser = argparse.ArgumentParser(prog="repro bands")
+    parser.add_argument("--samples", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.channel.calibration import calibrate
+    from repro.mem.hierarchy import Machine, MachineConfig
+    from repro.sim.rng import RngStreams
+
+    machine = Machine(MachineConfig(), RngStreams(args.seed))
+    bands, _raw = calibrate(machine, samples=args.samples)
+    for pair, band in sorted(bands.bands.items(), key=lambda kv: kv[1].lo):
+        print(f"{pair.notation:8s} [{band.lo:6.1f}, {band.hi:6.1f}] cycles")
+    if bands.dram:
+        print(f"{'dram':8s} [{bands.dram.lo:6.1f}, {bands.dram.hi:6.1f}] cycles")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns an exit status."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        print()
+        cmd_list([])
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "list":
+        cmd_list(rest)
+        return 0
+    if command == "send":
+        cmd_send(rest)
+        return 0
+    if command == "bands":
+        cmd_bands(rest)
+        return 0
+    if command in EXPERIMENTS:
+        _experiment_main(command)(rest)
+        return 0
+    print(f"unknown command {command!r}; try 'python -m repro list'",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Detection of coherence-state covert channels (defense extension).
+
+The paper closes by motivating defenses against coherence-protocol
+exploits; this package implements the detection side: per-line
+coherence-event telemetry (:mod:`~repro.detection.events`) and three
+signature detectors — flush storms, ownership ping-pong, slot-quantized
+modulation — combined in
+:class:`~repro.detection.detector.ChannelDetector`.
+"""
+
+from repro.detection.detector import (
+    ChannelDetector,
+    Detection,
+    FlushStormDetector,
+    ModulationDetector,
+    PingPongDetector,
+)
+from repro.detection.events import EventMonitor, LineActivity
+
+__all__ = [
+    "ChannelDetector",
+    "Detection",
+    "EventMonitor",
+    "FlushStormDetector",
+    "LineActivity",
+    "ModulationDetector",
+    "PingPongDetector",
+]

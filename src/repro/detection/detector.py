@@ -1,0 +1,172 @@
+"""Covert-channel detectors over coherence-event telemetry.
+
+The channel's signature is hard to hide: to transmit, the adversaries
+*must* (a) flush a shared line at the sampling rate, (b) keep re-caching
+it, and (c) manufacture E->S downgrades (or their absence) in patterned
+runs.  The detectors below score those signatures:
+
+* :class:`FlushStormDetector` — benign code essentially never clflushes
+  one line hundreds of times per millisecond; a sustained flush storm on
+  a *shared* line is the cheapest tell.
+* :class:`PingPongDetector` — the covert line ping-pongs between a fixed
+  reader set (spy flushing + trojan re-caching with owner forwarding);
+  a high downgrade rate with a small, stable core set is suspicious.
+* :class:`ModulationDetector` — the trojan's run-length encoding makes
+  the downgrade stream *bursty in alternating runs*; benign sharing has
+  no such slot-quantized structure.  Scored via the coefficient of
+  variation of inter-downgrade gaps against a periodic baseline.
+
+Scores combine in :class:`ChannelDetector`, which reports suspicious
+lines and the core sets involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detection.events import EventMonitor
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One flagged cache line."""
+
+    line: int
+    score: float
+    flush_rate: float
+    downgrade_rate: float
+    cores: frozenset[int]
+    reasons: tuple[str, ...]
+
+
+class FlushStormDetector:
+    """Flags lines flushed far above any benign rate."""
+
+    def __init__(self, threshold_per_mcycle: float = 50.0):
+        self.threshold = threshold_per_mcycle
+
+    def score(self, monitor: EventMonitor, line: int, now: float) -> tuple[float, str | None]:
+        rate = monitor.lines[line].flush_rate(now)
+        if rate < self.threshold:
+            return 0.0, None
+        return min(1.0, rate / (4 * self.threshold)), (
+            f"flush storm ({rate:.0f}/Mcycle)"
+        )
+
+
+class PingPongDetector:
+    """Flags lines with heavy ownership ping-pong among few cores."""
+
+    def __init__(
+        self,
+        downgrade_threshold: float = 25.0,
+        max_core_set: int = 5,
+    ):
+        self.downgrade_threshold = downgrade_threshold
+        self.max_core_set = max_core_set
+
+    def score(self, monitor: EventMonitor, line: int, now: float) -> tuple[float, str | None]:
+        activity = monitor.lines[line]
+        rate = activity.downgrade_rate(now)
+        cores = activity.touching_cores(now)
+        if rate < self.downgrade_threshold or len(cores) > self.max_core_set:
+            return 0.0, None
+        return min(1.0, rate / (4 * self.downgrade_threshold)), (
+            f"E->S ping-pong among {len(cores)} cores ({rate:.0f}/Mcycle)"
+        )
+
+
+class ModulationDetector:
+    """Flags slot-quantized modulation in the downgrade stream.
+
+    The trojan holds states for integer multiples of a slot, so
+    inter-downgrade gaps concentrate on a lattice: many near one slot
+    (within a communication run) plus occasional multi-slot gaps
+    (boundaries / '0' holds).  Benign sharing produces either Poisson
+    gaps (CV ~= 1 without lattice structure) or constant streaming.
+    We score the fraction of gaps that land within tolerance of the
+    dominant gap or its small integer multiples.
+    """
+
+    def __init__(
+        self,
+        min_events: int = 24,
+        tolerance: float = 0.18,
+        lattice_fraction: float = 0.7,
+    ):
+        self.min_events = min_events
+        self.tolerance = tolerance
+        self.lattice_fraction = lattice_fraction
+
+    def score(self, monitor: EventMonitor, line: int, now: float) -> tuple[float, str | None]:
+        activity = monitor.lines[line]
+        activity.prune(now)
+        times = np.asarray(activity.downgrades, dtype=float)
+        if times.size < self.min_events:
+            return 0.0, None
+        gaps = np.diff(np.sort(times))
+        gaps = gaps[gaps > 0]
+        if gaps.size < self.min_events - 1:
+            return 0.0, None
+        base = float(np.median(gaps))
+        if base <= 0:
+            return 0.0, None
+        ratios = gaps / base
+        nearest = np.round(ratios)
+        on_lattice = (
+            (nearest >= 1)
+            & (nearest <= 8)
+            & (np.abs(ratios - nearest) <= self.tolerance * nearest)
+        )
+        fraction = float(np.mean(on_lattice))
+        if fraction < self.lattice_fraction:
+            return 0.0, None
+        return fraction, (
+            f"slot-quantized modulation (lattice fit {fraction:.0%}, "
+            f"base {base:.0f} cycles)"
+        )
+
+
+class ChannelDetector:
+    """Combines the three signature detectors over an EventMonitor."""
+
+    def __init__(
+        self,
+        monitor: EventMonitor,
+        flush_storm: FlushStormDetector | None = None,
+        ping_pong: PingPongDetector | None = None,
+        modulation: ModulationDetector | None = None,
+        flag_threshold: float = 1.0,
+    ):
+        self.monitor = monitor
+        self.flush_storm = flush_storm or FlushStormDetector()
+        self.ping_pong = ping_pong or PingPongDetector()
+        self.modulation = modulation or ModulationDetector()
+        self.flag_threshold = flag_threshold
+
+    def scan(self, now: float) -> list[Detection]:
+        """Score every monitored line; return flagged ones, worst first."""
+        detections = []
+        for line in list(self.monitor.lines):
+            activity = self.monitor.lines[line]
+            total = 0.0
+            reasons = []
+            for detector in (self.flush_storm, self.ping_pong,
+                             self.modulation):
+                score, reason = detector.score(self.monitor, line, now)
+                total += score
+                if reason:
+                    reasons.append(reason)
+            if total >= self.flag_threshold and reasons:
+                detections.append(Detection(
+                    line=line,
+                    score=total,
+                    flush_rate=activity.flush_rate(now),
+                    downgrade_rate=activity.downgrade_rate(now),
+                    cores=frozenset(activity.touching_cores(now)),
+                    reasons=tuple(reasons),
+                ))
+        detections.sort(key=lambda d: -d.score)
+        return detections

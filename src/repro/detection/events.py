@@ -1,0 +1,128 @@
+"""Coherence-event telemetry: the raw signal available to a defender.
+
+A hardware/hypervisor defender cannot read processes' minds, but it can
+observe coherence traffic: flushes per line, ownership downgrades
+(E/M -> S forwarding services), and which cores touch which lines.  The
+:class:`EventMonitor` taps the machine's access API and aggregates those
+observations per line in sliding windows — the substrate the detectors
+in :mod:`repro.detection.detector` consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.mem.cacheline import line_addr
+from repro.mem.hierarchy import Machine
+from repro.sim.events import AccessPath
+
+
+@dataclass
+class LineActivity:
+    """Sliding-window activity for one cache line."""
+
+    window: float
+    flushes: deque = field(default_factory=deque)           # times
+    downgrades: deque = field(default_factory=deque)        # times
+    loads: deque = field(default_factory=deque)             # (time, core)
+
+    def prune(self, now: float) -> None:
+        """Drop events older than the window."""
+        cutoff = now - self.window
+        for series in (self.flushes, self.downgrades):
+            while series and series[0] < cutoff:
+                series.popleft()
+        while self.loads and self.loads[0][0] < cutoff:
+            self.loads.popleft()
+
+    def flush_rate(self, now: float) -> float:
+        """Flushes per million cycles over the window."""
+        self.prune(now)
+        return len(self.flushes) / self.window * 1e6
+
+    def downgrade_rate(self, now: float) -> float:
+        """Ownership downgrades per million cycles over the window."""
+        self.prune(now)
+        return len(self.downgrades) / self.window * 1e6
+
+    def touching_cores(self, now: float) -> set[int]:
+        """Cores that loaded the line within the window."""
+        self.prune(now)
+        return {core for _t, core in self.loads}
+
+
+class EventMonitor:
+    """Taps a machine and aggregates per-line coherence telemetry.
+
+    Attach with :meth:`attach`; afterwards every load/flush on the
+    machine is recorded.  Only lines that ever see a flush are tracked
+    in detail (flushes are rare in benign workloads, so this bounds the
+    telemetry cost the way a real filter would).
+    """
+
+    def __init__(self, machine: Machine, window: float = 400_000.0):
+        self.machine = machine
+        self.window = window
+        self.lines: dict[int, LineActivity] = defaultdict(
+            lambda: LineActivity(window=self.window)
+        )
+        self._flushed_lines: set[int] = set()
+        self._attached = False
+        self._orig_load = None
+        self._orig_flush = None
+
+    def attach(self) -> None:
+        """Start observing the machine (idempotent)."""
+        if self._attached:
+            return
+        self._attached = True
+        self._orig_load = self.machine.load
+        self._orig_flush = self.machine.flush
+
+        def load(core_id: int, paddr: int, now: float = 0.0):
+            value, latency, path = self._orig_load(core_id, paddr, now)
+            self._on_load(core_id, paddr, now, path)
+            return value, latency, path
+
+        def flush(core_id: int, paddr: int, now: float = 0.0):
+            latency = self._orig_flush(core_id, paddr, now)
+            self._on_flush(core_id, paddr, now)
+            return latency
+
+        self.machine.load = load
+        self.machine.flush = flush
+
+    def detach(self) -> None:
+        """Stop observing (restores the machine's methods)."""
+        if not self._attached:
+            return
+        self.machine.load = self._orig_load
+        self.machine.flush = self._orig_flush
+        self._attached = False
+
+    def _on_flush(self, core_id: int, paddr: int, now: float) -> None:
+        base = line_addr(paddr)
+        self._flushed_lines.add(base)
+        self.lines[base].flushes.append(now)
+
+    def _on_load(
+        self, core_id: int, paddr: int, now: float, path: AccessPath
+    ) -> None:
+        base = line_addr(paddr)
+        if base not in self._flushed_lines:
+            return
+        activity = self.lines[base]
+        activity.loads.append((now, core_id))
+        if path in (AccessPath.LOCAL_EXCL, AccessPath.REMOTE_EXCL):
+            # An owner was forced to forward and downgrade: the E->S
+            # transition the covert channel manufactures constantly.
+            activity.downgrades.append(now)
+
+    def hot_lines(self, now: float, min_flush_rate: float = 10.0) -> list[int]:
+        """Lines whose flush rate exceeds *min_flush_rate* per Mcycle."""
+        out = []
+        for base, activity in self.lines.items():
+            if activity.flush_rate(now) >= min_flush_rate:
+                out.append(base)
+        return out

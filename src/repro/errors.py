@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+still being able to distinguish subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event engine."""
+
+
+class DeadlockError(SimulationError):
+    """No thread can make progress but the simulation is not finished."""
+
+
+class ThreadProgramError(SimulationError):
+    """A thread program yielded something that is not a simulator op."""
+
+
+class MemorySystemError(ReproError):
+    """Base class for errors raised by the memory system."""
+
+
+class InvalidAddressError(MemorySystemError):
+    """An address is outside the configured physical or virtual range."""
+
+
+class CoherenceError(MemorySystemError):
+    """A coherence-protocol invariant was violated (indicates a bug)."""
+
+
+class KernelError(ReproError):
+    """Base class for errors raised by the simulated OS kernel."""
+
+
+class PageFaultError(KernelError):
+    """An unrecoverable page fault (no mapping for the address)."""
+
+    def __init__(self, vaddr: int, pid: int, message: str | None = None):
+        self.vaddr = vaddr
+        self.pid = pid
+        super().__init__(
+            message or f"unhandled page fault at va={vaddr:#x} in pid={pid}"
+        )
+
+
+class ProtectionFaultError(KernelError):
+    """A write to a read-only (non-COW) mapping."""
+
+    def __init__(self, vaddr: int, pid: int):
+        self.vaddr = vaddr
+        self.pid = pid
+        super().__init__(f"write to read-only va={vaddr:#x} in pid={pid}")
+
+
+class OutOfMemoryError(KernelError):
+    """The physical frame allocator is exhausted."""
+
+
+class ChannelError(ReproError):
+    """Base class for covert-channel layer errors."""
+
+
+class SyncTimeoutError(ChannelError):
+    """Trojan/spy synchronization did not complete within its deadline."""
+
+
+class DecodeError(ChannelError):
+    """The spy-side decoder could not interpret the received samples."""
+
+
+class CalibrationError(ChannelError):
+    """Latency-band calibration produced unusable (overlapping) bands."""

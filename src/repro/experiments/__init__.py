@@ -1,0 +1,40 @@
+"""Experiment drivers: one runnable module per paper figure/table.
+
+Run any driver as a module, e.g.::
+
+    python -m repro.experiments.fig2_latency_cdf
+    python -m repro.experiments.fig8_bandwidth --scenario RExclc-LSharedb
+
+| Module              | Paper artifact                               |
+|---------------------|----------------------------------------------|
+| fig2_latency_cdf    | Figure 2 + Section V latency reference points |
+| table1_scenarios    | Table I scenario/thread-placement check      |
+| fig7_reception      | Figures 6-7 transmission + reception traces  |
+| fig8_bandwidth      | Figure 8 accuracy-vs-rate sweep              |
+| fig9_noise          | Figure 9 kernel-build noise sweep            |
+| fig10_ecc           | Figure 10 parity+NACK effective rates        |
+| fig11_multibit      | Figure 11 2-bit symbol channel               |
+| sync_handshake      | Section VII-A synchronization timing         |
+| mitigations         | Section VIII-E defenses                      |
+| ablations           | DESIGN.md design-choice ablations            |
+| detection_roc       | extension: covert-channel detection          |
+| capacity_analysis   | extension: information-theoretic capacity    |
+"""
+
+# Drivers are imported lazily (``python -m`` would otherwise warn about
+# the module being pre-imported through the package).
+__all__ = [
+    "ablations",
+    "capacity_analysis",
+    "common",
+    "detection_roc",
+    "fig2_latency_cdf",
+    "fig7_reception",
+    "fig8_bandwidth",
+    "fig9_noise",
+    "fig10_ecc",
+    "fig11_multibit",
+    "mitigations",
+    "sync_handshake",
+    "table1_scenarios",
+]

@@ -1,0 +1,68 @@
+"""Shared plumbing for the experiment drivers.
+
+Every driver exposes ``run(...) -> dict`` returning plain data (so the
+benchmark harness can assert on shapes) and a ``main()`` entry point
+that prints the paper-style table/figure as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.channel.config import TABLE_I, ProtocolParams, Scenario
+
+#: Bit rates swept in Figure 8 (Kbits/s).
+FIG8_RATES = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+
+#: Co-located kernel-build thread counts of Figure 9.
+FIG9_NOISE_LEVELS = (0, 1, 2, 4, 6, 8)
+
+#: Noise levels of Figure 10 (none / medium / high).  The paper uses 4
+#: and 8 kernel-build threads; our substrate's raw bit-error rate at
+#: those levels is far above the regime where the paper's
+#: detect-and-retransmit protocol operates (see EXPERIMENTS.md), so the
+#: driver's medium/high points use 2 and 4 threads.
+FIG10_NOISE = {"no-noise": 0, "medium": 2, "high": 4}
+
+
+def payload_bits(n: int, seed: int = 2018) -> list[int]:
+    """The pseudo-random bit pattern the trojan transmits (Figure 6).
+
+    The paper transmits a fixed 100-bit secret; we generate it from a
+    fixed seed so every experiment and test sees the same pattern.
+    """
+    rng = np.random.default_rng(seed)
+    return [int(b) for b in rng.integers(0, 2, n)]
+
+
+def default_params() -> ProtocolParams:
+    """Protocol knobs used by the reception experiments."""
+    return ProtocolParams()
+
+
+def scenario_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the --scenario option accepting Table I notation."""
+    parser.add_argument(
+        "--scenario",
+        choices=[s.name for s in TABLE_I] + ["all"],
+        default="all",
+        help="Table I scenario to run (default: all six)",
+    )
+
+
+def selected_scenarios(name: str) -> list[Scenario]:
+    """Resolve a --scenario argument into scenario objects."""
+    if name == "all":
+        return list(TABLE_I)
+    return [s for s in TABLE_I if s.name == name]
+
+
+def common_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every driver."""
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--bits", type=int, default=100,
+        help="payload length in bits (default matches the paper's 100)",
+    )

@@ -1,0 +1,75 @@
+"""Figure 8: raw-bit accuracy versus transmission rate.
+
+Sweeps the nominal bit rate from 100 Kbps to 1 Mbps per scenario by
+shrinking the sampling slot (the paper's knob: reducing Ts and the
+consecutive-caching counts).  The shape to reproduce: accuracy stays
+near 100% up to a knee, then rolls off; the two widest-band-gap
+scenarios — RExclc-LExclb and RExclc-LSharedb — stay accurate the
+longest (the paper cites 96% at 800 Kbps for RExclc-LSharedb).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import ascii_table
+from repro.channel.config import TABLE_I
+from repro.channel.session import ChannelSession, SessionConfig
+from repro.experiments.common import (
+    FIG8_RATES,
+    common_arguments,
+    default_params,
+    payload_bits,
+    scenario_argument,
+    selected_scenarios,
+)
+
+
+def run(
+    seed: int = 0,
+    bits: int = 100,
+    rates=FIG8_RATES,
+    scenarios=None,
+) -> dict:
+    """Accuracy at each rate per scenario."""
+    scenarios = scenarios if scenarios is not None else list(TABLE_I)
+    payload = payload_bits(bits)
+    base = default_params()
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for scenario in scenarios:
+        points = []
+        for rate in rates:
+            session = ChannelSession(SessionConfig(
+                scenario=scenario,
+                params=base.at_rate(rate),
+                seed=seed,
+            ))
+            result = session.transmit(payload)
+            points.append((float(rate), result.accuracy))
+        curves[scenario.name] = points
+    return {"curves": curves, "rates": list(rates)}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    common_arguments(parser)
+    scenario_argument(parser)
+    args = parser.parse_args(argv)
+
+    outcome = run(
+        seed=args.seed,
+        bits=args.bits,
+        scenarios=selected_scenarios(args.scenario),
+    )
+    headers = ["scenario"] + [f"{r}K" for r in outcome["rates"]]
+    rows = []
+    for name, points in outcome["curves"].items():
+        rows.append([name] + [f"{acc * 100:.0f}%" for _r, acc in points])
+    print(ascii_table(
+        headers, rows,
+        title="Figure 8: raw-bit accuracy vs transmission rate",
+    ))
+
+
+if __name__ == "__main__":
+    main()

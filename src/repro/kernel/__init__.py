@@ -1,0 +1,32 @@
+"""Simulated OS kernel: processes, paging, KSM, scheduling, workloads."""
+
+from repro.kernel.ksm import KsmDaemon, KsmStats
+from repro.kernel.paging import PageTableEntry, page_offset, vpn_of
+from repro.kernel.process import MMAP_BASE, Process
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.syscalls import COW_FAULT_CYCLES, Kernel
+from repro.kernel.workloads import (
+    KERNEL_BUILD_PAGES,
+    kernel_build_program,
+    pointer_chase_program,
+    spawn_kernel_build,
+    streaming_program,
+)
+
+__all__ = [
+    "COW_FAULT_CYCLES",
+    "KERNEL_BUILD_PAGES",
+    "Kernel",
+    "KsmDaemon",
+    "KsmStats",
+    "MMAP_BASE",
+    "PageTableEntry",
+    "Process",
+    "Scheduler",
+    "kernel_build_program",
+    "page_offset",
+    "pointer_chase_program",
+    "spawn_kernel_build",
+    "streaming_program",
+    "vpn_of",
+]

@@ -1,0 +1,44 @@
+"""Page-table entries and virtual-address arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.physical import PAGE_SIZE
+
+
+@dataclass
+class PageTableEntry:
+    """One virtual-page mapping.
+
+    Attributes
+    ----------
+    pfn:
+        Physical frame number backing the page.
+    writable:
+        Whether the *mapping* permits writes.  A merged (COW) page keeps
+        ``writable=True`` at the process level but ``cow=True`` forces a
+        fault-and-copy on the first write (the KSM unmerge of Section IV).
+    cow:
+        Copy-on-write: the frame may be shared with other processes.
+    mergeable:
+        The process has madvise()d this page as a KSM merge candidate.
+    merged:
+        KSM currently has this page merged into a shared frame.
+    """
+
+    pfn: int
+    writable: bool = True
+    cow: bool = False
+    mergeable: bool = False
+    merged: bool = False
+
+
+def vpn_of(vaddr: int) -> int:
+    """Virtual page number containing *vaddr*."""
+    return vaddr // PAGE_SIZE
+
+
+def page_offset(vaddr: int) -> int:
+    """Offset of *vaddr* within its page."""
+    return vaddr % PAGE_SIZE

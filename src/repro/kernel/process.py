@@ -1,0 +1,91 @@
+"""Simulated processes: address spaces over the physical frame pool."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidAddressError, PageFaultError
+from repro.kernel.paging import PageTableEntry, page_offset, vpn_of
+from repro.mem.physical import PAGE_SIZE, PhysicalMemory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    pass
+
+#: Base virtual address of the mmap region in every process.
+MMAP_BASE = 0x1000_0000
+
+
+class Process:
+    """One process: a pid, a start time and a private page table.
+
+    Processes are created through :meth:`repro.kernel.syscalls.Kernel.
+    create_process`; the start time matters because KSM scans address
+    spaces in process start order (Section IV).
+    """
+
+    def __init__(self, pid: int, name: str, phys: PhysicalMemory,
+                 start_time: float = 0.0):
+        self.pid = pid
+        self.name = name
+        self.start_time = start_time
+        self._phys = phys
+        self.page_table: dict[int, PageTableEntry] = {}
+        self._mmap_cursor = MMAP_BASE
+
+    def mmap(self, n_pages: int, writable: bool = True) -> int:
+        """Allocate *n_pages* anonymous zeroed pages; returns the base VA."""
+        if n_pages <= 0:
+            raise InvalidAddressError("n_pages must be positive")
+        base = self._mmap_cursor
+        for i in range(n_pages):
+            frame = self._phys.alloc()
+            self.page_table[vpn_of(base) + i] = PageTableEntry(
+                pfn=frame.pfn, writable=writable
+            )
+        self._mmap_cursor += n_pages * PAGE_SIZE
+        return base
+
+    def map_frame(self, pfn: int, writable: bool = False) -> int:
+        """Map an existing frame (shared library model); returns the VA.
+
+        The frame's refcount is incremented; the mapping defaults to
+        read-only, matching explicitly shared read-only pages.
+        """
+        self._phys.get_ref(pfn)
+        base = self._mmap_cursor
+        self.page_table[vpn_of(base)] = PageTableEntry(
+            pfn=pfn, writable=writable, cow=True
+        )
+        self._mmap_cursor += PAGE_SIZE
+        return base
+
+    def pte(self, vaddr: int) -> PageTableEntry:
+        """The page-table entry mapping *vaddr* (PageFaultError if none)."""
+        entry = self.page_table.get(vpn_of(vaddr))
+        if entry is None:
+            raise PageFaultError(vaddr, self.pid)
+        return entry
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual-to-physical translation for reads."""
+        entry = self.pte(vaddr)
+        return entry.pfn * PAGE_SIZE + page_offset(vaddr)
+
+    def write_bytes(self, vaddr: int, data: bytes) -> None:
+        """Setup helper: write page contents directly (no COW handling).
+
+        Used to populate pages before transmission starts; goes through
+        the physical memory so KSM sees the real contents.
+        """
+        self._phys.write(self.translate(vaddr), data)
+
+    def read_bytes(self, vaddr: int, length: int) -> bytes:
+        """Setup helper: read page contents directly."""
+        return self._phys.read(self.translate(vaddr), length)
+
+    def mapped_vpns(self) -> list[int]:
+        """All mapped virtual page numbers, ascending."""
+        return sorted(self.page_table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(pid={self.pid}, name={self.name!r}, pages={len(self.page_table)})"

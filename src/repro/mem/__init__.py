@@ -1,0 +1,67 @@
+"""Memory-system substrate: caches, coherence, latency, interconnect.
+
+Public surface:
+
+* :class:`~repro.mem.hierarchy.Machine` /
+  :class:`~repro.mem.hierarchy.MachineConfig` — the simulated machine.
+* :class:`~repro.mem.latency.LatencyProfile` /
+  :class:`~repro.mem.latency.NoiseModel` — the timing model.
+* :class:`~repro.mem.cacheline.CoherenceState` — MESI(+F/O) states.
+* :class:`~repro.mem.physical.PhysicalMemory` — page frames for the OS.
+* :func:`~repro.mem.invariants.check_machine` — protocol invariants.
+"""
+
+from repro.mem.cache import SetAssocCache
+from repro.mem.cacheline import (
+    LINE_SIZE,
+    CoherenceState,
+    LlcLine,
+    PrivateLine,
+    line_addr,
+)
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.mem.interconnect import Interconnect, Resource
+from repro.mem.invariants import check_line, check_machine
+from repro.mem.latency import (
+    CLOCK_HZ,
+    LatencyProfile,
+    NoiseModel,
+    ObfuscationPolicy,
+    cycles_to_seconds,
+    kbps,
+)
+from repro.mem.physical import (
+    PAGE_SIZE,
+    Frame,
+    PhysicalMemory,
+    content_digest,
+    page_pattern,
+)
+from repro.mem.protocols import make_policy
+
+__all__ = [
+    "CLOCK_HZ",
+    "CoherenceState",
+    "Frame",
+    "Interconnect",
+    "LINE_SIZE",
+    "LatencyProfile",
+    "LlcLine",
+    "Machine",
+    "MachineConfig",
+    "NoiseModel",
+    "ObfuscationPolicy",
+    "PAGE_SIZE",
+    "PhysicalMemory",
+    "PrivateLine",
+    "Resource",
+    "SetAssocCache",
+    "check_line",
+    "check_machine",
+    "content_digest",
+    "cycles_to_seconds",
+    "kbps",
+    "line_addr",
+    "make_policy",
+    "page_pattern",
+]

@@ -1,0 +1,110 @@
+"""Cache line records and coherence states.
+
+Private (per-core) caches hold :class:`PrivateLine` records with a MESI
+(optionally MESIF/MOESI) state.  The shared, inclusive LLC holds
+:class:`LlcLine` records which double as the directory: they carry the
+core-valid-bits vector and the "exclusive granted" flag that Section VI
+of the paper describes driving the E-vs-S service-path difference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+
+def line_addr(addr: int) -> int:
+    """Align *addr* down to its cache-line base address."""
+    return addr & ~(LINE_SIZE - 1)
+
+
+class CoherenceState(enum.Enum):
+    """Private-cache coherence states (MESI plus the F/O extensions)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+    FORWARD = "F"   # MESIF: designated forwarder among sharers
+    OWNED = "O"     # MOESI: dirty line shared with other caches
+
+    @property
+    def readable(self) -> bool:
+        """Whether a core holding this state may read without a request."""
+        return self is not CoherenceState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        """Whether a core holding this state may write without a request."""
+        return self is CoherenceState.MODIFIED
+
+    @property
+    def dirty(self) -> bool:
+        """Whether the copy may differ from the LLC/DRAM copy."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.OWNED)
+
+    @property
+    def sole_copy(self) -> bool:
+        """Whether the protocol guarantees no other private copy exists."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+
+@dataclass
+class PrivateLine:
+    """One line in a private (L1/L2) cache."""
+
+    addr: int
+    state: CoherenceState
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        self.addr = line_addr(self.addr)
+
+
+@dataclass
+class LlcLine:
+    """One line in the shared LLC, including its directory metadata.
+
+    Attributes
+    ----------
+    core_valid:
+        Global core ids whose private hierarchy currently holds the line
+        (the paper's core-valid-bits vector).
+    owner:
+        Core id that must service read misses for this line (a core
+        holding it in E/M, or O under MOESI); ``None`` when the LLC can
+        answer directly.  A non-None owner is what creates the E-state
+        latency band of Section VI.
+    forwarder:
+        MESIF only: the sharer designated to forward the line.
+    data_valid:
+        Whether the LLC actually holds the data (always True for an
+        inclusive LLC; False for tag-only directory entries in the
+        non-inclusive variant).
+    dirty:
+        LLC copy differs from DRAM (must be written back on eviction).
+    """
+
+    addr: int
+    value: int = 0
+    core_valid: set[int] = field(default_factory=set)
+    owner: int | None = None
+    forwarder: int | None = None
+    data_valid: bool = True
+    dirty: bool = False
+
+    def __post_init__(self) -> None:
+        self.addr = line_addr(self.addr)
+
+    @property
+    def sharer_count(self) -> int:
+        """Popcount of the core-valid-bits vector."""
+        return len(self.core_valid)
+
+    @property
+    def exclusive_granted(self) -> bool:
+        """True when a single core was granted E/M rights for the line."""
+        return self.owner is not None and len(self.core_valid) <= 1

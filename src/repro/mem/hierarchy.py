@@ -1,0 +1,431 @@
+"""The machine model: sockets, cores, caches and the access API.
+
+:class:`Machine` wires the per-socket coherence domains together and
+implements the three operations thread programs use — ``load``, ``store``
+and ``flush`` — returning both the access latency (base path latency +
+interconnect contention + jitter) and the service path, which maps
+one-to-one onto the paper's latency bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.mem.cache import SetAssocCache
+from repro.mem.cacheline import CoherenceState, LlcLine, line_addr
+from repro.mem.coherence import Core, SocketDomain
+from repro.mem.interconnect import Interconnect
+from repro.mem.latency import LatencyProfile, NoiseModel, ObfuscationPolicy
+from repro.mem.protocols import make_policy
+from repro.sim.events import AccessPath
+from repro.sim.rng import RngStreams
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Geometry and behaviour of the simulated machine.
+
+    Defaults model the paper's dual-socket Xeon X5650 (2 sockets x 6
+    cores, 32 KB L1, 256 KB L2, shared inclusive LLC).  The LLC is scaled
+    down from 12 MB to 2 MB per socket to keep simulations tractable;
+    only capacity-eviction *rates* under noise depend on this, and the
+    noise workload working-set is scaled with it (see DESIGN.md).
+    """
+
+    n_sockets: int = 2
+    cores_per_socket: int = 6
+    l1_sets: int = 64
+    l1_assoc: int = 8
+    l2_sets: int = 512
+    l2_assoc: int = 8
+    llc_sets: int = 2048
+    llc_assoc: int = 16
+    protocol: str = "mesi"
+    inclusive: bool = True
+    #: Section VIII-E mitigation: LLC is notified of E->M transitions and
+    #: can answer E-state read misses directly, merging the E and S bands.
+    llc_direct_e_response: bool = False
+    #: Section VIII-E discussion: on home-agent directory systems, an
+    #: LLC miss first consults the address's *home* socket directory, so
+    #: service latency additionally depends on whether the requester is
+    #: the home node — creating extra latency profiles an adversary can
+    #: exploit.  Homes are page-interleaved across sockets.
+    home_agent: bool = False
+    home_hop_cycles: float = 34.0
+    latency: LatencyProfile = field(default_factory=LatencyProfile)
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    #: Interconnect contention: window width, per-window no-delay
+    #: capacities and the added delay per excess access.
+    contention_window: float = 2_000.0
+    ring_capacity: float = 50.0
+    qpi_capacity: float = 35.0
+    mem_capacity: float = 38.0
+    delay_per_excess: float = 3.5
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ConfigError("need at least one socket")
+        if self.cores_per_socket < 1:
+            raise ConfigError("need at least one core per socket")
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count across sockets."""
+        return self.n_sockets * self.cores_per_socket
+
+    def with_updates(self, **changes) -> "MachineConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class Machine:
+    """A coherent multi-socket, multi-core machine.
+
+    Parameters
+    ----------
+    config:
+        Machine geometry and behaviour flags.
+    rng:
+        Deterministic RNG registry (jitter draws come from the
+        ``"machine.jitter"`` stream).
+    stats:
+        Optional shared statistics registry.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        rng: RngStreams | None = None,
+        stats: StatsRegistry | None = None,
+    ):
+        self.config = config if config is not None else MachineConfig()
+        self.rng = rng if rng is not None else RngStreams(0)
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.dram: dict[int, int] = {}
+        self.obfuscation: ObfuscationPolicy | None = None
+        self._jitter_rng = self.rng.get("machine.jitter")
+        self.interconnect = Interconnect(
+            self.config.n_sockets,
+            window=self.config.contention_window,
+            ring_capacity=self.config.ring_capacity,
+            qpi_capacity=self.config.qpi_capacity,
+            mem_capacity=self.config.mem_capacity,
+            delay_per_excess=self.config.delay_per_excess,
+        )
+        policy = make_policy(self.config.protocol)
+        self.cores: list[Core] = []
+        self.sockets: list[SocketDomain] = []
+        cfg = self.config
+        for sid in range(cfg.n_sockets):
+            socket_cores = []
+            for c in range(cfg.cores_per_socket):
+                core_id = sid * cfg.cores_per_socket + c
+                core = Core(
+                    core_id=core_id,
+                    socket_id=sid,
+                    l1=SetAssocCache(f"l1.{core_id}", cfg.l1_sets, cfg.l1_assoc),
+                    l2=SetAssocCache(f"l2.{core_id}", cfg.l2_sets, cfg.l2_assoc),
+                )
+                socket_cores.append(core)
+                self.cores.append(core)
+            domain = SocketDomain(
+                socket_id=sid,
+                cores=socket_cores,
+                data_array=SetAssocCache(f"llc.{sid}", cfg.llc_sets, cfg.llc_assoc),
+                policy=policy,
+                dram=self.dram,
+                inclusive=cfg.inclusive,
+            )
+            self.sockets.append(domain)
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+
+    def socket_of(self, core_id: int) -> SocketDomain:
+        """The socket domain that owns *core_id*."""
+        if core_id < 0 or core_id >= self.config.n_cores:
+            raise ConfigError(f"core {core_id} out of range")
+        return self.sockets[core_id // self.config.cores_per_socket]
+
+    def core(self, core_id: int) -> Core:
+        """The core object for a global core id."""
+        return self.cores[core_id]
+
+    # ------------------------------------------------------------------
+    # access API
+    # ------------------------------------------------------------------
+
+    def load(
+        self, core_id: int, paddr: int, now: float = 0.0
+    ) -> tuple[int, float, AccessPath]:
+        """Service a load; returns (value, latency_cycles, path)."""
+        base = line_addr(paddr)
+        home = self.socket_of(core_id)
+        core = home.core(core_id)
+        line, level = home.private_lookup(core, base)
+        profile = self.config.latency
+        if line is not None:
+            path = AccessPath.L1_HIT if level == "l1" else AccessPath.L2_HIT
+            latency = self._finish(core_id, profile.for_path(path), path)
+            self.stats.incr(f"machine.load.{path.value}")
+            return line.value, latency, path
+
+        contention = self.interconnect.ring_delay(home.socket_id, now)
+        home_hop = self._home_agent_hop(home.socket_id, base, now)
+        service = home.read(base, requester_id=core_id)
+        if service is not None:
+            path = (
+                AccessPath.LOCAL_EXCL
+                if service.band == "excl"
+                else AccessPath.LOCAL_SHARED
+            )
+            if path is AccessPath.LOCAL_EXCL:
+                # Owner-forwarded data crosses the ring a second time
+                # (LLC -> owner -> requester), so E-state services are
+                # twice as sensitive to ring congestion — the asymmetry
+                # the paper observes under kernel-build noise.
+                contention += self.interconnect.ring_delay(home.socket_id, now)
+            home.grant_to_local(service.entry, core, service.value)
+            latency = (self._band_latency(core_id, path) + home_hop
+                       + self._queueing(contention))
+            latency = self._finish(core_id, latency, path)
+            self.stats.incr(f"machine.load.{path.value}")
+            return service.value, latency, path
+
+        # Probe the other sockets over QPI before falling back to DRAM
+        # (Section VI-B).
+        for remote in self.sockets:
+            if remote.socket_id == home.socket_id:
+                continue
+            remote_service = remote.read(base, requester_id=None)
+            if remote_service is None:
+                continue
+            path = (
+                AccessPath.REMOTE_EXCL
+                if remote_service.band == "excl"
+                else AccessPath.REMOTE_SHARED
+            )
+            contention += self.interconnect.qpi_delay(now)
+            contention += self.interconnect.ring_delay(remote.socket_id, now)
+            if path is AccessPath.REMOTE_EXCL:
+                # Remote owner-forward: a second remote-ring crossing and
+                # a second QPI message leg.
+                contention += self.interconnect.ring_delay(remote.socket_id, now)
+                contention += self.interconnect.qpi_delay(now)
+            value = remote_service.value
+            # The line is now present in (at least) two sockets: install a
+            # shared copy locally; neither socket keeps exclusive rights.
+            entry = home.llc_fill(base, value)
+            entry.core_valid.add(core_id)
+            entry.owner = None
+            home.private_fill(core, base, CoherenceState.SHARED, value)
+            latency = (self._band_latency(core_id, path) + home_hop
+                       + self._queueing(contention))
+            latency = self._finish(core_id, latency, path)
+            self.stats.incr(f"machine.load.{path.value}")
+            return value, latency, path
+
+        # DRAM fill; requester gets the line in E state (sole copy).
+        value = self.dram.get(base, 0)
+        contention += self.interconnect.mem_delay(home.socket_id, now)
+        entry = home.llc_fill(base, value)
+        home.grant_to_local(entry, core, value)
+        path = AccessPath.DRAM
+        latency = self._finish(
+            core_id,
+            profile.for_path(path) + home_hop + self._queueing(contention),
+            path,
+        )
+        self.stats.incr("machine.load.dram")
+        return value, latency, path
+
+    def _queueing(self, mean_delay: float) -> float:
+        """Turn a mean queuing delay into a bursty random draw.
+
+        Interconnect queues are bursty: the same average occupancy
+        produces mostly-small delays with a tail, which is what pushes
+        latency samples out of their calibrated bands under co-located
+        noise (Figure 9).  A gamma(2) draw keeps the mean while thinning
+        the tail at light load (an M/M/1 queue seen through a two-hop
+        path), so one background thread does not already saturate the
+        error rate.
+        """
+        if mean_delay <= 0:
+            return 0.0
+        return float(self._jitter_rng.gamma(2.0, mean_delay / 2.0))
+
+    def store(
+        self, core_id: int, paddr: int, value: int, now: float = 0.0
+    ) -> tuple[float, AccessPath]:
+        """Service a store (read-for-ownership); returns (latency, path)."""
+        base = line_addr(paddr)
+        home = self.socket_of(core_id)
+        core = home.core(core_id)
+        profile = self.config.latency
+        line, _level = home.private_lookup(core, base)
+        if line is not None and line.state.writable:
+            line.value = value
+            latency = self._finish(core_id, profile.l1_hit, AccessPath.L1_HIT)
+            self.stats.incr("machine.store.hit_m")
+            return latency, AccessPath.L1_HIT
+
+        # Gather the latest value and where it came from, invalidating
+        # every other copy in the system.
+        latest, source_path = self._gather_for_ownership(core_id, base, now)
+        if line is not None and line.state.readable:
+            # Upgrade in place (e.g. E -> M, S -> M after invalidations).
+            latest = line.value
+        entry = home.llc_fill(base, latest)
+        entry.core_valid = {core_id}
+        entry.owner = core_id
+        entry.forwarder = None
+        entry.dirty = True
+        home.private_fill(core, base, CoherenceState.MODIFIED, value)
+        entry.value = value
+        latency = profile.for_path(source_path) + profile.store_upgrade
+        latency = self._finish(core_id, latency, AccessPath.UNCACHED)
+        self.stats.incr("machine.store.rfo")
+        return latency, source_path
+
+    def _gather_for_ownership(
+        self, core_id: int, base: int, now: float
+    ) -> tuple[int, AccessPath]:
+        home = self.socket_of(core_id)
+        latest: int | None = None
+        source = AccessPath.DRAM
+        self.interconnect.ring_delay(home.socket_id, now)
+        for domain in self.sockets:
+            entry = domain.directory.get(base)
+            if entry is None:
+                continue
+            is_home = domain.socket_id == home.socket_id
+            if entry.owner is not None and entry.owner != core_id:
+                owner_core = domain.core(entry.owner)
+                owner_line = domain.private_line(owner_core, base)
+                if owner_line is not None:
+                    latest = owner_line.value
+                source = (
+                    AccessPath.LOCAL_EXCL if is_home else AccessPath.REMOTE_EXCL
+                )
+            elif latest is None and entry.data_valid:
+                latest = entry.value
+                if source is AccessPath.DRAM:
+                    source = (
+                        AccessPath.LOCAL_SHARED
+                        if is_home
+                        else AccessPath.REMOTE_SHARED
+                    )
+            for other_id in list(entry.core_valid):
+                if other_id == core_id:
+                    continue
+                other = domain.core(other_id)
+                invalidated = domain.private_invalidate(other, base)
+                if invalidated is not None and invalidated.state.dirty:
+                    latest = invalidated.value
+            if not is_home:
+                domain.directory.pop(base, None)
+                domain.data_array.remove(base)
+                self.interconnect.qpi_delay(now)
+        if latest is None:
+            latest = self.dram.get(base, 0)
+            self.interconnect.mem_delay(home.socket_id, now)
+        return latest, source
+
+    def flush(self, core_id: int, paddr: int, now: float = 0.0) -> float:
+        """clflush: drop the line from every cache in every socket."""
+        base = line_addr(paddr)
+        profile = self.config.latency
+        latest: int | None = None
+        dirty = False
+        for domain in self.sockets:
+            value, was_dirty = domain.invalidate_line(base)
+            if value is not None and (latest is None or was_dirty):
+                latest = value
+            dirty = dirty or was_dirty
+        latency = profile.flush
+        if dirty and latest is not None:
+            self.dram[base] = latest
+            latency += profile.flush_writeback
+            self.interconnect.mem_delay(self.socket_of(core_id).socket_id, now)
+        self.stats.incr("machine.flush")
+        return self._finish(core_id, latency, AccessPath.UNCACHED)
+
+    # ------------------------------------------------------------------
+    # latency assembly
+    # ------------------------------------------------------------------
+
+    def _home_agent_hop(self, requester_socket: int, base: int, now: float) -> float:
+        """Extra hop to the address's home directory (home-agent mode).
+
+        Charged on every LLC-miss transaction whose requester is not the
+        line's home node; page-interleaved homes mean the same (location,
+        state) pair splits into home-local and home-remote sub-bands.
+        """
+        if not self.config.home_agent or self.config.n_sockets < 2:
+            return 0.0
+        home_socket = (base // 4096) % self.config.n_sockets
+        if home_socket == requester_socket:
+            return 0.0
+        self.interconnect.qpi_delay(now)
+        return self.config.home_hop_cycles
+
+    def _band_latency(self, core_id: int, path: AccessPath) -> float:
+        profile = self.config.latency
+        if (
+            self.config.llc_direct_e_response
+            and path in (AccessPath.LOCAL_EXCL, AccessPath.REMOTE_EXCL)
+        ):
+            # Mitigated hardware: the LLC answers E-state reads itself, so
+            # the E band collapses onto the S band (Section VIII-E).
+            merged = {
+                AccessPath.LOCAL_EXCL: profile.local_shared,
+                AccessPath.REMOTE_EXCL: profile.remote_shared,
+            }
+            return merged[path]
+        return profile.for_path(path)
+
+    def _finish(self, core_id: int, base_latency: float, path: AccessPath) -> float:
+        if (
+            self.obfuscation is not None
+            and self.obfuscation.applies_to(core_id)
+            and path.is_coherence_band
+        ):
+            return self.obfuscation.obfuscate(self._jitter_rng)
+        return self.config.noise.sample(base_latency, self._jitter_rng)
+
+    # ------------------------------------------------------------------
+    # introspection (tests / experiments)
+    # ------------------------------------------------------------------
+
+    def private_state(self, core_id: int, paddr: int) -> CoherenceState:
+        """Coherence state of the line in a core's private caches."""
+        domain = self.socket_of(core_id)
+        line = domain.private_line(domain.core(core_id), paddr)
+        return CoherenceState.INVALID if line is None else line.state
+
+    def llc_entry(self, socket_id: int, paddr: int) -> LlcLine | None:
+        """Directory entry for the line in a socket (None if absent)."""
+        return self.sockets[socket_id].directory.get(line_addr(paddr))
+
+    def global_coherence_state(self, paddr: int) -> CoherenceState:
+        """The strongest private state any core holds for the line."""
+        order = [
+            CoherenceState.MODIFIED,
+            CoherenceState.OWNED,
+            CoherenceState.EXCLUSIVE,
+            CoherenceState.FORWARD,
+            CoherenceState.SHARED,
+        ]
+        states = set()
+        for domain in self.sockets:
+            for core in domain.cores:
+                line = domain.private_line(core, paddr)
+                if line is not None:
+                    states.add(line.state)
+        for state in order:
+            if state in states:
+                return state
+        return CoherenceState.INVALID

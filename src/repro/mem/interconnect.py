@@ -1,0 +1,135 @@
+"""Interconnect contention model (on-chip ring, QPI link, memory bus).
+
+Every memory operation registers traffic on the resources its service
+path crosses; a sliding-window occupancy count converts concurrent
+traffic into queuing delay.  This is what makes co-located noise
+workloads (Figure 9) degrade the covert channel: they both evict the
+covert line *and* inflate latency variance through these resources.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+
+
+class Resource:
+    """One contended resource with a sliding-window M/M/1 queuing model.
+
+    The mean queuing delay grows as ``k * rho / (1 - rho)`` where the
+    utilization ``rho`` is the traffic inside the window divided by the
+    resource's saturation throughput — near-zero when lightly loaded,
+    steeply superlinear as the resource saturates, the way real
+    ring/memory-controller queues behave under co-located noise.
+
+    Parameters
+    ----------
+    name:
+        Resource label (e.g. ``"ring0"``, ``"qpi"``).
+    window:
+        Width in cycles of the occupancy window.
+    saturation:
+        Accesses per window at which the resource saturates.
+    service_cycles:
+        The ``k`` factor: delay scale in cycles.
+    """
+
+    #: Utilization is clamped here so delays stay finite past saturation.
+    RHO_CAP = 0.96
+
+    def __init__(
+        self,
+        name: str,
+        window: float = 2_000.0,
+        saturation: float = 110.0,
+        service_cycles: float = 2.0,
+    ):
+        if window <= 0 or saturation <= 0 or service_cycles < 0:
+            raise ConfigError(f"invalid contention parameters for {name}")
+        self.name = name
+        self.window = window
+        self.saturation = saturation
+        self.service_cycles = service_cycles
+        self._events: deque[tuple[float, float]] = deque()
+        self.total_traffic = 0.0
+
+    def register(self, time: float, weight: float = 1.0) -> float:
+        """Record *weight* units of traffic at *time*.
+
+        Returns the *mean* queuing delay at the current utilization; the
+        machine turns it into a bursty draw.  Events may arrive mildly
+        out of time order (a batched burst registers accesses at future
+        instants before other threads catch up), so the load is computed
+        over events actually inside ``(time - window, time]``.
+        """
+        cutoff = time - self.window
+        events = self._events
+        while events and events[0][0] < cutoff:
+            events.popleft()
+        load = sum(w for t, w in events if cutoff <= t <= time)
+        events.append((time, weight))
+        self.total_traffic += weight
+        rho = min(load / self.saturation, self.RHO_CAP)
+        return self.service_cycles * rho / (1.0 - rho)
+
+    def current_load(self, time: float) -> float:
+        """Traffic units inside the window ending at *time*."""
+        cutoff = time - self.window
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()
+        return sum(w for t, w in self._events if cutoff <= t <= time)
+
+    def reset(self) -> None:
+        """Forget all recorded traffic (used between measurement phases)."""
+        self._events.clear()
+
+
+class Interconnect:
+    """The set of contended resources in a machine.
+
+    One on-chip ring per socket, one inter-socket link (QPI), and one
+    memory controller per socket.
+    """
+
+    def __init__(
+        self,
+        n_sockets: int,
+        window: float = 2_000.0,
+        ring_capacity: float = 50.0,
+        qpi_capacity: float = 35.0,
+        mem_capacity: float = 38.0,
+        delay_per_excess: float = 3.5,
+    ):
+        if n_sockets <= 0:
+            raise ConfigError("n_sockets must be positive")
+        self.rings = [
+            Resource(f"ring{s}", window, ring_capacity, delay_per_excess)
+            for s in range(n_sockets)
+        ]
+        self.qpi = Resource("qpi", window, qpi_capacity, delay_per_excess)
+        self.mems = [
+            Resource(f"mem{s}", window, mem_capacity, delay_per_excess * 1.5)
+            for s in range(n_sockets)
+        ]
+
+    def ring_delay(self, socket_id: int, time: float, weight: float = 1.0) -> float:
+        """Register traffic on a socket's ring; return queuing delay."""
+        return self.rings[socket_id].register(time, weight)
+
+    def qpi_delay(self, time: float, weight: float = 1.0) -> float:
+        """Register traffic on the inter-socket link; return delay."""
+        return self.qpi.register(time, weight)
+
+    def mem_delay(self, socket_id: int, time: float, weight: float = 1.0) -> float:
+        """Register traffic on a socket's memory controller."""
+        return self.mems[socket_id].register(time, weight)
+
+    def reset(self) -> None:
+        """Clear every resource's traffic window.
+
+        Needed when the measurement clock restarts (e.g. after a
+        calibration pass that used its own local time base).
+        """
+        for resource in (*self.rings, self.qpi, *self.mems):
+            resource.reset()

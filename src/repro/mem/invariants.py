@@ -1,0 +1,155 @@
+"""Coherence-invariant checking used by tests and property-based fuzzing.
+
+:func:`check_machine` walks every cache in a :class:`Machine` and raises
+:class:`~repro.errors.CoherenceError` when any protocol invariant is
+violated.  It is intentionally exhaustive and slow — call it from tests,
+not from hot paths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import CoherenceError
+from repro.mem.cacheline import CoherenceState, line_addr
+from repro.mem.hierarchy import Machine
+
+
+def _private_holders(machine: Machine) -> dict[int, list[tuple[int, CoherenceState]]]:
+    """Map line addr -> [(core_id, state)] over all private caches."""
+    holders: dict[int, list[tuple[int, CoherenceState]]] = defaultdict(list)
+    for domain in machine.sockets:
+        for core in domain.cores:
+            seen: set[int] = set()
+            for cache in (core.l1, core.l2):
+                for line in cache.lines():
+                    if line.addr in seen:
+                        continue
+                    seen.add(line.addr)
+                    holders[line.addr].append((core.core_id, line.state))
+    return holders
+
+
+def check_machine(machine: Machine) -> None:
+    """Verify every coherence invariant; raise CoherenceError on breach.
+
+    Checked invariants:
+
+    * **SWMR**: at most one core holds a line in M or E, and if one does,
+      no other core holds it at all (single-writer / multiple-reader).
+    * **MOESI-O**: at most one O holder; co-holders must be in S.
+    * **L1/L2 inclusion**: every L1-resident line is L2-resident.
+    * **Directory precision**: a socket's core-valid bits equal the set of
+      its cores privately holding the line, and ``owner`` points at a core
+      actually holding a forwardable (E/M/O) copy.
+    * **LLC inclusion** (inclusive mode): a private copy implies a
+      data-valid LLC entry in the same socket.
+    * **Value coherence**: all clean private copies of a line agree with
+      the LLC copy.
+    """
+    holders = _private_holders(machine)
+
+    for addr, entries in holders.items():
+        states = [state for _core, state in entries]
+        strong = [s for s in states if s.sole_copy]
+        if strong and len(entries) > 1:
+            raise CoherenceError(
+                f"line {addr:#x}: {strong[0].value} copy coexists with "
+                f"{len(entries) - 1} other private copies"
+            )
+        if len(strong) > 1:
+            raise CoherenceError(f"line {addr:#x}: multiple M/E copies")
+        owned = [s for s in states if s is CoherenceState.OWNED]
+        if len(owned) > 1:
+            raise CoherenceError(f"line {addr:#x}: multiple O copies")
+        if owned:
+            others = [s for s in states if s is not CoherenceState.OWNED]
+            bad = [s for s in others if s not in (CoherenceState.SHARED,
+                                                  CoherenceState.FORWARD)]
+            if bad:
+                raise CoherenceError(
+                    f"line {addr:#x}: O coexists with {bad[0].value}"
+                )
+
+    for domain in machine.sockets:
+        for core in domain.cores:
+            for line in core.l1.lines():
+                if core.l2.lookup(line.addr, touch=False) is None:
+                    raise CoherenceError(
+                        f"core {core.core_id}: line {line.addr:#x} in L1 "
+                        "but not in L2 (inclusion violated)"
+                    )
+
+        for addr, entry in domain.directory.items():
+            actual = set()
+            for core in domain.cores:
+                if domain.private_line(core, addr) is not None:
+                    actual.add(core.core_id)
+            if entry.core_valid != actual:
+                raise CoherenceError(
+                    f"socket {domain.socket_id} line {addr:#x}: core-valid "
+                    f"bits {sorted(entry.core_valid)} != actual holders "
+                    f"{sorted(actual)}"
+                )
+            if entry.owner is not None:
+                if entry.owner not in actual:
+                    raise CoherenceError(
+                        f"socket {domain.socket_id} line {addr:#x}: owner "
+                        f"{entry.owner} holds no private copy"
+                    )
+                owner_core = domain.core(entry.owner)
+                owner_line = domain.private_line(owner_core, addr)
+                if owner_line.state in (CoherenceState.SHARED,
+                                        CoherenceState.INVALID):
+                    raise CoherenceError(
+                        f"socket {domain.socket_id} line {addr:#x}: owner "
+                        f"holds non-forwardable state {owner_line.state.value}"
+                    )
+
+        if domain.inclusive:
+            for core in domain.cores:
+                seen = set()
+                for cache in (core.l1, core.l2):
+                    for line in cache.lines():
+                        seen.add(line.addr)
+                for addr in seen:
+                    entry = domain.directory.get(addr)
+                    if entry is None or not entry.data_valid:
+                        raise CoherenceError(
+                            f"socket {domain.socket_id} core {core.core_id}: "
+                            f"private copy of {addr:#x} without an "
+                            "LLC-resident entry (inclusion violated)"
+                        )
+
+        # Value coherence: clean private copies agree with the LLC copy.
+        for addr, entry in domain.directory.items():
+            if not entry.data_valid:
+                continue
+            for core in domain.cores:
+                line = domain.private_line(core, addr)
+                if line is None or line.state.dirty:
+                    continue
+                if entry.owner is not None:
+                    # LLC copy may be stale while an owner exists.
+                    continue
+                if line.value != entry.value:
+                    raise CoherenceError(
+                        f"line {addr:#x}: clean private value {line.value} "
+                        f"!= LLC value {entry.value}"
+                    )
+
+
+def check_line(machine: Machine, paddr: int) -> None:
+    """Check the invariants relevant to one line (cheaper than full walk)."""
+    base = line_addr(paddr)
+    holders: list[tuple[int, CoherenceState]] = []
+    for domain in machine.sockets:
+        for core in domain.cores:
+            line = domain.private_line(core, base)
+            if line is not None:
+                holders.append((core.core_id, line.state))
+    strong = [s for _c, s in holders if s.sole_copy]
+    if strong and len(holders) > 1:
+        raise CoherenceError(
+            f"line {base:#x}: sole-copy state with {len(holders)} holders"
+        )

@@ -1,0 +1,22 @@
+"""Defenses against coherence-state covert channels (Section VIII-E)."""
+
+from repro.mitigation.hardware import attach_obfuscator, hardened_machine_config
+from repro.mitigation.ksm_policy import (
+    KsmTimeoutPolicy,
+    deploy_ksm_timeout,
+    ksm_timeout_program,
+)
+from repro.mitigation.noise_injector import (
+    deploy_noise_injector,
+    noise_injector_program,
+)
+
+__all__ = [
+    "KsmTimeoutPolicy",
+    "attach_obfuscator",
+    "deploy_ksm_timeout",
+    "deploy_noise_injector",
+    "hardened_machine_config",
+    "ksm_timeout_program",
+    "noise_injector_program",
+]

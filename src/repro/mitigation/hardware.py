@@ -1,0 +1,47 @@
+"""Mitigations 3 and 4 (Section VIII-E): hardware-level changes.
+
+* **LLC direct E-response**: the LLC is notified of E->M transitions, so
+  it can answer reads to E-state lines itself; E- and S-band latencies
+  become identical and the channel's signal disappears.  This is a
+  :class:`~repro.mem.hierarchy.MachineConfig` flag; the helpers here
+  express the experiment.
+* **Timing obfuscation**: for suspicious cores, coherence-band load
+  latencies are replaced with draws indistinguishable across
+  local/remote and E/S, implemented by
+  :class:`~repro.mem.latency.ObfuscationPolicy`.
+"""
+
+from __future__ import annotations
+
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.mem.latency import ObfuscationPolicy
+
+
+def hardened_machine_config(
+    base: MachineConfig | None = None,
+) -> MachineConfig:
+    """A machine config with the LLC-direct-E-response fix enabled."""
+    base = base if base is not None else MachineConfig()
+    return base.with_updates(llc_direct_e_response=True)
+
+
+def attach_obfuscator(
+    machine: Machine,
+    suspicious_cores: set[int],
+    lo: float | None = None,
+    hi: float | None = None,
+) -> ObfuscationPolicy:
+    """Enable timing obfuscation for *suspicious_cores* on *machine*.
+
+    The default obfuscation range spans the full coherence-band spread
+    of the machine's latency profile, so a timed load tells the observer
+    nothing about location or state.
+    """
+    profile = machine.config.latency
+    policy = ObfuscationPolicy(
+        suspicious_cores=set(suspicious_cores),
+        lo=lo if lo is not None else profile.local_shared - 10.0,
+        hi=hi if hi is not None else profile.remote_excl + 20.0,
+    )
+    machine.obfuscation = policy
+    return policy

@@ -1,0 +1,89 @@
+"""Mitigation 2 (Section VIII-E): KSM timeout on suspicious pages.
+
+The OS watches flush activity (clflush generates visible coherence
+traffic); when the flush rate spikes above a threshold, merged pages are
+forcibly un-merged, tearing the shared physical page out from under the
+trojan/spy pair mid-transmission.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+
+from repro.kernel.ksm import KsmDaemon
+from repro.kernel.syscalls import Kernel
+from repro.sim.thread import Cpu, SimThread
+
+
+@dataclass
+class KsmTimeoutPolicy:
+    """Un-merge shared pages when flush activity looks like an attack.
+
+    Attributes
+    ----------
+    check_interval:
+        Cycles between policy evaluations.
+    flush_rate_threshold:
+        Flushes per million cycles above which sharing is deemed
+        suspicious.  Benign workloads flush rarely; a covert channel
+        flushes once per sampling slot (hundreds of thousands per
+        second).
+    """
+
+    check_interval: float = 200_000.0
+    flush_rate_threshold: float = 50.0
+    triggered: bool = False
+    unmerged_pages: int = 0
+
+    def evaluate(self, kernel: Kernel, flushes_delta: int) -> int:
+        """Apply the policy once; returns pages un-merged this round."""
+        rate_per_mcycle = flushes_delta / self.check_interval * 1e6
+        if rate_per_mcycle < self.flush_rate_threshold:
+            return 0
+        self.triggered = True
+        broken = 0
+        ksm: KsmDaemon = kernel.ksm
+        for record in list(ksm.shared_frames()):
+            for pid, vpn in list(record.mappers):
+                process = next(
+                    (p for p in kernel.processes if p.pid == pid), None
+                )
+                if process is None:
+                    continue
+                pte = process.page_table.get(vpn)
+                if pte is None or not pte.merged:
+                    continue
+                old_pfn = pte.pfn
+                ksm.unmerge(process, vpn)
+                kernel._purge_frame_from_caches(old_pfn)
+                broken += 1
+        self.unmerged_pages += broken
+        return broken
+
+
+def ksm_timeout_program(
+    kernel: Kernel, policy: KsmTimeoutPolicy
+) -> Callable[[Cpu], Generator]:
+    """Kernel-thread body evaluating the policy periodically."""
+
+    def program(cpu: Cpu) -> Generator:
+        last_flushes = kernel.stats.counter("machine.flush")
+        while True:
+            yield from cpu.delay(policy.check_interval)
+            flushes = kernel.stats.counter("machine.flush")
+            policy.evaluate(kernel, flushes - last_flushes)
+            last_flushes = flushes
+
+    return program
+
+
+def deploy_ksm_timeout(
+    kernel: Kernel, policy: KsmTimeoutPolicy | None = None
+) -> tuple[SimThread, KsmTimeoutPolicy]:
+    """Start the watchdog; returns (thread, policy) for inspection."""
+    policy = policy if policy is not None else KsmTimeoutPolicy()
+    thread = kernel.spawn_kernel_thread(
+        "ksm-timeout", ksm_timeout_program(kernel, policy), daemon=True
+    )
+    return thread, policy

@@ -1,0 +1,58 @@
+"""Mitigation 1 (Section VIII-E): targeted noise on shared pages.
+
+A defender-controlled monitor thread watches shared memory pages and
+issues additional loads to them.  Every injected load adds the monitor
+as a sharer, converting E-state blocks to S and destroying the state
+distinction the trojan is modulating — the spy's timing values collapse
+into a single band.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.kernel.syscalls import Kernel
+from repro.mem.cacheline import LINE_SIZE
+from repro.sim.thread import Cpu, SimThread
+
+
+def noise_injector_program(
+    paddr: int,
+    n_lines: int = 1,
+    period: float = 400.0,
+) -> Callable[[Cpu], Generator]:
+    """A monitor that re-loads the watched physical lines every *period*.
+
+    Runs in kernel context (physical addressing) so it can target any
+    shared page regardless of which processes map it.
+    """
+
+    def program(cpu: Cpu) -> Generator:
+        while True:
+            for i in range(n_lines):
+                yield from cpu.load(paddr + i * LINE_SIZE)
+            yield from cpu.delay(period)
+
+    return program
+
+
+def deploy_noise_injector(
+    kernel: Kernel,
+    paddr: int,
+    core_id: int,
+    n_lines: int = 1,
+    period: float = 400.0,
+) -> SimThread:
+    """Start the monitor thread watching the page at *paddr*.
+
+    Returns the daemon thread.  ``period`` should be shorter than the
+    suspected channel's sampling slot for full disruption; even a lazy
+    monitor (a few injected loads per slot) degrades the channel badly
+    because a single extra sharer flips E to S.
+    """
+    return kernel.spawn_kernel_thread(
+        f"noise-injector@{paddr:#x}",
+        noise_injector_program(paddr, n_lines=n_lines, period=period),
+        core_id=core_id,
+        daemon=True,
+    )

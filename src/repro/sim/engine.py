@@ -1,0 +1,175 @@
+"""The discrete-event engine: time-ordered interleaving of threads.
+
+The engine keeps every thread's local cycle clock and always runs the
+thread with the smallest clock next.  All operations on shared state
+(the cache hierarchy) are therefore applied in global time order, which
+makes cross-thread timing interference — the substance of the covert
+channel — causally consistent without a full cycle-accurate pipeline.
+
+Threads never block on each other at the Python level; they communicate
+only through the simulated memory system and through timing, exactly as
+the paper's trojan and spy do.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Op
+from repro.sim.stats import StatsRegistry
+from repro.sim.thread import Cpu, Executor, SimThread
+
+
+class Simulator:
+    """Owns the thread set and drives the time-ordered event loop.
+
+    Parameters
+    ----------
+    stats:
+        Optional shared statistics registry; one is created if omitted.
+    """
+
+    def __init__(self, stats: StatsRegistry | None = None):
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.threads: list[SimThread] = []
+        self._heap: list[tuple[float, int, SimThread]] = []
+        self._seq = itertools.count()
+        self._next_tid = itertools.count()
+        self.global_clock: float = 0.0
+
+    def spawn(
+        self,
+        name: str,
+        program: Callable[[Cpu], Generator],
+        core_id: int,
+        executor: Executor,
+        start_time: float | None = None,
+        daemon: bool = False,
+        process: Any = None,
+    ) -> SimThread:
+        """Create a thread and schedule its first step.
+
+        Parameters
+        ----------
+        name:
+            Human-readable label for traces and errors.
+        program:
+            Generator function taking a :class:`~repro.sim.thread.Cpu`.
+        core_id:
+            Global core index the thread is pinned to.
+        executor:
+            Callable executing ops for this thread (normally supplied by
+            the kernel, which closes over the process's address space).
+        start_time:
+            Cycle at which the thread becomes runnable; defaults to the
+            current global clock.
+        daemon:
+            Daemon threads do not keep :meth:`run` alive; they are killed
+            once every non-daemon thread has finished.
+        process:
+            Optional owning process object (used by the kernel layer).
+        """
+        thread = SimThread(
+            tid=next(self._next_tid),
+            name=name,
+            program=program,
+            core_id=core_id,
+            executor=executor,
+            process=process,
+        )
+        thread.daemon = daemon
+        thread.clock = self.global_clock if start_time is None else float(start_time)
+        self.threads.append(thread)
+        self._push(thread)
+        return thread
+
+    def _push(self, thread: SimThread) -> None:
+        heapq.heappush(self._heap, (thread.clock, next(self._seq), thread))
+
+    def _live_non_daemon(self) -> int:
+        return sum(
+            1
+            for t in self.threads
+            if not t.done and not getattr(t, "daemon", False)
+        )
+
+    def run(
+        self,
+        max_cycles: float | None = None,
+        max_events: int | None = 50_000_000,
+        stop_when: Callable[["Simulator"], bool] | None = None,
+        kill_daemons: bool = False,
+    ) -> None:
+        """Run until every non-daemon thread finishes.
+
+        Parameters
+        ----------
+        max_cycles:
+            Abort (raising :class:`SimulationError`) if the global clock
+            passes this value — a guard against runaway programs.
+        max_events:
+            Abort after this many executed ops.
+        stop_when:
+            Optional predicate checked after every event; return True to
+            stop early (e.g. when a decoder has seen enough samples).
+        kill_daemons:
+            Kill surviving daemon threads on return.  Leave False when
+            daemons (noise workloads, the KSM scanner) must persist
+            across multiple :meth:`run` calls on the same simulator.
+        """
+        events = 0
+        while self._heap:
+            if self._live_non_daemon() == 0:
+                break
+            clock, _seq, thread = heapq.heappop(self._heap)
+            if thread.done:
+                continue
+            if clock < thread.clock:
+                # Stale heap entry (thread was rescheduled); reinsert.
+                self._push(thread)
+                continue
+            op = thread.step()
+            if op is None:
+                continue
+            result = thread.executor(thread, op)
+            thread.complete(result)
+            if thread.clock > self.global_clock:
+                self.global_clock = thread.clock
+            self._push(thread)
+            events += 1
+            self.stats.incr("engine.events")
+            if max_events is not None and events >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} "
+                    f"(global clock {self.global_clock:.0f})"
+                )
+            if max_cycles is not None and self.global_clock > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}"
+                )
+            if stop_when is not None and stop_when(self):
+                break
+        else:
+            if self._live_non_daemon() > 0:
+                raise DeadlockError(
+                    "event heap empty but non-daemon threads remain READY"
+                )
+        if kill_daemons:
+            self.kill_daemons()
+
+    def kill_daemons(self) -> None:
+        """Kill every surviving daemon thread (final cleanup)."""
+        for thread in self.threads:
+            if getattr(thread, "daemon", False) and not thread.done:
+                thread.kill()
+
+    def thread_by_name(self, name: str) -> SimThread:
+        """Look up a thread by its (unique) name."""
+        for thread in self.threads:
+            if thread.name == name:
+                return thread
+        raise KeyError(name)

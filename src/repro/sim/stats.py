@@ -1,0 +1,98 @@
+"""Lightweight statistics collection for simulator components.
+
+Components register named counters and latency histograms on a shared
+:class:`StatsRegistry`.  The registry is intentionally simple: experiments
+read it after a run; nothing in the hot path allocates beyond appending to
+a list or incrementing an int.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Histogram:
+    """A latency sample collector with summary statistics."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        """Append one sample."""
+        self.samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def as_array(self) -> np.ndarray:
+        """Return the samples as a float array (empty array if no samples)."""
+        return np.asarray(self.samples, dtype=float)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (nan when empty)."""
+        arr = self.as_array()
+        return float(arr.mean()) if arr.size else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of the samples (nan when empty)."""
+        arr = self.as_array()
+        return float(np.percentile(arr, q)) if arr.size else float("nan")
+
+    def summary(self) -> dict[str, float]:
+        """Return count/mean/p5/p50/p95 in a plain dict."""
+        arr = self.as_array()
+        if not arr.size:
+            return {"count": 0, "mean": float("nan"), "p5": float("nan"),
+                    "p50": float("nan"), "p95": float("nan")}
+        return {
+            "count": int(arr.size),
+            "mean": float(arr.mean()),
+            "p5": float(np.percentile(arr, 5)),
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+        }
+
+
+class StatsRegistry:
+    """Shared registry of counters and histograms.
+
+    Counters are created implicitly on first increment; histograms on
+    first :meth:`histogram` access.  Names are free-form dotted paths,
+    e.g. ``"llc0.hits"`` or ``"spy.load_latency"``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram called *name*."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram(name)
+            self._histograms[name] = hist
+        return hist
+
+    def counters(self) -> dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counters)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """A copy of the histogram mapping (histograms are shared)."""
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        """Clear all counters and histograms."""
+        self._counters.clear()
+        self._histograms.clear()

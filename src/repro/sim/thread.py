@@ -1,0 +1,216 @@
+"""Simulated threads and the Cpu op API used by thread programs.
+
+A *thread program* is a generator function with the signature
+``def program(cpu: Cpu) -> Generator``.  It performs memory operations by
+delegating to the :class:`Cpu` helpers with ``yield from``::
+
+    def spy(cpu):
+        yield from cpu.flush(addr)
+        yield from cpu.delay(1000)
+        result = yield from cpu.load(addr)
+        print(result.latency)
+
+Each helper yields exactly one primitive op to the engine and returns the
+:class:`~repro.sim.events.OpResult`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.errors import ThreadProgramError
+from repro.sim.events import (
+    Burst,
+    Delay,
+    Fence,
+    Flush,
+    Load,
+    Op,
+    OpResult,
+    Rdtsc,
+    Store,
+)
+
+# An executor turns (thread, op) into an OpResult.  The kernel supplies
+# one that translates virtual addresses and drives the machine model.
+Executor = Callable[["SimThread", Op], OpResult]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    READY = "ready"
+    DONE = "done"
+    KILLED = "killed"
+    FAILED = "failed"
+
+
+class Cpu:
+    """Per-thread handle exposing the instruction set to thread programs.
+
+    All methods are generators meant to be invoked with ``yield from``.
+    """
+
+    def __init__(self, thread: "SimThread"):
+        self._thread = thread
+
+    @property
+    def thread(self) -> "SimThread":
+        """The thread this handle belongs to."""
+        return self._thread
+
+    @property
+    def core_id(self) -> int:
+        """Global core id the thread is pinned to."""
+        return self._thread.core_id
+
+    def load(self, vaddr: int) -> Generator[Op, OpResult, OpResult]:
+        """Issue a load; returns the OpResult (latency, value, path)."""
+        result = yield Load(vaddr)
+        return result
+
+    def store(self, vaddr: int, value: int = 0) -> Generator[Op, OpResult, OpResult]:
+        """Issue a store of *value* to the line holding *vaddr*."""
+        result = yield Store(vaddr, value)
+        return result
+
+    def flush(self, vaddr: int) -> Generator[Op, OpResult, OpResult]:
+        """clflush the line holding *vaddr* from all coherent caches."""
+        result = yield Flush(vaddr)
+        return result
+
+    def delay(self, cycles: float) -> Generator[Op, OpResult, OpResult]:
+        """Spin for *cycles* cycles."""
+        result = yield Delay(cycles)
+        return result
+
+    def rdtsc(self) -> Generator[Op, OpResult, float]:
+        """Return the thread's current cycle timestamp."""
+        result = yield Rdtsc()
+        return result.timestamp
+
+    def fence(self) -> Generator[Op, OpResult, OpResult]:
+        """Serialize (small fixed cost)."""
+        result = yield Fence()
+        return result
+
+    def timed_load(self, vaddr: int) -> Generator[Op, OpResult, OpResult]:
+        """A load bracketed by fences, as the paper's rdtsc-timed loads.
+
+        Returns the load's OpResult; its ``latency`` field is the timing
+        measurement the spy records.
+        """
+        yield Fence()
+        result = yield Load(vaddr)
+        yield Fence()
+        return result
+
+    def burst(
+        self,
+        vaddr: int,
+        count: int,
+        stride: int,
+        write_ratio: float = 0.0,
+        mlp: float = 1.0,
+    ) -> Generator[Op, OpResult, OpResult]:
+        """Issue *count* strided accesses as one batched event."""
+        result = yield Burst(vaddr, count, stride, write_ratio, mlp)
+        return result
+
+
+class SimThread:
+    """One schedulable thread inside the simulator.
+
+    Created via :meth:`repro.sim.engine.Simulator.spawn`; not constructed
+    directly by user code.
+    """
+
+    _VALID_OPS = (Load, Store, Flush, Delay, Rdtsc, Fence, Burst)
+
+    def __init__(
+        self,
+        tid: int,
+        name: str,
+        program: Callable[[Cpu], Generator],
+        core_id: int,
+        executor: Executor,
+        process: Any = None,
+    ):
+        self.tid = tid
+        self.name = name
+        self.core_id = core_id
+        self.executor = executor
+        self.process = process
+        self.clock: float = 0.0
+        self.state = ThreadState.READY
+        self.result: Any = None
+        self.failure: BaseException | None = None
+        self.ops_executed = 0
+        self.cpu = Cpu(self)
+        #: Optional callback fired exactly once when the thread leaves the
+        #: READY state (finished, killed or failed).  The kernel uses it
+        #: to release the scheduler slot.
+        self.on_exit: Callable[["SimThread"], None] | None = None
+        self._exit_fired = False
+        self._generator = program(self.cpu)
+        self._pending_result: OpResult | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the thread has finished, been killed, or failed."""
+        return self.state is not ThreadState.READY
+
+    def _fire_exit(self) -> None:
+        if not self._exit_fired:
+            self._exit_fired = True
+            if self.on_exit is not None:
+                self.on_exit(self)
+
+    def kill(self) -> None:
+        """Stop the thread; it will never be scheduled again."""
+        if self.state is ThreadState.READY:
+            self.state = ThreadState.KILLED
+            self._generator.close()
+            self._fire_exit()
+
+    def step(self) -> Op | None:
+        """Advance the program to its next op.
+
+        Returns the op to execute, or ``None`` if the program finished.
+        Called only by the engine.
+        """
+        try:
+            if self._pending_result is None:
+                op = next(self._generator)
+            else:
+                op = self._generator.send(self._pending_result)
+        except StopIteration as stop:
+            self.state = ThreadState.DONE
+            self.result = stop.value
+            self._fire_exit()
+            return None
+        except BaseException:
+            self.state = ThreadState.FAILED
+            self._fire_exit()
+            raise
+        if not isinstance(op, self._VALID_OPS):
+            self.state = ThreadState.FAILED
+            self._fire_exit()
+            raise ThreadProgramError(
+                f"thread {self.name!r} yielded {op!r}; expected a simulator op"
+            )
+        return op
+
+    def complete(self, result: OpResult) -> None:
+        """Record the result of the last op and advance the clock."""
+        self.clock = result.timestamp
+        self.ops_executed += 1
+        self._pending_result = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimThread(tid={self.tid}, name={self.name!r}, "
+            f"core={self.core_id}, clock={self.clock:.0f}, {self.state.value})"
+        )

@@ -1,0 +1,189 @@
+"""Tests for the analysis utilities (CDF, bands, capacity, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bands import discover_bands
+from repro.analysis.capacity import (
+    blahut_arimoto,
+    capacity_kbps,
+    confusion_matrix,
+    mutual_information,
+)
+from repro.analysis.cdf import band_separation, empirical_cdf, overlap_fraction
+from repro.analysis.reporting import (
+    ascii_cdf,
+    ascii_histogram,
+    ascii_table,
+    bitstring,
+    pct,
+)
+
+
+def test_empirical_cdf_basics():
+    cdf = empirical_cdf(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert cdf.at(2.0) == pytest.approx(0.5)
+    assert cdf.at(0.5) == 0.0
+    assert cdf.at(10.0) == 1.0
+    assert cdf.quantile(0.5) == 3.0
+
+
+def test_empirical_cdf_rejects_empty():
+    with pytest.raises(ValueError):
+        empirical_cdf(np.array([]))
+    with pytest.raises(ValueError):
+        empirical_cdf(np.array([1.0])).quantile(2.0)
+
+
+def test_band_separation_positive_for_distinct():
+    rng = np.random.default_rng(0)
+    a = rng.normal(100, 2, 500)
+    b = rng.normal(130, 2, 500)
+    assert band_separation(a, b) > 3.0
+
+
+def test_band_separation_negative_for_overlapping():
+    rng = np.random.default_rng(0)
+    a = rng.normal(100, 10, 500)
+    b = rng.normal(102, 10, 500)
+    assert band_separation(a, b) < 0.5
+
+
+def test_overlap_fraction():
+    a = np.array([1.0, 2.0, 3.0])
+    b = np.array([10.0, 11.0])
+    assert overlap_fraction(a, b) == 0.0
+    assert overlap_fraction(a, a) == 1.0
+
+
+def test_discover_bands_finds_clusters():
+    rng = np.random.default_rng(1)
+    samples = np.concatenate([
+        rng.normal(98, 1.5, 300),
+        rng.normal(124, 1.5, 300),
+        rng.normal(170, 1.5, 300),
+        rng.normal(232, 1.5, 300),
+    ])
+    result = discover_bands(samples)
+    assert result.count == 4
+    assert result.classify(98.0) == 0
+    assert result.classify(232.0) == 3
+    assert result.classify(400.0) is None
+
+
+def test_discover_bands_drops_outliers():
+    rng = np.random.default_rng(1)
+    samples = np.concatenate([
+        rng.normal(100, 1, 200),
+        np.array([500.0]),  # lone outlier
+    ])
+    result = discover_bands(samples)
+    assert result.count == 1
+
+
+def test_discover_bands_empty():
+    assert discover_bands(np.array([])).count == 0
+
+
+def test_confusion_matrix_rows_normalized():
+    mat = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], n_symbols=2)
+    assert np.allclose(mat.sum(axis=1), 1.0)
+    assert mat[1, 1] == 1.0
+    assert mat[0, 0] == 0.5
+
+
+def test_mutual_information_perfect_channel():
+    eye = np.eye(4)
+    assert mutual_information(eye) == pytest.approx(2.0)
+
+
+def test_mutual_information_useless_channel():
+    flat = np.full((2, 2), 0.5)
+    assert mutual_information(flat) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_blahut_arimoto_bsc():
+    # binary symmetric channel with p=0.1: C = 1 - H(0.1)
+    p = 0.1
+    channel = np.array([[1 - p, p], [p, 1 - p]])
+    capacity, dist = blahut_arimoto(channel)
+    h = -(p * np.log2(p) + (1 - p) * np.log2(1 - p))
+    assert capacity == pytest.approx(1 - h, abs=1e-4)
+    assert dist == pytest.approx([0.5, 0.5], abs=1e-3)
+
+
+def test_blahut_arimoto_perfect_quaternary():
+    capacity, _dist = blahut_arimoto(np.eye(4))
+    assert capacity == pytest.approx(2.0, abs=1e-6)
+
+
+def test_capacity_kbps():
+    rate = capacity_kbps(np.eye(2), symbols_per_second=1e6)
+    assert rate == pytest.approx(1000.0, abs=1.0)
+
+
+def test_ascii_table_renders():
+    text = ascii_table(("a", "bb"), [(1, 2), (33, 44)], title="T")
+    assert "T" in text and "33" in text and "|" in text
+
+
+def test_ascii_histogram_renders():
+    text = ascii_histogram([1.0, 1.1, 5.0], bins=4)
+    assert "#" in text
+    assert ascii_histogram([]) == "(no samples)"
+
+
+def test_ascii_cdf_renders():
+    text = ascii_cdf({"x": [1.0, 2.0, 3.0]}, points=3)
+    assert "quantile" in text and "x" in text
+
+
+def test_bitstring_groups():
+    assert bitstring([1, 0, 1, 1], group=2) == "10 11"
+
+
+def test_pct():
+    assert pct(0.123) == "12.3%"
+
+
+def test_trace_csv_roundtrip(tmp_path):
+    from repro.analysis.trace import (
+        ascii_timeline,
+        load_trace,
+        samples_from_csv,
+        samples_to_csv,
+        save_trace,
+    )
+    from repro.channel.decoder import Sample
+    from repro.sim.events import AccessPath
+
+    samples = [
+        Sample(timestamp=1000.0, latency=98.4, label="b",
+               path=AccessPath.LOCAL_SHARED),
+        Sample(timestamp=2200.0, latency=124.1, label="c",
+               path=AccessPath.LOCAL_EXCL),
+        Sample(timestamp=3400.0, latency=321.0, label="x", path=None),
+    ]
+    text = samples_to_csv(samples)
+    parsed = samples_from_csv(text)
+    assert [s.latency for s in parsed] == [98.4, 124.1, 321.0]
+    assert [s.label for s in parsed] == ["b", "c", "x"]
+    assert parsed[0].path == "local_shared"
+
+    path = tmp_path / "trace.csv"
+    save_trace(str(path), samples)
+    assert [s.timestamp for s in load_trace(str(path))] == [1000.0, 2200.0,
+                                                            3400.0]
+
+    timeline = ascii_timeline(samples)
+    assert timeline.count("\n") == 3
+    assert "*" in timeline and "o" in timeline and "." in timeline
+
+
+def test_ascii_timeline_clamps_out_of_range():
+    from repro.analysis.trace import ascii_timeline
+    from repro.channel.decoder import Sample
+
+    samples = [Sample(timestamp=0.0, latency=10_000.0, label="x")]
+    text = ascii_timeline(samples, max_rows=1)
+    assert "10000.0" in text

@@ -1,0 +1,117 @@
+"""Tests for latency-band calibration (Section V / Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.calibration import (
+    Band,
+    LatencyBands,
+    calibrate,
+    measure_dram,
+    measure_pair,
+)
+from repro.channel.config import ALL_PAIRS, LEXCL, LSHARED, REXCL, RSHARED
+from repro.errors import CalibrationError
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def calibrated(rng):
+    machine = Machine(MachineConfig(), rng)
+    return calibrate(machine, samples=300)
+
+
+def test_band_contains():
+    band = Band("x", 10.0, 20.0)
+    assert band.contains(10.0) and band.contains(20.0)
+    assert not band.contains(9.9)
+    assert band.center == 15.0
+
+
+def test_all_four_bands_calibrated(calibrated):
+    bands, raw = calibrated
+    assert set(bands.bands) == set(ALL_PAIRS)
+    assert bands.dram is not None
+    assert set(raw) == {"LShared", "LExcl", "RShared", "RExcl", "dram"}
+
+
+def test_band_medians_match_paper(calibrated):
+    _bands, raw = calibrated
+    assert np.median(raw["LShared"]) == pytest.approx(98, abs=4)
+    assert np.median(raw["LExcl"]) == pytest.approx(124, abs=4)
+    assert np.median(raw["RShared"]) == pytest.approx(170, abs=6)
+    assert np.median(raw["RExcl"]) == pytest.approx(232, abs=6)
+
+
+def test_bands_are_ordered_and_disjoint(calibrated):
+    bands, _raw = calibrated
+    ordered = [bands.band_for(p) for p in (LSHARED, LEXCL, RSHARED, REXCL)]
+    for a, b in zip(ordered[:-1], ordered[1:]):
+        assert a.hi < b.lo
+
+
+def test_classification(calibrated):
+    bands, _raw = calibrated
+    assert bands.classify(98.0) == LSHARED
+    assert bands.classify(124.0) == LEXCL
+    assert bands.classify(170.0) == RSHARED
+    assert bands.classify(232.0) == REXCL
+    assert bands.classify(320.0) == "dram"
+    assert bands.classify(1.0) is None
+
+
+def test_check_separation_passes_for_disjoint(calibrated):
+    bands, _raw = calibrated
+    bands.check_separation(LSHARED, LEXCL)  # no raise
+
+
+def test_check_separation_raises_on_overlap():
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 130),
+        LEXCL: Band("LExcl", 120, 140),
+    })
+    with pytest.raises(CalibrationError):
+        bands.check_separation(LSHARED, LEXCL)
+
+
+def test_overlapping_classify_prefers_narrower_band():
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 200),
+        LEXCL: Band("LExcl", 120, 130),
+    })
+    assert bands.classify(125.0) == LEXCL
+
+
+def test_measure_pair_returns_requested_samples(rng):
+    machine = Machine(MachineConfig(), rng)
+    data = measure_pair(machine, LEXCL, 0x40_0000, samples=50)
+    assert data.shape == (50,)
+    assert np.all(data > 0)
+
+
+def test_measure_dram_high_latency(rng):
+    machine = Machine(MachineConfig(), rng)
+    data = measure_dram(machine, 0x40_0000, samples=50)
+    assert np.median(data) > 250
+
+
+def test_single_socket_machine_skips_remote_pairs(rng):
+    machine = Machine(MachineConfig(n_sockets=1), rng)
+    bands, raw = calibrate(machine, samples=100)
+    assert LSHARED in bands.bands and LEXCL in bands.bands
+    assert RSHARED not in bands.bands and REXCL not in bands.bands
+
+
+def test_calibration_is_deterministic():
+    a = calibrate(Machine(MachineConfig(), RngStreams(5)), samples=100)
+    b = calibrate(Machine(MachineConfig(), RngStreams(5)), samples=100)
+    assert a[0].band_for(LEXCL).lo == b[0].band_for(LEXCL).lo
+    assert np.array_equal(a[1]["LExcl"], b[1]["LExcl"])
+
+
+def test_calibration_resets_interconnect(rng):
+    machine = Machine(MachineConfig(), rng)
+    calibrate(machine, samples=200)
+    for ring in machine.interconnect.rings:
+        assert ring.current_load(1e12) == 0.0

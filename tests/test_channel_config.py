@@ -1,0 +1,115 @@
+"""Tests for channel configuration: state pairs, Table I, params."""
+
+import pytest
+
+from repro.channel.config import (
+    ALL_PAIRS,
+    LEXCL,
+    LSHARED,
+    REXCL,
+    RSHARED,
+    TABLE_I,
+    LineState,
+    Location,
+    ProtocolParams,
+    Scenario,
+    scenario_by_name,
+)
+from repro.errors import ConfigError
+from repro.mem.latency import CLOCK_HZ
+from repro.sim.events import AccessPath
+
+
+def test_pair_notation():
+    assert LEXCL.notation == "LExcl"
+    assert RSHARED.notation == "RShared"
+
+
+def test_pair_threads_needed():
+    assert LEXCL.threads_needed == 1
+    assert LSHARED.threads_needed == 2
+
+
+def test_pair_expected_paths():
+    assert LSHARED.expected_path is AccessPath.LOCAL_SHARED
+    assert REXCL.expected_path is AccessPath.REMOTE_EXCL
+
+
+def test_all_pairs_unique():
+    assert len(set(ALL_PAIRS)) == 4
+
+
+def test_table_one_has_six_scenarios():
+    assert len(TABLE_I) == 6
+    assert len({s.name for s in TABLE_I}) == 6
+
+
+@pytest.mark.parametrize("name,total,local,remote", [
+    ("LExclc-LSharedb", 2, 2, 0),
+    ("RExclc-RSharedb", 2, 0, 2),
+    ("RExclc-LExclb", 2, 1, 1),
+    ("RExclc-LSharedb", 3, 2, 1),
+    ("RSharedc-LExclb", 3, 1, 2),
+    ("RSharedc-LSharedb", 4, 2, 2),
+])
+def test_table_one_thread_counts_match_paper(name, total, local, remote):
+    scenario = scenario_by_name(name)
+    assert scenario.total_threads == total
+    assert scenario.local_threads == local
+    assert scenario.remote_threads == remote
+
+
+def test_scenario_needs_remote_socket():
+    assert not scenario_by_name("LExclc-LSharedb").needs_remote_socket
+    assert scenario_by_name("RExclc-RSharedb").needs_remote_socket
+
+
+def test_scenario_rejects_identical_pairs():
+    with pytest.raises(ConfigError):
+        Scenario(csc=LEXCL, csb=LEXCL)
+
+
+def test_scenario_by_name_unknown():
+    with pytest.raises(ConfigError):
+        scenario_by_name("nope")
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        ProtocolParams(c1=2, c0=2)
+    with pytest.raises(ConfigError):
+        ProtocolParams(c0=0)
+    with pytest.raises(ConfigError):
+        ProtocolParams(slot_cycles=10.0, spy_overhead_cycles=20.0)
+
+
+def test_params_derived_values():
+    params = ProtocolParams(c1=5, c0=2, cb=3, slot_cycles=1000.0,
+                            spy_overhead_cycles=200.0)
+    assert params.spy_wait_cycles == 800.0
+    assert params.threshold == 3.5
+    assert params.avg_slots_per_bit == 6.5
+
+
+def test_nominal_rate_math():
+    params = ProtocolParams(slot_cycles=1000.0)
+    expected = CLOCK_HZ / (params.avg_slots_per_bit * 1000.0) / 1e3
+    assert params.nominal_rate_kbps == pytest.approx(expected)
+
+
+def test_at_rate_hits_target():
+    params = ProtocolParams().at_rate(700)
+    assert params.nominal_rate_kbps == pytest.approx(700, rel=1e-6)
+    # symbol structure preserved
+    base = ProtocolParams()
+    assert (params.c1, params.c0, params.cb) == (base.c1, base.c0, base.cb)
+
+
+def test_at_rate_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        ProtocolParams().at_rate(0)
+
+
+def test_at_rate_shrinks_overhead_for_fast_slots():
+    params = ProtocolParams().at_rate(2000)
+    assert params.spy_overhead_cycles < params.slot_cycles

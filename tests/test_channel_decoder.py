@@ -1,0 +1,129 @@
+"""Tests for the spy-side decoder (Algorithm 2 translation)."""
+
+import pytest
+
+from repro.channel.calibration import Band, LatencyBands
+from repro.channel.config import LEXCL, LSHARED, ProtocolParams, Scenario
+from repro.channel.decoder import BitDecoder, Sample
+
+SCENARIO = Scenario(csc=LEXCL, csb=LSHARED)
+PARAMS = ProtocolParams(c1=5, c0=2, cb=3)
+
+
+@pytest.fixture
+def decoder():
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 108),
+        LEXCL: Band("LExcl", 115, 135),
+    }, dram=Band("dram", 280, 400))
+    return BitDecoder(bands, SCENARIO, PARAMS)
+
+
+def samples_from(labels, latency_for=None):
+    latency_for = latency_for or {"c": 124.0, "b": 98.0, "x": 320.0}
+    return [
+        Sample(timestamp=float(i * 1000), latency=latency_for[label],
+               label=label)
+        for i, label in enumerate(labels)
+    ]
+
+
+def test_label_classification(decoder):
+    assert decoder.label(124.0) == "c"
+    assert decoder.label(98.0) == "b"
+    assert decoder.label(320.0) == "x"
+    assert decoder.label(10.0) == "x"
+
+
+def test_run_length():
+    runs = BitDecoder.run_length(list("ccbbbc"))
+    assert runs == [("c", 2), ("b", 3), ("c", 1)]
+
+
+def test_smooth_repairs_isolated_dropout(decoder):
+    assert decoder.smooth(list("ccxcc")) == list("ccccc")
+
+
+def test_smooth_keeps_real_gaps(decoder):
+    assert decoder.smooth(list("ccxxcc")) == list("ccxxcc")
+    assert decoder.smooth(list("cbxbc")) == list("cbbbc")
+
+
+def test_decode_single_one(decoder):
+    labels = "bbb" + "ccccc" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.bits == [1]
+
+
+def test_decode_single_zero(decoder):
+    labels = "bbb" + "cc" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.bits == [0]
+
+
+def test_decode_sequence(decoder):
+    labels = "bbb" + "ccccc" + "bbb" + "cc" + "bbb" + "ccccc" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.bits == [1, 0, 1]
+
+
+def test_decode_tolerates_run_length_jitter(decoder):
+    # +/-1 slot per phase must not flip bits
+    labels = "bb" + "cccc" + "bbbb" + "ccc" + "bb" + "cccccc" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.bits == [1, 0, 1]
+
+
+def test_decode_ignores_leading_noise(decoder):
+    labels = "cc" + "bbb" + "ccccc" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.bits == [1]
+
+
+def test_dropout_in_run_can_flip_bit(decoder):
+    # a 2+ sample dropout inside a '1' run truncates the count: 5 -> 2
+    labels = "bbb" + "cc" + "xx" + "ccc" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.bits == [0]
+
+
+def test_decode_empty():
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 108),
+        LEXCL: Band("LExcl", 115, 135),
+    })
+    decoder = BitDecoder(bands, SCENARIO, PARAMS)
+    report = decoder.decode([])
+    assert report.bits == []
+    assert report.n_samples == 0
+
+
+def test_decode_report_diagnostics(decoder):
+    labels = "bbb" + "ccccc" + "xx" + "bbb"
+    report = decoder.decode(samples_from(labels))
+    assert report.n_samples == len(labels)
+    assert report.n_boundary_runs == 2
+    assert report.n_unclassified == 2
+
+
+def test_decoder_rejects_overlapping_bands():
+    from repro.errors import CalibrationError
+
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 125),
+        LEXCL: Band("LExcl", 115, 135),
+    })
+    with pytest.raises(CalibrationError):
+        BitDecoder(bands, SCENARIO, PARAMS)
+
+
+def test_ambiguous_latency_resolves_to_nearer_center():
+    # force overlap via a custom band object after construction
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 108),
+        LEXCL: Band("LExcl", 115, 135),
+    })
+    decoder = BitDecoder(bands, SCENARIO, PARAMS)
+    decoder._tb = Band("LShared", 90, 120)  # inject overlap
+    assert decoder.label(118.0) == "c"   # nearer to 125 than to 105
+    assert decoder.label(100.0) == "b"

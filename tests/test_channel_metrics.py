@@ -1,0 +1,88 @@
+"""Tests for alignment-based accuracy metrics."""
+
+import pytest
+
+from repro.channel.metrics import (
+    align_bits,
+    goodput_kbps,
+    raw_bit_accuracy,
+    transmission_rate_kbps,
+)
+from repro.mem.latency import CLOCK_HZ
+
+
+def test_perfect_match():
+    result = align_bits([1, 0, 1], [1, 0, 1])
+    assert result.matches == 3
+    assert result.accuracy == 1.0
+    assert result.flips == result.losses == result.duplicates == 0
+
+
+def test_single_flip():
+    result = align_bits([1, 0, 1, 1], [1, 1, 1, 1])
+    assert result.flips == 1
+    assert result.matches == 3
+    assert result.accuracy == 0.75
+
+
+def test_single_loss():
+    result = align_bits([1, 0, 1, 1], [1, 1, 1])
+    assert result.losses == 1
+    assert result.matches == 3
+
+
+def test_single_duplicate():
+    result = align_bits([1, 0, 1], [1, 0, 0, 1])
+    assert result.duplicates == 1
+    assert result.matches == 3
+
+
+def test_empty_received():
+    result = align_bits([1, 0], [])
+    assert result.accuracy == 0.0
+    assert result.losses == 2
+
+
+def test_empty_sent():
+    assert align_bits([], []).accuracy == 1.0
+    assert align_bits([], [1]).accuracy == 0.0
+
+
+def test_alignment_prefers_matching():
+    # received is sent with one bit lost in the middle: alignment should
+    # recover all the other matches, not declare everything shifted
+    sent = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+    received = sent[:4] + sent[5:]
+    result = align_bits(sent, received)
+    assert result.matches == 9
+    assert result.losses == 1
+
+
+def test_error_rate_complement():
+    result = align_bits([1, 0, 1, 1], [1, 1, 1, 1])
+    assert result.error_rate == pytest.approx(1 - result.accuracy)
+
+
+def test_raw_bit_accuracy_wrapper():
+    assert raw_bit_accuracy([1, 1], [1, 1]) == 1.0
+
+
+def test_totally_wrong():
+    result = align_bits([1] * 8, [0] * 8)
+    assert result.accuracy == 0.0
+    assert result.flips == 8
+
+
+def test_rates():
+    # 2670 bits over one second of cycles = 2.67 Kbps
+    assert transmission_rate_kbps(2670, CLOCK_HZ) == pytest.approx(2.67)
+    assert goodput_kbps(2670, CLOCK_HZ) == pytest.approx(2.67)
+
+
+def test_long_alignment_is_tractable():
+    sent = [i % 2 for i in range(1500)]
+    received = list(sent)
+    received[700] ^= 1
+    result = align_bits(sent, received)
+    assert result.flips == 1
+    assert result.matches == 1499

@@ -1,0 +1,87 @@
+"""Tests for the pre-transmission synchronization (Section VII-A)."""
+
+import pytest
+
+from repro.channel.config import TABLE_I
+from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.sync import SyncParams, run_synchronization
+
+
+def make_session(seed=2):
+    return ChannelSession(SessionConfig(
+        scenario=TABLE_I[0], seed=seed, calibration_samples=200,
+    ))
+
+
+def fast_params():
+    """Scaled-down handshake so tests run quickly."""
+    return SyncParams(
+        trojan_rounds=10,
+        trojan_round_cycles=40_000.0,
+        spy_poll_cycles=120_000.0,
+        spy_stable_run=4,
+        trojan_long_run=3,
+        max_spy_polls=200,
+    )
+
+
+def run_sync(session, params):
+    return run_synchronization(
+        session.kernel,
+        session.bands,
+        session.trojan_proc,
+        session.spy_proc,
+        session.trojan_va,
+        session.spy_va,
+        trojan_core=session.local_cores[0],
+        spy_core=session.config.spy_core,
+        params=params,
+    )
+
+
+def test_handshake_succeeds():
+    session = make_session()
+    result = run_sync(session, fast_params())
+    assert result.synced
+    assert result.duration_cycles > 0
+
+
+def test_spy_sees_stable_coherence_band():
+    session = make_session()
+    result = run_sync(session, fast_params())
+    in_band = [
+        lat for lat in result.spy_latencies
+        if session.bands.classify(lat) not in (None, "dram")
+    ]
+    assert len(in_band) >= 4
+
+
+def test_trojan_observes_spy_flushes():
+    session = make_session()
+    result = run_sync(session, fast_params())
+    dram_floor = session.bands.dram.lo
+    longs = [lat for lat in result.trojan_latencies if lat >= dram_floor]
+    assert len(longs) >= 3
+
+
+def test_paper_scale_defaults_land_near_90ms():
+    """Default knobs reproduce the paper's ~90 ms handshake."""
+    params = SyncParams()
+    expected_ms = (params.trojan_rounds * params.trojan_round_cycles) / 2.67e6
+    assert expected_ms == pytest.approx(90, rel=0.05)
+
+
+def test_duration_is_max_of_both_sides():
+    session = make_session()
+    result = run_sync(session, fast_params())
+    assert result.duration_cycles == max(
+        result.trojan_cycles, result.spy_cycles
+    )
+
+
+def test_sync_then_transmission_works():
+    session = make_session()
+    result = run_sync(session, fast_params())
+    assert result.synced
+    transmission = session.transmit([1, 0, 1, 1])
+    assert transmission.accuracy == 1.0

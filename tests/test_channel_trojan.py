@@ -1,0 +1,81 @@
+"""Unit tests for the trojan's control plane (Algorithm 1 pieces)."""
+
+from repro.channel.config import (
+    LEXCL,
+    LSHARED,
+    REXCL,
+    RSHARED,
+    Location,
+    ProtocolParams,
+    scenario_by_name,
+)
+from repro.channel.trojan import TrojanControl, WorkerRole, worker_roles
+
+
+def test_worker_roles_match_scenarios():
+    roles = worker_roles(scenario_by_name("RExclc-LSharedb"))
+    locations = [r.location for r in roles]
+    assert locations.count(Location.LOCAL) == 2
+    assert locations.count(Location.REMOTE) == 1
+
+
+def test_worker_roles_indices_start_at_zero():
+    roles = worker_roles(scenario_by_name("RSharedc-LSharedb"))
+    local_idx = sorted(r.index for r in roles if r.location is Location.LOCAL)
+    remote_idx = sorted(r.index for r in roles if r.location is Location.REMOTE)
+    assert local_idx == [0, 1]
+    assert remote_idx == [0, 1]
+
+
+def test_control_activation_exclusive():
+    control = TrojanControl()
+    control.set_pair(LEXCL)
+    assert control.is_active(WorkerRole(Location.LOCAL, 0))
+    assert not control.is_active(WorkerRole(Location.LOCAL, 1))
+    assert not control.is_active(WorkerRole(Location.REMOTE, 0))
+
+
+def test_control_activation_shared():
+    control = TrojanControl()
+    control.set_pair(RSHARED)
+    assert control.is_active(WorkerRole(Location.REMOTE, 0))
+    assert control.is_active(WorkerRole(Location.REMOTE, 1))
+    assert not control.is_active(WorkerRole(Location.LOCAL, 0))
+
+
+def test_control_idle_deactivates_everyone():
+    control = TrojanControl()
+    control.set_pair(LSHARED)
+    control.set_pair(None)
+    for location in Location:
+        for index in range(2):
+            assert not control.is_active(WorkerRole(location, index))
+
+
+def test_control_stop():
+    control = TrojanControl()
+    control.set_pair(REXCL)
+    control.stop()
+    assert not control.running
+    assert control.active_pair is None
+
+
+def test_control_counts_transitions():
+    control = TrojanControl()
+    control.set_pair(LEXCL)
+    control.set_pair(LEXCL)   # no-op
+    control.set_pair(LSHARED)
+    assert control.transitions == 2
+
+
+def test_generation_bumps_on_every_set():
+    control = TrojanControl()
+    g0 = control.generation
+    control.set_pair(LEXCL)
+    control.set_pair(LEXCL)
+    assert control.generation == g0 + 2
+
+
+def test_params_reload_faster_than_slot():
+    params = ProtocolParams()
+    assert params.reload_period < params.spy_wait_cycles

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "send" in out
+
+
+def test_help_by_default(capsys):
+    assert main([]) == 0
+    assert "experiments" in capsys.readouterr().out
+
+
+def test_unknown_command(capsys):
+    assert main(["frobnicate"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+def test_send_roundtrip(capsys):
+    assert main(["send", "10110"]) == 0
+    out = capsys.readouterr().out
+    assert "sent     10110" in out
+    assert "received 10110" in out
+
+
+def test_send_rejects_empty_payload():
+    with pytest.raises(SystemExit):
+        main(["send", "xyz"])
+
+
+def test_bands_command(capsys):
+    assert main(["bands", "--samples", "120"]) == 0
+    out = capsys.readouterr().out
+    for label in ("LShared", "LExcl", "RShared", "RExcl", "dram"):
+        assert label in out
+
+
+def test_experiment_dispatch(capsys):
+    assert main(["table1", "--bits", "8"]) == 0
+    assert "Table I" in capsys.readouterr().out
+
+
+def test_experiment_names_resolve():
+    import importlib
+
+    for module_name in EXPERIMENTS.values():
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        assert callable(module.main)

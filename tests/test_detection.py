@@ -1,0 +1,204 @@
+"""Tests for the covert-channel detection subsystem."""
+
+import numpy as np
+
+from repro.channel.config import TABLE_I
+from repro.channel.session import ChannelSession, SessionConfig
+from repro.detection import (
+    ChannelDetector,
+    EventMonitor,
+    FlushStormDetector,
+    ModulationDetector,
+    PingPongDetector,
+)
+from repro.kernel.workloads import spawn_kernel_build
+from repro.mem.cacheline import LINE_SIZE
+
+
+def session_with_monitor(seed=21, **kwargs):
+    session = ChannelSession(SessionConfig(
+        scenario=TABLE_I[0], seed=seed, calibration_samples=200, **kwargs
+    ))
+    monitor = EventMonitor(session.machine)
+    monitor.attach()
+    return session, monitor
+
+
+def test_monitor_attach_detach(machine):
+    monitor = EventMonitor(machine)
+    monitor.attach()
+    monitor.attach()  # idempotent
+    machine.flush(0, 0x1000, 10.0)
+    machine.load(0, 0x1000, 20.0)
+    assert monitor.lines[0x1000].flush_rate(20.0) > 0
+    monitor.detach()
+    machine.flush(0, 0x1000, 30.0)
+    assert len(monitor.lines[0x1000].flushes) == 1  # no longer recording
+
+
+def test_monitor_only_tracks_flushed_lines(machine):
+    monitor = EventMonitor(machine)
+    monitor.attach()
+    machine.load(0, 0x2000, 10.0)   # never flushed: not tracked
+    machine.flush(0, 0x3000, 10.0)
+    machine.load(0, 0x3000, 20.0)
+    assert not monitor.lines[0x2000].loads
+    assert monitor.lines[0x3000].loads
+
+
+def test_monitor_records_downgrades(machine):
+    monitor = EventMonitor(machine)
+    monitor.attach()
+    addr = 0x4000
+    machine.flush(0, addr, 0.0)
+    machine.load(1, addr, 10.0)       # E on core 1
+    machine.load(0, addr, 20.0)       # forwarded: downgrade
+    activity = monitor.lines[addr]
+    assert len(activity.downgrades) == 1
+    assert activity.touching_cores(20.0) == {0, 1}
+
+
+def test_window_pruning(machine):
+    monitor = EventMonitor(machine, window=1_000.0)
+    monitor.attach()
+    machine.flush(0, 0x5000, 0.0)
+    assert monitor.lines[0x5000].flush_rate(10_000.0) == 0.0
+
+
+def test_channel_is_detected_during_transmission():
+    session, monitor = session_with_monitor()
+    session.transmit([1, 0, 1, 1, 0, 0, 1, 0] * 4)
+    now = session.sim.global_clock
+    detector = ChannelDetector(monitor)
+    detections = detector.scan(now)
+    assert detections, "covert channel escaped detection"
+    covert_line = session.spy_proc.translate(session.spy_va) & ~(LINE_SIZE - 1)
+    flagged_lines = {d.line for d in detections}
+    assert covert_line in flagged_lines
+    top = detections[0]
+    assert top.score >= 1.0
+    assert top.reasons
+
+
+def test_detection_identifies_involved_cores():
+    session, monitor = session_with_monitor()
+    session.transmit([1, 0, 1, 1] * 4)
+    detector = ChannelDetector(monitor)
+    detections = detector.scan(session.sim.global_clock)
+    top = detections[0]
+    # spy core and at least one trojan worker core appear
+    assert session.config.spy_core in top.cores
+    assert any(core in top.cores for core in session.local_cores)
+
+
+def test_benign_noise_workload_not_flagged(kernel_env):
+    machine, sim, kernel = kernel_env
+    monitor = EventMonitor(machine)
+    monitor.attach()
+    spawn_kernel_build(kernel, 4, avoid_cores={0})
+
+    def waiter(cpu):
+        yield from cpu.delay(600_000)
+
+    process = kernel.create_process("w")
+    kernel.spawn(process, "w", waiter, core_id=0)
+    sim.run()
+    detector = ChannelDetector(monitor)
+    assert detector.scan(sim.global_clock) == []
+
+
+def test_benign_producer_consumer_not_flagged(kernel_env):
+    """Ordinary shared-memory communication must not trip the detector."""
+    machine, sim, kernel = kernel_env
+    monitor = EventMonitor(machine)
+    monitor.attach()
+    process = kernel.create_process("app")
+    buf = process.mmap(1)
+
+    def producer(cpu):
+        for i in range(200):
+            yield from cpu.store(buf, i)
+            yield from cpu.delay(500)
+
+    def consumer(cpu):
+        for _ in range(200):
+            yield from cpu.load(buf)
+            yield from cpu.delay(500)
+
+    kernel.spawn(process, "prod", producer, core_id=1)
+    kernel.spawn(process, "cons", consumer, core_id=2)
+    sim.run()
+    detector = ChannelDetector(monitor)
+    assert detector.scan(sim.global_clock) == []
+
+
+def test_flush_storm_detector_thresholds(machine):
+    monitor = EventMonitor(machine, window=1_000_000.0)
+    monitor.attach()
+    addr = 0x9000
+    for i in range(10):
+        machine.flush(0, addr, float(i * 1000))
+    detector = FlushStormDetector(threshold_per_mcycle=50.0)
+    score, reason = detector.score(monitor, addr, 10_000.0)
+    assert score == 0.0 and reason is None
+    for i in range(200):
+        machine.flush(0, addr, 10_000.0 + i * 500)
+    score, reason = detector.score(monitor, addr, 110_000.0)
+    assert score > 0 and "flush storm" in reason
+
+
+def test_modulation_detector_accepts_lattice():
+    # synthesize a monitor with slot-quantized downgrades
+    class FakeMonitor:
+        def __init__(self):
+            from repro.detection.events import LineActivity
+
+            self.lines = {0: LineActivity(window=1e9)}
+
+    monitor = FakeMonitor()
+    rng = np.random.default_rng(0)
+    t = 0.0
+    for _ in range(60):
+        slots = int(rng.choice([1, 1, 1, 2, 3]))
+        t += slots * 1200.0 + rng.normal(0, 20)
+        monitor.lines[0].downgrades.append(t)
+    detector = ModulationDetector()
+    score, reason = detector.score(monitor, 0, t)
+    assert score >= 0.7
+    assert "modulation" in reason
+
+
+def test_modulation_detector_rejects_poisson():
+    class FakeMonitor:
+        def __init__(self):
+            from repro.detection.events import LineActivity
+
+            self.lines = {0: LineActivity(window=1e9)}
+
+    monitor = FakeMonitor()
+    rng = np.random.default_rng(0)
+    t = 0.0
+    for _ in range(80):
+        t += rng.exponential(1500.0)
+        monitor.lines[0].downgrades.append(t)
+    detector = ModulationDetector()
+    score, _reason = detector.score(monitor, 0, t)
+    assert score == 0.0
+
+
+def test_ping_pong_detector_needs_small_core_set(machine):
+    monitor = EventMonitor(machine, window=1e6)
+    monitor.attach()
+    addr = 0xA000
+    machine.flush(0, addr, 0.0)
+    now = 0.0
+    # many cores touching: looks like ordinary wide sharing
+    for i in range(120):
+        core = i % 10
+        machine.flush(0, addr, now)
+        machine.load(core, addr, now + 10)
+        machine.load((core + 1) % 10, addr, now + 20)
+        now += 1_000.0
+    detector = PingPongDetector()
+    score, _reason = detector.score(monitor, addr, now)
+    assert score == 0.0

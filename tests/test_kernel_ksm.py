@@ -1,0 +1,180 @@
+"""Tests for the KSM (same-page merging) substrate — Section IV."""
+
+import pytest
+
+from repro.kernel.ksm import KsmDaemon
+from repro.kernel.process import Process
+from repro.mem.physical import PAGE_SIZE, PhysicalMemory, page_pattern
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(n_frames=64)
+
+
+@pytest.fixture
+def ksm(phys):
+    return KsmDaemon(phys)
+
+
+def make_process(phys, ksm, pid, start_time=0.0):
+    process = Process(pid=pid, name=f"p{pid}", phys=phys,
+                      start_time=start_time)
+    ksm.register_process(process)
+    return process
+
+
+def fill_and_advise(process, ksm, content):
+    va = process.mmap(1)
+    process.write_bytes(va, content)
+    process.pte(va).mergeable = True
+    return va
+
+
+def test_identical_pages_merge(phys, ksm):
+    a = make_process(phys, ksm, 1, start_time=0.0)
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    pattern = page_pattern(0xC0FFEE, 0)
+    va_a = fill_and_advise(a, ksm, pattern)
+    va_b = fill_and_advise(b, ksm, pattern)
+    merged = ksm.scan_once()
+    assert merged == 1
+    assert a.translate(va_a) == b.translate(va_b)
+    assert ksm.stats.pages_sharing == 2
+
+
+def test_merge_frees_duplicate_frame(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    pattern = page_pattern(1, 0)
+    fill_and_advise(a, ksm, pattern)
+    fill_and_advise(b, ksm, pattern)
+    before = phys.frames_allocated
+    ksm.scan_once()
+    assert phys.frames_allocated == before - 1
+
+
+def test_different_content_does_not_merge(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2)
+    va_a = fill_and_advise(a, ksm, page_pattern(1, 0))
+    va_b = fill_and_advise(b, ksm, page_pattern(2, 0))
+    assert ksm.scan_once() == 0
+    assert a.translate(va_a) != b.translate(va_b)
+
+
+def test_non_mergeable_pages_ignored(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2)
+    pattern = page_pattern(3, 0)
+    va_a = a.mmap(1)
+    a.write_bytes(va_a, pattern)  # no madvise
+    fill_and_advise(b, ksm, pattern)
+    assert ksm.scan_once() == 0
+
+
+def test_earliest_process_frame_is_canonical(phys, ksm):
+    early = make_process(phys, ksm, 1, start_time=0.0)
+    late = make_process(phys, ksm, 2, start_time=50.0)
+    pattern = page_pattern(4, 0)
+    va_early = fill_and_advise(early, ksm, pattern)
+    va_late = fill_and_advise(late, ksm, pattern)
+    pfn_early = early.pte(va_early).pfn
+    ksm.scan_once()
+    assert late.pte(va_late).pfn == pfn_early
+
+
+def test_merged_pages_are_cow(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    pattern = page_pattern(5, 0)
+    va_a = fill_and_advise(a, ksm, pattern)
+    va_b = fill_and_advise(b, ksm, pattern)
+    ksm.scan_once()
+    assert a.pte(va_a).cow and a.pte(va_a).merged
+    assert b.pte(va_b).cow and b.pte(va_b).merged
+
+
+def test_unmerge_separates_and_preserves_content(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    pattern = page_pattern(6, 0)
+    va_a = fill_and_advise(a, ksm, pattern)
+    va_b = fill_and_advise(b, ksm, pattern)
+    ksm.scan_once()
+    from repro.kernel.paging import vpn_of
+    ksm.unmerge(b, vpn_of(va_b))
+    assert a.translate(va_a) != b.translate(va_b)
+    assert b.read_bytes(va_b, PAGE_SIZE) == pattern
+    assert ksm.stats.pages_unmerged == 1
+
+
+def test_three_way_merge(phys, ksm):
+    procs = [make_process(phys, ksm, i + 1, start_time=float(i))
+             for i in range(3)]
+    pattern = page_pattern(7, 0)
+    vas = [fill_and_advise(p, ksm, pattern) for p in procs]
+    merged = ksm.scan_once()
+    assert merged == 2
+    pas = {p.translate(va) for p, va in zip(procs, vas)}
+    assert len(pas) == 1
+    assert ksm.stats.pages_sharing == 3
+
+
+def test_rescan_is_idempotent(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    pattern = page_pattern(8, 0)
+    fill_and_advise(a, ksm, pattern)
+    fill_and_advise(b, ksm, pattern)
+    assert ksm.scan_once() == 1
+    assert ksm.scan_once() == 0
+    assert ksm.stats.full_scans == 2
+
+
+def test_changed_content_pruned_from_stable_tree(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    va_a = fill_and_advise(a, ksm, page_pattern(9, 0))
+    ksm.scan_once()  # registers canonical
+    a.write_bytes(va_a, page_pattern(10, 0))  # direct content change
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    va_b = fill_and_advise(b, ksm, page_pattern(9, 0))
+    ksm.scan_once()
+    # must NOT have merged b onto a's (now different) frame
+    assert b.read_bytes(va_b, PAGE_SIZE) == page_pattern(9, 0)
+
+
+def test_shared_frames_reporting(phys, ksm):
+    a = make_process(phys, ksm, 1)
+    b = make_process(phys, ksm, 2, start_time=1.0)
+    pattern = page_pattern(11, 0)
+    va_a = fill_and_advise(a, ksm, pattern)
+    fill_and_advise(b, ksm, pattern)
+    ksm.scan_once()
+    shared = ksm.shared_frames()
+    assert len(shared) == 1
+    mappers = ksm.mappers_of(a.pte(va_a).pfn)
+    assert {pid for pid, _vpn in mappers} == {1, 2}
+    assert len(mappers) == 2
+
+
+def test_daemon_thread_scans_periodically(kernel_env):
+    machine, sim, kernel = kernel_env
+    a = kernel.create_process("a")
+    b = kernel.create_process("b")
+    pattern = page_pattern(12, 0)
+    va_a = a.mmap(1)
+    va_b = b.mmap(1)
+    a.write_bytes(va_a, pattern)
+    b.write_bytes(va_b, pattern)
+    kernel.madvise_mergeable(a, va_a)
+    kernel.madvise_mergeable(b, va_b)
+    kernel.ksm.scan_interval = 10_000.0
+    kernel.start_ksm_daemon()
+
+    def waiter(cpu):
+        yield from cpu.delay(50_000)
+
+    kernel.spawn(a, "waiter", waiter, core_id=0)
+    sim.run()
+    assert a.translate(va_a) == b.translate(va_b)

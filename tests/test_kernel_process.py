@@ -1,0 +1,89 @@
+"""Tests for processes, paging and address translation."""
+
+import pytest
+
+from repro.errors import InvalidAddressError, PageFaultError
+from repro.kernel.paging import page_offset, vpn_of
+from repro.kernel.process import MMAP_BASE, Process
+from repro.mem.physical import PAGE_SIZE, PhysicalMemory
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(n_frames=64)
+
+
+@pytest.fixture
+def process(phys):
+    return Process(pid=1, name="p", phys=phys)
+
+
+def test_vpn_and_offset():
+    assert vpn_of(3 * PAGE_SIZE + 17) == 3
+    assert page_offset(3 * PAGE_SIZE + 17) == 17
+
+
+def test_mmap_returns_page_aligned_bases(process):
+    base = process.mmap(2)
+    assert base == MMAP_BASE
+    assert base % PAGE_SIZE == 0
+    second = process.mmap(1)
+    assert second == MMAP_BASE + 2 * PAGE_SIZE
+
+
+def test_mmap_rejects_nonpositive(process):
+    with pytest.raises(InvalidAddressError):
+        process.mmap(0)
+
+
+def test_translate_roundtrip(process, phys):
+    base = process.mmap(1)
+    pa = process.translate(base + 100)
+    assert pa % PAGE_SIZE == 100
+    pfn = phys.pfn_of(pa)
+    assert phys.frame(pfn) is not None
+
+
+def test_unmapped_translate_faults(process):
+    with pytest.raises(PageFaultError):
+        process.translate(0xDEAD_0000)
+
+
+def test_write_read_bytes(process):
+    base = process.mmap(1)
+    process.write_bytes(base, b"secret")
+    assert process.read_bytes(base, 6) == b"secret"
+
+
+def test_map_frame_shares_physical_page(phys):
+    a = Process(1, "a", phys)
+    b = Process(2, "b", phys)
+    frame = phys.alloc()
+    va_a = a.map_frame(frame.pfn)
+    va_b = b.map_frame(frame.pfn)
+    assert a.translate(va_a) == b.translate(va_b)
+    assert frame.refcount == 3  # alloc + two mappers
+
+
+def test_map_frame_is_readonly_cow(phys):
+    p = Process(1, "p", phys)
+    frame = phys.alloc()
+    va = p.map_frame(frame.pfn)
+    pte = p.pte(va)
+    assert not pte.writable
+    assert pte.cow
+
+
+def test_mapped_vpns_sorted(process):
+    process.mmap(3)
+    vpns = process.mapped_vpns()
+    assert vpns == sorted(vpns)
+    assert len(vpns) == 3
+
+
+def test_distinct_processes_get_distinct_frames(phys):
+    a = Process(1, "a", phys)
+    b = Process(2, "b", phys)
+    va_a = a.mmap(1)
+    va_b = b.mmap(1)
+    assert a.translate(va_a) != b.translate(va_b)

@@ -1,0 +1,84 @@
+"""Tests for the CPU scheduler (pinning, time-sharing, preemption)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernel.scheduler import Scheduler
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(n_cores=4)
+
+
+def test_assign_and_core_of(sched):
+    sched.assign(1, 2)
+    assert sched.core_of(1) == 2
+    assert sched.load(2) == 1
+
+
+def test_reassign_moves_thread(sched):
+    sched.assign(1, 0)
+    sched.assign(1, 3)
+    assert sched.load(0) == 0
+    assert sched.load(3) == 1
+
+
+def test_release(sched):
+    sched.assign(1, 0)
+    sched.release(1)
+    assert sched.load(0) == 0
+    assert sched.core_of(1) is None
+    sched.release(1)  # idempotent
+
+
+def test_assign_rejects_bad_core(sched):
+    with pytest.raises(ConfigError):
+        sched.assign(1, 99)
+
+
+def test_invalid_core_count():
+    with pytest.raises(ConfigError):
+        Scheduler(0)
+
+
+def test_exclusive_core_runs_full_speed(sched):
+    sched.assign(1, 0)
+    rng = np.random.default_rng(0)
+    factor, penalty = sched.timeshare(1, rng)
+    assert factor == 1.0
+    assert penalty == 0.0
+
+
+def test_unpinned_thread_runs_full_speed(sched):
+    rng = np.random.default_rng(0)
+    assert sched.timeshare(42, rng) == (1.0, 0.0)
+
+
+def test_shared_core_fair_share(sched):
+    sched.assign(1, 0)
+    sched.assign(2, 0)
+    sched.assign(3, 0)
+    rng = np.random.default_rng(0)
+    factor, _penalty = sched.timeshare(1, rng)
+    assert factor == 3.0
+
+
+def test_preemption_penalties_occur_when_shared(sched):
+    sched.assign(1, 0)
+    sched.assign(2, 0)
+    rng = np.random.default_rng(0)
+    penalties = [sched.timeshare(1, rng)[1] for _ in range(20_000)]
+    hits = [p for p in penalties if p > 0]
+    assert hits, "expected occasional context-switch penalties"
+    # roughly preempt_probability * (k-1) of ops
+    assert 0.0005 < len(hits) / len(penalties) < 0.01
+
+
+def test_least_loaded_core(sched):
+    sched.assign(1, 0)
+    sched.assign(2, 1)
+    assert sched.least_loaded_core([0, 1, 2]) == 2
+    sched.assign(3, 2)
+    assert sched.least_loaded_core([0, 1, 2]) in (0, 1)

@@ -1,0 +1,117 @@
+"""Tests for the set-associative LRU cache container."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import SetAssocCache
+from repro.mem.cacheline import LINE_SIZE, line_addr
+
+
+def make_cache(n_sets=4, assoc=2):
+    return SetAssocCache("test", n_sets, assoc)
+
+
+def addr_for_set(cache, set_index, way):
+    """An address mapping to *set_index*, distinct per *way*."""
+    return (way * cache.n_sets + set_index) * LINE_SIZE
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        SetAssocCache("bad", 3, 2)  # not a power of two
+    with pytest.raises(ConfigError):
+        SetAssocCache("bad", 4, 0)
+
+
+def test_capacity():
+    assert make_cache(8, 4).capacity_lines == 32
+
+
+def test_insert_and_lookup():
+    cache = make_cache()
+    cache.insert(0x100, "record")
+    assert cache.lookup(0x100) == "record"
+    assert cache.lookup(0x123) == "record"  # same line
+    assert 0x100 in cache
+
+
+def test_miss_returns_none():
+    cache = make_cache()
+    assert cache.lookup(0x100) is None
+
+
+def test_line_alignment():
+    assert line_addr(0x1234) == 0x1200
+    assert line_addr(0x1240) == 0x1240
+
+
+def test_lru_eviction_order():
+    cache = make_cache(n_sets=1, assoc=2)
+    cache.insert(0 * LINE_SIZE, "a")
+    cache.insert(1 * LINE_SIZE, "b")
+    victim = cache.insert(2 * LINE_SIZE, "c")
+    assert victim == "a"
+
+
+def test_lookup_refreshes_lru():
+    cache = make_cache(n_sets=1, assoc=2)
+    cache.insert(0 * LINE_SIZE, "a")
+    cache.insert(1 * LINE_SIZE, "b")
+    cache.lookup(0)  # refresh "a"
+    victim = cache.insert(2 * LINE_SIZE, "c")
+    assert victim == "b"
+
+
+def test_no_touch_lookup_preserves_lru():
+    cache = make_cache(n_sets=1, assoc=2)
+    cache.insert(0 * LINE_SIZE, "a")
+    cache.insert(1 * LINE_SIZE, "b")
+    cache.lookup(0, touch=False)
+    victim = cache.insert(2 * LINE_SIZE, "c")
+    assert victim == "a"
+
+
+def test_reinsert_same_line_no_eviction():
+    cache = make_cache(n_sets=1, assoc=2)
+    cache.insert(0, "a")
+    cache.insert(LINE_SIZE, "b")
+    victim = cache.insert(0, "a2")
+    assert victim is None
+    assert cache.lookup(0) == "a2"
+
+
+def test_remove():
+    cache = make_cache()
+    cache.insert(0x200, "x")
+    assert cache.remove(0x200) == "x"
+    assert cache.remove(0x200) is None
+    assert cache.lookup(0x200) is None
+
+
+def test_set_isolation():
+    cache = make_cache(n_sets=4, assoc=1)
+    for s in range(4):
+        cache.insert(addr_for_set(cache, s, 0), f"s{s}")
+    for s in range(4):
+        assert cache.lookup(addr_for_set(cache, s, 0)) == f"s{s}"
+
+
+def test_occupancy_and_lines():
+    cache = make_cache()
+    cache.insert(0, "a")
+    cache.insert(LINE_SIZE, "b")
+    assert cache.occupancy() == 2
+    assert set(cache.lines()) == {"a", "b"}
+
+
+def test_clear():
+    cache = make_cache()
+    cache.insert(0, "a")
+    cache.clear()
+    assert cache.occupancy() == 0
+
+
+def test_set_index_within_range():
+    cache = make_cache(n_sets=16, assoc=2)
+    for addr in range(0, 65536, 4096 + LINE_SIZE):
+        assert 0 <= cache.set_index(addr) < 16

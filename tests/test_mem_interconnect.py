@@ -1,0 +1,113 @@
+"""Tests for the interconnect contention model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.interconnect import Interconnect, Resource
+
+
+def test_idle_resource_has_no_delay():
+    res = Resource("r", window=1000, saturation=50, service_cycles=2.0)
+    assert res.register(0.0) == pytest.approx(0.0)
+
+
+def test_delay_grows_with_load():
+    res = Resource("r", window=1000, saturation=50, service_cycles=2.0)
+    delays = [res.register(float(i)) for i in range(40)]
+    assert delays[-1] > delays[5]
+
+
+def test_mm1_shape():
+    res = Resource("r", window=1000, saturation=10, service_cycles=1.0)
+    for i in range(5):
+        res.register(float(i))
+    # load 5 of 10 => rho 0.5 => delay = 1 * 0.5/0.5 = 1.0
+    assert res.register(5.0) == pytest.approx(1.0)
+
+
+def test_rho_is_capped():
+    res = Resource("r", window=1000, saturation=5, service_cycles=1.0)
+    for i in range(100):
+        res.register(float(i) * 0.1)
+    delay = res.register(10.0)
+    cap = Resource.RHO_CAP
+    assert delay <= cap / (1 - cap) + 1e-9
+
+
+def test_window_expiry():
+    res = Resource("r", window=100, saturation=10, service_cycles=1.0)
+    for i in range(8):
+        res.register(float(i))
+    assert res.register(10_000.0) == pytest.approx(0.0)
+
+
+def test_future_events_do_not_count():
+    res = Resource("r", window=1000, saturation=10, service_cycles=1.0)
+    # a burst registers at future instants
+    for t in (5_000.0, 6_000.0, 7_000.0):
+        res.register(t)
+    # a query in the past must not see them
+    assert res.register(100.0) == pytest.approx(0.0)
+
+
+def test_reset_clears_window():
+    res = Resource("r", window=1000, saturation=5, service_cycles=1.0)
+    for i in range(10):
+        res.register(float(i))
+    res.reset()
+    assert res.register(20.0) == pytest.approx(0.0)
+
+
+def test_total_traffic_accumulates():
+    res = Resource("r")
+    res.register(0.0)
+    res.register(1.0, weight=2.0)
+    assert res.total_traffic == pytest.approx(3.0)
+
+
+def test_current_load():
+    res = Resource("r", window=1000)
+    res.register(0.0)
+    res.register(10.0)
+    assert res.current_load(20.0) == pytest.approx(2.0)
+    assert res.current_load(5_000.0) == pytest.approx(0.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigError):
+        Resource("r", window=0)
+    with pytest.raises(ConfigError):
+        Resource("r", saturation=0)
+
+
+def test_interconnect_topology():
+    ic = Interconnect(n_sockets=2)
+    assert len(ic.rings) == 2
+    assert len(ic.mems) == 2
+
+
+def test_interconnect_rejects_zero_sockets():
+    with pytest.raises(ConfigError):
+        Interconnect(0)
+
+
+def test_interconnect_delegates():
+    ic = Interconnect(2)
+    assert ic.ring_delay(0, 0.0) == pytest.approx(0.0)
+    assert ic.qpi_delay(0.0) == pytest.approx(0.0)
+    assert ic.mem_delay(1, 0.0) == pytest.approx(0.0)
+
+
+def test_interconnect_reset():
+    ic = Interconnect(2)
+    for i in range(200):
+        ic.ring_delay(0, float(i) * 0.1)
+    ic.reset()
+    assert ic.rings[0].current_load(100.0) == pytest.approx(0.0)
+
+
+def test_rings_are_independent():
+    ic = Interconnect(2)
+    for i in range(100):
+        ic.ring_delay(0, float(i))
+    assert ic.rings[1].current_load(50.0) == pytest.approx(0.0)

@@ -1,0 +1,129 @@
+"""Tests for the MESI / MESIF / MOESI protocol variants."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cacheline import CoherenceState
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.mem.invariants import check_machine
+from repro.mem.latency import NoiseModel
+from repro.mem.protocols import MesifPolicy, MesiPolicy, MoesiPolicy, make_policy
+from repro.sim.events import AccessPath
+
+ADDR = 0x90_0000
+
+
+def machine_for(protocol, rng):
+    config = MachineConfig(protocol=protocol, noise=NoiseModel(enabled=False))
+    return Machine(config, rng)
+
+
+def test_make_policy_dispatch():
+    assert isinstance(make_policy("mesi"), MesiPolicy)
+    assert isinstance(make_policy("MESIF"), MesifPolicy)
+    assert isinstance(make_policy("moesi"), MoesiPolicy)
+
+
+def test_make_policy_unknown():
+    with pytest.raises(ConfigError):
+        make_policy("dragon")
+
+
+def test_mesif_assigns_forward_state(rng):
+    m = machine_for("mesif", rng)
+    m.load(1, ADDR)
+    m.load(2, ADDR)  # becomes the forwarder
+    assert m.private_state(2, ADDR) is CoherenceState.FORWARD
+    assert m.private_state(1, ADDR) is CoherenceState.SHARED
+    check_machine(m)
+
+
+def test_mesif_forwarder_moves_to_newest_sharer(rng):
+    m = machine_for("mesif", rng)
+    m.load(1, ADDR)
+    m.load(2, ADDR)
+    m.load(3, ADDR)
+    assert m.private_state(3, ADDR) is CoherenceState.FORWARD
+    assert m.private_state(2, ADDR) is CoherenceState.SHARED
+    assert m.llc_entry(0, ADDR).forwarder == 3
+    check_machine(m)
+
+
+def test_mesif_timing_matches_mesi(rng):
+    """F state must not change the E/S latency split (paper Sec II-B)."""
+    lat = {}
+    for protocol in ("mesi", "mesif"):
+        m = machine_for(protocol, rng)
+        m.load(1, ADDR)
+        m.load(2, ADDR)
+        _v, latency, path = m.load(0, ADDR)
+        assert path is AccessPath.LOCAL_SHARED
+        lat[protocol] = latency
+    assert lat["mesi"] == pytest.approx(lat["mesif"], abs=1.0)
+
+
+def test_moesi_dirty_owner_keeps_owned_state(rng):
+    m = machine_for("moesi", rng)
+    m.store(1, ADDR, 77)
+    value, _lat, path = m.load(2, ADDR)
+    assert value == 77
+    assert path is AccessPath.LOCAL_EXCL
+    assert m.private_state(1, ADDR) is CoherenceState.OWNED
+    assert m.private_state(2, ADDR) is CoherenceState.SHARED
+    check_machine(m)
+
+
+def test_moesi_owner_keeps_servicing_reads(rng):
+    m = machine_for("moesi", rng)
+    m.store(1, ADDR, 5)
+    m.load(2, ADDR)
+    _v, _lat, path = m.load(3, ADDR)
+    # Directory still forwards to the O owner (no LLC write-back).
+    assert path is AccessPath.LOCAL_EXCL
+    check_machine(m)
+
+
+def test_moesi_clean_exclusive_downgrades_like_mesi(rng):
+    """The covert channel's read-only lines behave identically (paper)."""
+    m = machine_for("moesi", rng)
+    m.load(1, ADDR)
+    _v, _lat, path = m.load(2, ADDR)
+    assert path is AccessPath.LOCAL_EXCL
+    assert m.private_state(1, ADDR) is CoherenceState.SHARED
+    _v, _lat, path = m.load(3, ADDR)
+    assert path is AccessPath.LOCAL_SHARED
+    check_machine(m)
+
+
+def test_moesi_owned_value_survives_flush(rng):
+    m = machine_for("moesi", rng)
+    m.store(1, ADDR, 31)
+    m.load(2, ADDR)  # owner -> O
+    m.flush(0, ADDR)
+    value, _lat, path = m.load(4, ADDR)
+    assert value == 31
+    assert path is AccessPath.DRAM
+
+
+def test_moesi_store_after_owned(rng):
+    m = machine_for("moesi", rng)
+    m.store(1, ADDR, 1)
+    m.load(2, ADDR)        # 1 holds O, 2 holds S
+    m.store(2, ADDR, 2)    # RFO invalidates the owner
+    assert m.private_state(1, ADDR) is CoherenceState.INVALID
+    assert m.private_state(2, ADDR) is CoherenceState.MODIFIED
+    value, _lat, _p = m.load(3, ADDR)
+    assert value == 2
+    check_machine(m)
+
+
+def test_state_predicates():
+    assert CoherenceState.MODIFIED.dirty
+    assert CoherenceState.OWNED.dirty
+    assert not CoherenceState.SHARED.dirty
+    assert CoherenceState.EXCLUSIVE.sole_copy
+    assert CoherenceState.MODIFIED.sole_copy
+    assert not CoherenceState.FORWARD.sole_copy
+    assert not CoherenceState.INVALID.readable
+    assert CoherenceState.MODIFIED.writable
+    assert not CoherenceState.EXCLUSIVE.writable

@@ -1,0 +1,130 @@
+"""Topology tests: machine geometries beyond the paper's 2-socket box."""
+
+import pytest
+
+from repro.channel.config import TABLE_I
+from repro.channel.session import ChannelSession, SessionConfig
+from repro.errors import ConfigError
+from repro.mem.cacheline import CoherenceState
+from repro.mem.hierarchy import Machine, MachineConfig
+from repro.mem.invariants import check_machine
+from repro.mem.latency import NoiseModel
+from repro.sim.events import AccessPath
+
+ADDR = 0xC0_0000
+
+
+def quad_socket(rng):
+    config = MachineConfig(
+        n_sockets=4, cores_per_socket=4, noise=NoiseModel(enabled=False)
+    )
+    return Machine(config, rng)
+
+
+def test_quad_socket_geometry(rng):
+    m = quad_socket(rng)
+    assert m.config.n_cores == 16
+    assert len(m.sockets) == 4
+    assert m.socket_of(13).socket_id == 3
+
+
+def test_quad_socket_remote_paths(rng):
+    m = quad_socket(rng)
+    m.load(12, ADDR)  # socket 3 holds it exclusively
+    _v, _lat, path = m.load(0, ADDR)  # socket 0 probes remote sockets
+    assert path is AccessPath.REMOTE_EXCL
+    assert m.private_state(12, ADDR) is CoherenceState.SHARED
+    check_machine(m)
+
+
+def test_quad_socket_store_invalidates_all(rng):
+    m = quad_socket(rng)
+    for core in (0, 4, 8, 12):  # one reader per socket
+        m.load(core, ADDR)
+    m.store(1, ADDR, 9)
+    for core in (0, 4, 8, 12):
+        assert m.private_state(core, ADDR) is CoherenceState.INVALID
+    value, _lat, _p = m.load(15, ADDR)
+    assert value == 9
+    check_machine(m)
+
+
+def test_quad_socket_flush_is_global(rng):
+    m = quad_socket(rng)
+    for core in (0, 5, 10, 15):
+        m.load(core, ADDR)
+    m.flush(2, ADDR)
+    for sid in range(4):
+        assert m.llc_entry(sid, ADDR) is None
+    check_machine(m)
+
+
+def test_channel_works_on_quad_socket():
+    """The attack generalizes to any socket count (paper Sec VIII-E)."""
+    session = ChannelSession(SessionConfig(
+        scenario=TABLE_I[1],  # RExclc-RSharedb: fully remote
+        seed=5,
+        machine=MachineConfig(n_sockets=4, cores_per_socket=4),
+        calibration_samples=200,
+    ))
+    result = session.transmit([1, 0, 1, 1, 0, 0, 1, 0])
+    assert result.accuracy == 1.0
+
+
+def test_single_core_socket_rejected_for_local_scenario():
+    # one core per socket cannot host spy + two local trojan threads
+    with pytest.raises(ConfigError):
+        ChannelSession(SessionConfig(
+            scenario=TABLE_I[0],
+            machine=MachineConfig(n_sockets=2, cores_per_socket=1),
+            calibration_samples=50,
+        ))
+
+
+def test_wide_socket_counts_keep_invariants(rng):
+    m = Machine(MachineConfig(n_sockets=3, cores_per_socket=2,
+                              noise=NoiseModel(enabled=False)), rng)
+    for core in range(6):
+        m.load(core, ADDR + 64 * core)
+        m.load((core + 3) % 6, ADDR + 64 * core)
+    m.store(0, ADDR, 1)
+    m.flush(5, ADDR + 64)
+    check_machine(m)
+
+
+def test_home_agent_mode_splits_bands(rng):
+    """Section VIII-E: home-directory hops create extra latency profiles."""
+    m = Machine(MachineConfig(home_agent=True,
+                              noise=NoiseModel(enabled=False)), rng)
+    lats = {}
+    for addr in (0x100000, 0x101000):  # consecutive pages, homes 0 and 1
+        m.flush(0, addr)
+        m.load(6, addr)
+        _v, lat, path = m.load(0, addr)
+        assert path is AccessPath.REMOTE_EXCL
+        home = (addr // 4096) % 2
+        lats[home] = lat
+    # home-remote addresses pay the extra directory hop
+    assert lats[1] > lats[0] + 20
+    check_machine(m)
+
+
+def test_home_agent_local_hits_unaffected(rng):
+    m = Machine(MachineConfig(home_agent=True,
+                              noise=NoiseModel(enabled=False)), rng)
+    addr = 0x101000  # home socket 1
+    m.load(0, addr)
+    _v, lat, path = m.load(0, addr)
+    assert path is AccessPath.L1_HIT
+    assert lat < 20
+
+
+def test_home_agent_channel_still_works():
+    session = ChannelSession(SessionConfig(
+        scenario=TABLE_I[0],
+        seed=5,
+        machine=MachineConfig(home_agent=True),
+        calibration_samples=300,
+    ))
+    result = session.transmit([1, 0, 1, 1, 0, 0, 1, 0])
+    assert result.accuracy == 1.0

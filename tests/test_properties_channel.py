@@ -1,0 +1,192 @@
+"""Property-based tests on the channel's codecs and metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.calibration import Band, LatencyBands
+from repro.channel.config import LEXCL, LSHARED, ProtocolParams, Scenario
+from repro.channel.decoder import BitDecoder, Sample
+from repro.channel.ecc import (
+    bits_to_bytes,
+    bytes_to_bits,
+    check_packet,
+    check_packet_crc16,
+    encode_packet,
+    encode_packet_crc16,
+)
+from repro.channel.metrics import align_bits
+from repro.channel.symbols import bits_to_symbols, symbols_to_bits
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=0,
+                     max_size=200)
+
+
+# ---------------------------------------------------------------------------
+# decoder round trip: an ideal label stream decodes back to the payload
+# ---------------------------------------------------------------------------
+
+def make_decoder(params: ProtocolParams) -> BitDecoder:
+    bands = LatencyBands(bands={
+        LSHARED: Band("LShared", 90, 108),
+        LEXCL: Band("LExcl", 115, 135),
+    }, dram=Band("dram", 280, 400))
+    return BitDecoder(bands, Scenario(csc=LEXCL, csb=LSHARED), params)
+
+
+def ideal_labels(payload, params: ProtocolParams) -> str:
+    out = []
+    for bit in payload:
+        out.append("b" * params.cb)
+        out.append("c" * (params.c1 if bit else params.c0))
+    out.append("b" * params.cb)
+    return "".join(out)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    payload=st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                     max_size=40),
+    c0=st.integers(min_value=2, max_value=3),
+    extra=st.integers(min_value=2, max_value=4),
+    cb=st.integers(min_value=3, max_value=5),
+)
+def test_ideal_stream_decodes_exactly(payload, c0, extra, cb):
+    params = ProtocolParams(c1=c0 + extra, c0=c0, cb=cb)
+    decoder = make_decoder(params)
+    labels = ideal_labels(payload, params)
+    samples = [
+        Sample(timestamp=float(i), latency=124.0 if lab == "c" else 98.0,
+               label=lab)
+        for i, lab in enumerate(labels)
+    ]
+    report = decoder.decode(samples)
+    assert report.bits == payload
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payload=st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                     max_size=30),
+    jitter=st.lists(st.integers(min_value=-1, max_value=1), min_size=1,
+                    max_size=30),
+)
+def test_run_length_jitter_of_one_never_flips(payload, jitter):
+    """±1-sample run-length noise must not change any decoded bit.
+
+    Runs are clamped to two samples: the decoder's run repair treats
+    1-sample runs as flipped boundary samples by design (slot-locked
+    pacing guarantees >= 2 samples per legitimate state hold).
+    """
+    params = ProtocolParams(c1=5, c0=2, cb=3)
+    decoder = make_decoder(params)
+    out = []
+    for i, bit in enumerate(payload):
+        out.append("b" * params.cb)
+        base = params.c1 if bit else params.c0
+        delta = jitter[i % len(jitter)]
+        out.append("c" * max(2, base + delta))
+    out.append("b" * params.cb)
+    samples = [
+        Sample(timestamp=float(i), latency=124.0 if lab == "c" else 98.0,
+               label=lab)
+        for i, lab in enumerate("".join(out))
+    ]
+    report = decoder.decode(samples)
+    assert report.bits == payload
+
+
+# ---------------------------------------------------------------------------
+# packet codecs
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0))
+def test_parity_roundtrip(data):
+    ok, decoded = check_packet(encode_packet(data), data_bytes=len(data))
+    assert ok and decoded == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.binary(min_size=4, max_size=64).filter(lambda b: len(b) % 4 == 0),
+    flip=st.integers(min_value=0, max_value=10_000),
+)
+def test_parity_detects_single_flip(data, flip):
+    bits = encode_packet(data)
+    bits[flip % len(bits)] ^= 1
+    ok, _decoded = check_packet(bits, data_bytes=len(data))
+    assert not ok
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=1, max_size=64))
+def test_crc16_roundtrip(data):
+    ok, decoded = check_packet_crc16(encode_packet_crc16(data),
+                                     data_bytes=len(data))
+    assert ok and decoded == data
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=32),
+    flips=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                   max_size=4, unique=True),
+)
+def test_crc16_detects_small_corruptions(data, flips):
+    bits = encode_packet_crc16(data)
+    positions = {f % len(bits) for f in flips}
+    for pos in positions:
+        bits[pos] ^= 1
+    ok, _decoded = check_packet_crc16(bits, data_bytes=len(data))
+    assert not ok  # CRC-16 catches all 1..4-bit corruptions
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(min_size=0, max_size=48))
+def test_bytes_bits_roundtrip(data):
+    assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+# ---------------------------------------------------------------------------
+# symbol packing
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(bits=st.lists(st.integers(min_value=0, max_value=1), min_size=0,
+                     max_size=60).filter(lambda b: len(b) % 2 == 0))
+def test_symbol_packing_roundtrip(bits):
+    assert symbols_to_bits(bits_to_symbols(bits)) == bits
+
+
+# ---------------------------------------------------------------------------
+# alignment metric
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(bits=bit_lists)
+def test_alignment_identity(bits):
+    result = align_bits(bits, bits)
+    assert result.matches == len(bits)
+    assert result.accuracy == 1.0 if bits else result.accuracy in (0.0, 1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(sent=bit_lists, received=bit_lists)
+def test_alignment_bounds(sent, received):
+    result = align_bits(sent, received)
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.matches <= min(len(sent), len(received)) or not sent
+    assert result.matches + result.flips + result.losses == len(sent)
+    assert result.matches + result.flips + result.duplicates == len(received)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sent=st.lists(st.integers(min_value=0, max_value=1), min_size=2,
+                     max_size=80),
+       drop=st.integers(min_value=0, max_value=79))
+def test_alignment_single_deletion(sent, drop):
+    received = list(sent)
+    del received[drop % len(sent)]
+    result = align_bits(sent, received)
+    assert result.losses + result.flips * 2 <= 3  # one deletion dominates
+    assert result.accuracy >= (len(sent) - 2) / len(sent)

@@ -1,0 +1,64 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).get("jitter")
+    b = RngStreams(42).get("jitter")
+    assert a.random() == b.random()
+
+
+def test_different_names_different_streams():
+    streams = RngStreams(42)
+    a = streams.get("alpha").random()
+    b = streams.get("beta").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RngStreams(1)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_creation_order_does_not_matter():
+    one = RngStreams(9)
+    one.get("first")
+    value_one = one.get("second").random()
+    two = RngStreams(9)
+    value_two = two.get("second").random()
+    assert value_one == value_two
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).get("s").random()
+    b = RngStreams(2).get("s").random()
+    assert a != b
+
+
+def test_fork_changes_streams():
+    base = RngStreams(5)
+    forked = base.fork(1)
+    assert forked.seed != base.seed
+    assert base.get("n").random() != forked.get("n").random()
+
+
+def test_fork_is_deterministic():
+    assert RngStreams(5).fork(3).seed == RngStreams(5).fork(3).seed
+
+
+def test_seed_property():
+    assert RngStreams(7).seed == 7
+
+
+def test_non_int_seed_rejected():
+    with pytest.raises(TypeError):
+        RngStreams("abc")
+
+
+def test_streams_are_generators():
+    stream = RngStreams(0).get("g")
+    assert isinstance(stream, np.random.Generator)

@@ -1,0 +1,63 @@
+"""Tests for the statistics registry."""
+
+import math
+
+from repro.sim.stats import Histogram, StatsRegistry
+
+
+def test_counter_starts_at_zero():
+    stats = StatsRegistry()
+    assert stats.counter("never") == 0
+
+
+def test_counter_increments():
+    stats = StatsRegistry()
+    stats.incr("hits")
+    stats.incr("hits", 4)
+    assert stats.counter("hits") == 5
+
+
+def test_histogram_identity():
+    stats = StatsRegistry()
+    assert stats.histogram("lat") is stats.histogram("lat")
+
+
+def test_histogram_records_and_summarizes():
+    hist = Histogram("x")
+    for v in (1.0, 2.0, 3.0):
+        hist.record(v)
+    assert len(hist) == 3
+    assert hist.mean() == 2.0
+    assert hist.percentile(50) == 2.0
+
+
+def test_empty_histogram_is_nan():
+    hist = Histogram("empty")
+    assert math.isnan(hist.mean())
+    assert math.isnan(hist.percentile(50))
+    assert hist.summary()["count"] == 0
+
+
+def test_summary_keys():
+    hist = Histogram("s")
+    hist.record(10.0)
+    summary = hist.summary()
+    assert set(summary) == {"count", "mean", "p5", "p50", "p95"}
+    assert summary["count"] == 1
+
+
+def test_reset_clears_everything():
+    stats = StatsRegistry()
+    stats.incr("a")
+    stats.histogram("h").record(1.0)
+    stats.reset()
+    assert stats.counter("a") == 0
+    assert len(stats.histogram("h")) == 0
+
+
+def test_counters_copy_is_detached():
+    stats = StatsRegistry()
+    stats.incr("a")
+    copy = stats.counters()
+    copy["a"] = 99
+    assert stats.counter("a") == 1
