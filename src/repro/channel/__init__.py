@@ -59,6 +59,7 @@ from repro.channel.session import (
     SessionBase,
     SessionConfig,
     TransmissionResult,
+    execute_point,
     run_transmission,
 )
 from repro.channel.spy import SpyResult, eviction_flusher, spy_program
@@ -130,6 +131,7 @@ __all__ = [
     "measure_pair",
     "raw_bit_accuracy",
     "run_synchronization",
+    "execute_point",
     "run_transmission",
     "scenario_by_name",
     "spy_program",

@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.channel.calibration import LatencyBands, calibrate
-from repro.channel.config import Location, ProtocolParams, Scenario
+from repro.channel.config import (
+    Location,
+    ProtocolParams,
+    Scenario,
+    scenario_by_name,
+)
 from repro.channel.decoder import BitDecoder, DecodeReport, Sample
 from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
 from repro.channel.spy import SpyResult, eviction_flusher, spy_program
@@ -301,6 +306,52 @@ class ChannelSession(SessionBase):
             cycles=spy_result.reception_cycles,
             nominal_rate_kbps=cfg.params.nominal_rate_kbps,
         )
+
+
+def execute_point(
+    *,
+    scenario: Scenario | str,
+    payload: list[int],
+    rate_kbps: float | None = None,
+    seed: int = 0,
+    noise_threads: int = 0,
+    warmup_bits: int = 0,
+    calibration_samples: int | None = None,
+    params: ProtocolParams | None = None,
+    machine: MachineConfig | None = None,
+    flush_method: str = "clflush",
+) -> TransmissionResult:
+    """Grid-point entry: one self-contained transmission from plain data.
+
+    This is the execution boundary the :mod:`repro.runner` subsystem
+    ships to worker processes, so every argument is either JSON-plain or
+    optional — the scenario may be its Table I name string, and the full
+    machine/kernel/session stack is constructed *inside* the call (a
+    worker never receives live simulator state).  ``warmup_bits``
+    transmits a payload prefix first so noise workloads reach the
+    steady-state regime the paper measures in (Figure 9).
+    """
+    if isinstance(scenario, str):
+        scenario = scenario_by_name(scenario)
+    if params is None:
+        params = ProtocolParams()
+    if rate_kbps is not None:
+        params = params.at_rate(rate_kbps)
+    kwargs: dict = {}
+    if calibration_samples is not None:
+        kwargs["calibration_samples"] = calibration_samples
+    session = ChannelSession(SessionConfig(
+        scenario=scenario,
+        params=params,
+        seed=seed,
+        noise_threads=noise_threads,
+        machine=machine if machine is not None else MachineConfig(),
+        flush_method=flush_method,
+        **kwargs,
+    ))
+    if warmup_bits:
+        session.transmit(payload[:warmup_bits])
+    return session.transmit(payload)
 
 
 def run_transmission(

@@ -4,8 +4,14 @@ Commands map to the experiment drivers plus a couple of conveniences::
 
     python -m repro list                 # what can I run?
     python -m repro fig8 --scenario ...  # any experiment by short name
-    python -m repro send 10110. --scenario RExclc-LSharedb
+    python -m repro fig8 --jobs 8        # fan the grid out over 8 workers
+    python -m repro send 10110 --scenario RExclc-LSharedb
     python -m repro bands                # print calibrated latency bands
+
+Experiment commands dispatch through
+:data:`repro.experiments.REGISTRY` — every driver self-describes (name,
+one-liner, ``build_spec``, ``render``) — and all of them accept the
+shared runner options ``--jobs``, ``--no-cache``, ``--cache-dir``.
 """
 
 from __future__ import annotations
@@ -14,42 +20,27 @@ import argparse
 import sys
 from collections.abc import Callable
 
-from repro.experiments import (  # noqa: F401  (resolved lazily below)
-    common,
-)
+from repro.experiments import REGISTRY
 
-#: Short command name -> experiments module name.
+#: Short command name -> experiments module name (derived from
+#: :data:`REGISTRY`; kept for backwards compatibility).
 EXPERIMENTS: dict[str, str] = {
-    "fig2": "fig2_latency_cdf",
-    "table1": "table1_scenarios",
-    "fig7": "fig7_reception",
-    "fig8": "fig8_bandwidth",
-    "fig9": "fig9_noise",
-    "fig10": "fig10_ecc",
-    "fig11": "fig11_multibit",
-    "sync": "sync_handshake",
-    "mitigations": "mitigations",
-    "ablations": "ablations",
-    "detect": "detection_roc",
-    "capacity": "capacity_analysis",
+    name: info.module for name, info in REGISTRY.items()
 }
-
-
-def _experiment_main(name: str) -> Callable[[list[str] | None], None]:
-    import importlib
-
-    module = importlib.import_module(f"repro.experiments.{EXPERIMENTS[name]}")
-    return module.main
 
 
 def cmd_list(_argv: list[str]) -> None:
     """Print the available commands."""
     print("experiments:")
-    for short, module in EXPERIMENTS.items():
-        print(f"  {short:12s} -> repro.experiments.{module}")
+    for name, info in REGISTRY.items():
+        print(f"  {name:12s} {info.summary}")
+        print(f"  {'':12s}   -> repro.experiments.{info.module}")
     print("utilities:")
-    print("  send         transmit a bit string over a chosen scenario")
-    print("  bands        print the calibrated latency bands")
+    for name, (summary, _handler) in UTILITIES.items():
+        if name != "list":
+            print(f"  {name:12s} {summary}")
+    print()
+    print("experiment options: --jobs N  --no-cache  --cache-dir DIR")
 
 
 def cmd_send(argv: list[str]) -> None:
@@ -70,7 +61,13 @@ def cmd_send(argv: list[str]) -> None:
     if not payload:
         parser.error("payload must contain 0/1 characters")
     params = ProtocolParams()
-    if args.rate:
+    if args.rate is not None:
+        # An explicit 0 (or negative) must error, not be silently
+        # ignored the way a falsy check would.
+        if args.rate <= 0:
+            parser.error(
+                f"--rate must be a positive Kbit/s value, got {args.rate:g}"
+            )
         params = params.at_rate(args.rate)
     session = ChannelSession(SessionConfig(
         scenario=scenario_by_name(args.scenario),
@@ -104,6 +101,14 @@ def cmd_bands(argv: list[str]) -> None:
         print(f"{'dram':8s} [{bands.dram.lo:6.1f}, {bands.dram.hi:6.1f}] cycles")
 
 
+#: Utility command name -> (one-liner, handler).
+UTILITIES: dict[str, tuple[str, Callable[[list[str]], None]]] = {
+    "list": ("print the available commands", cmd_list),
+    "send": ("transmit a bit string over a chosen scenario", cmd_send),
+    "bands": ("print the calibrated latency bands", cmd_bands),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns an exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -113,17 +118,13 @@ def main(argv: list[str] | None = None) -> int:
         cmd_list([])
         return 0
     command, rest = argv[0], argv[1:]
-    if command == "list":
-        cmd_list(rest)
+    utility = UTILITIES.get(command)
+    if utility is not None:
+        utility[1](rest)
         return 0
-    if command == "send":
-        cmd_send(rest)
-        return 0
-    if command == "bands":
-        cmd_bands(rest)
-        return 0
-    if command in EXPERIMENTS:
-        _experiment_main(command)(rest)
+    info = REGISTRY.get(command)
+    if info is not None:
+        info.main(rest)
         return 0
     print(f"unknown command {command!r}; try 'python -m repro list'",
           file=sys.stderr)

@@ -68,6 +68,25 @@ class OutOfMemoryError(KernelError):
     """The physical frame allocator is exhausted."""
 
 
+class RunnerError(ReproError):
+    """Base class for experiment-runner errors."""
+
+
+class SpecError(RunnerError):
+    """An ExperimentSpec or Point is malformed (e.g. unpicklable params)."""
+
+
+class PointExecutionError(RunnerError):
+    """A grid point raised while executing (in-process or in a worker)."""
+
+    def __init__(self, label: str, cause: BaseException):
+        self.label = label
+        self.cause = cause
+        super().__init__(
+            f"point {label!r} failed: {type(cause).__name__}: {cause}"
+        )
+
+
 class ChannelError(ReproError):
     """Base class for covert-channel layer errors."""
 

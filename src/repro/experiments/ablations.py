@@ -19,43 +19,119 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, ProtocolParams
+from repro.channel.config import TABLE_I, ProtocolParams, scenario_by_name
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.errors import CalibrationError
-from repro.experiments.common import payload_bits
+from repro.experiments.common import (
+    execute_from_args,
+    payload_bits,
+    runner_arguments,
+)
 from repro.mem.hierarchy import MachineConfig
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "ablations"
+SUMMARY = "DESIGN.md design-choice ablations"
+POINT_FN = "repro.experiments.ablations:point"
+
+PROTOCOLS = ("mesi", "mesif", "moesi")
+FLUSH_METHODS = ("clflush", "evict")
 
 
-def run_protocols(seed: int = 0, bits: int = 60) -> dict:
-    """Channel accuracy per coherence-protocol variant."""
-    payload = payload_bits(bits)
-    outcomes = {}
-    for protocol in ("mesi", "mesif", "moesi"):
+def point(*, group: str, seed: int, **kw):
+    """One ablation measurement; ``group`` selects the design knob."""
+    if group == "protocol":
         session = ChannelSession(SessionConfig(
             scenario=TABLE_I[0],
             seed=seed,
-            machine=MachineConfig(protocol=protocol),
+            machine=MachineConfig(protocol=kw["protocol"]),
         ))
-        outcomes[protocol] = session.transmit(payload).accuracy
-    return outcomes
+        return session.transmit(payload_bits(kw["bits"])).accuracy
 
-
-def run_inclusion(seed: int = 0, bits: int = 60) -> dict:
-    """Channel accuracy on inclusive vs non-inclusive LLCs."""
-    payload = payload_bits(bits)
-    outcomes = {}
-    for inclusive in (True, False):
-        label = "inclusive" if inclusive else "non-inclusive"
+    if group == "inclusion":
         try:
             session = ChannelSession(SessionConfig(
                 scenario=TABLE_I[1],  # remote scenario: LLC role matters
                 seed=seed,
-                machine=MachineConfig(inclusive=inclusive),
+                machine=MachineConfig(inclusive=kw["inclusive"]),
             ))
-            outcomes[label] = session.transmit(payload).accuracy
+            return session.transmit(payload_bits(kw["bits"])).accuracy
         except CalibrationError:
-            outcomes[label] = 0.0
-    return outcomes
+            return 0.0
+
+    if group == "flush":
+        method = kw["method"]
+        config = SessionConfig(scenario=TABLE_I[0], seed=seed) \
+            if method == "clflush" else SessionConfig(
+                scenario=TABLE_I[0], seed=seed,
+                params=ProtocolParams.for_eviction_flush(),
+                flush_method="evict",
+            )
+        result = ChannelSession(config).transmit(payload_bits(kw["bits"]))
+        return {
+            "accuracy": result.accuracy,
+            "rate_kbps": result.achieved_rate_kbps,
+        }
+
+    if group == "home_agent":
+        from repro.mem.latency import NoiseModel
+        from repro.mem.hierarchy import Machine
+        from repro.sim.rng import RngStreams
+
+        machine = Machine(
+            MachineConfig(home_agent=True, noise=NoiseModel(enabled=False)),
+            RngStreams(seed),
+        )
+        out = {}
+        for addr, label in ((0x100000, "home-local"),
+                            (0x101000, "home-remote")):
+            machine.flush(0, addr)
+            machine.load(6, addr)           # remote E placement
+            _v, latency, _p = machine.load(0, addr)
+            out[label] = float(latency)
+        out["split_cycles"] = out["home-remote"] - out["home-local"]
+        return out
+
+    if group == "band_gap":
+        scenario = scenario_by_name(kw["scenario"])
+        session = ChannelSession(SessionConfig(
+            scenario=scenario,
+            params=ProtocolParams().at_rate(kw["rate"]),
+            seed=seed,
+        ))
+        tc = session.bands.band_for(scenario.csc)
+        tb = session.bands.band_for(scenario.csb)
+        gap = max(tb.lo - tc.hi, tc.lo - tb.hi)
+        accuracy = session.transmit(payload_bits(kw["bits"])).accuracy
+        return {
+            "scenario": scenario.name,
+            "gap_cycles": float(gap),
+            "accuracy": accuracy,
+        }
+
+    raise ValueError(f"unknown ablation group {group!r}")
+
+
+# -- per-group helpers (stable programmatic API) ------------------------
+
+
+def run_protocols(seed: int = 0, bits: int = 60) -> dict:
+    """Channel accuracy per coherence-protocol variant."""
+    return {
+        protocol: point(group="protocol", seed=seed, protocol=protocol,
+                        bits=bits)
+        for protocol in PROTOCOLS
+    }
+
+
+def run_inclusion(seed: int = 0, bits: int = 60) -> dict:
+    """Channel accuracy on inclusive vs non-inclusive LLCs."""
+    return {
+        ("inclusive" if inclusive else "non-inclusive"): point(
+            group="inclusion", seed=seed, inclusive=inclusive, bits=bits
+        )
+        for inclusive in (True, False)
+    }
 
 
 def run_flush_methods(seed: int = 0, bits: int = 40) -> dict:
@@ -64,108 +140,124 @@ def run_flush_methods(seed: int = 0, bits: int = 40) -> dict:
     Section VI-B lists eviction of all the ways in the set as the
     clflush alternative; the ablation shows it works but is far slower.
     """
-    payload = payload_bits(bits)
-    outcomes = {}
-    session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[0], seed=seed,
-    ))
-    result = session.transmit(payload)
-    outcomes["clflush"] = {
-        "accuracy": result.accuracy,
-        "rate_kbps": result.achieved_rate_kbps,
+    return {
+        method: point(group="flush", seed=seed, method=method, bits=bits)
+        for method in FLUSH_METHODS
     }
-    session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[0], seed=seed,
-        params=ProtocolParams.for_eviction_flush(),
-        flush_method="evict",
-    ))
-    result = session.transmit(payload)
-    outcomes["evict"] = {
-        "accuracy": result.accuracy,
-        "rate_kbps": result.achieved_rate_kbps,
-    }
-    return outcomes
 
 
 def run_home_agent(seed: int = 0) -> dict:
     """Sub-band split under home-agent directories (Section VIII-E)."""
-    from repro.mem.latency import NoiseModel
-    from repro.mem.hierarchy import Machine
-    from repro.sim.rng import RngStreams
-
-    machine = Machine(
-        MachineConfig(home_agent=True, noise=NoiseModel(enabled=False)),
-        RngStreams(seed),
-    )
-    out = {}
-    for addr, label in ((0x100000, "home-local"), (0x101000, "home-remote")):
-        machine.flush(0, addr)
-        machine.load(6, addr)           # remote E placement
-        _v, latency, _p = machine.load(0, addr)
-        out[label] = float(latency)
-    out["split_cycles"] = out["home-remote"] - out["home-local"]
-    return out
+    return point(group="home_agent", seed=seed)
 
 
 def run_band_gap(seed: int = 0, bits: int = 100, rate: float = 1000.0) -> dict:
     """High-rate accuracy vs the scenario's calibrated band gap."""
-    payload = payload_bits(bits)
-    params = ProtocolParams().at_rate(rate)
-    rows = []
-    for scenario in TABLE_I:
-        session = ChannelSession(SessionConfig(
-            scenario=scenario, params=params, seed=seed,
-        ))
-        tc = session.bands.band_for(scenario.csc)
-        tb = session.bands.band_for(scenario.csb)
-        gap = max(tb.lo - tc.hi, tc.lo - tb.hi)
-        accuracy = session.transmit(payload).accuracy
-        rows.append({
-            "scenario": scenario.name,
-            "gap_cycles": float(gap),
-            "accuracy": accuracy,
-        })
+    rows = [
+        point(group="band_gap", seed=seed, scenario=scenario.name,
+              bits=bits, rate=rate)
+        for scenario in TABLE_I
+    ]
     return {"rows": rows, "rate": rate}
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
+# -- unified spec API ---------------------------------------------------
 
-    protocols = run_protocols(seed=args.seed)
-    print(ascii_table(
+
+def build_spec(
+    seed: int = 0,
+    bits: int = 60,
+    flush_bits: int = 40,
+    gap_bits: int = 100,
+    gap_rate: float = 1000.0,
+) -> ExperimentSpec:
+    """Every ablation measurement as one flat grid."""
+    points = []
+    for protocol in PROTOCOLS:
+        points.append(Point(POINT_FN, {
+            "group": "protocol", "seed": seed, "protocol": protocol,
+            "bits": bits,
+        }, label=f"protocol:{protocol}"))
+    for inclusive in (True, False):
+        points.append(Point(POINT_FN, {
+            "group": "inclusion", "seed": seed, "inclusive": inclusive,
+            "bits": bits,
+        }, label=f"inclusion:{inclusive}"))
+    for method in FLUSH_METHODS:
+        points.append(Point(POINT_FN, {
+            "group": "flush", "seed": seed, "method": method,
+            "bits": flush_bits,
+        }, label=f"flush:{method}"))
+    points.append(Point(POINT_FN, {
+        "group": "home_agent", "seed": seed,
+    }, label="home-agent"))
+    for scenario in TABLE_I:
+        points.append(Point(POINT_FN, {
+            "group": "band_gap", "seed": seed, "scenario": scenario.name,
+            "bits": gap_bits, "rate": gap_rate,
+        }, label=f"gap:{scenario.name}"))
+    return ExperimentSpec(
+        experiment=NAME,
+        points=tuple(points),
+        meta={"gap_rate": gap_rate, "scenarios": [s.name for s in TABLE_I]},
+    )
+
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    it = iter(values)
+    protocols = {protocol: next(it) for protocol in PROTOCOLS}
+    inclusion = {
+        label: next(it) for label in ("inclusive", "non-inclusive")
+    }
+    flush = {method: next(it) for method in FLUSH_METHODS}
+    home = next(it)
+    rows = [next(it) for _ in spec.meta["scenarios"]]
+    return {
+        "protocols": protocols,
+        "inclusion": inclusion,
+        "flush_methods": flush,
+        "home_agent": home,
+        "band_gap": {"rows": rows, "rate": spec.meta["gap_rate"]},
+    }
+
+
+def run(spec: ExperimentSpec | None = None, **kwargs) -> dict:
+    """All ablation groups in one result dict (keyed per group)."""
+    if not isinstance(spec, ExperimentSpec):
+        spec = build_spec(**kwargs)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
+    parts = [ascii_table(
         ("protocol", "accuracy"),
-        [(k, f"{v * 100:.1f}%") for k, v in protocols.items()],
+        [(k, f"{v * 100:.1f}%") for k, v in result["protocols"].items()],
         title="Ablation: coherence-protocol variant (paper Sec VIII-E)",
-    ))
-    print()
-    inclusion = run_inclusion(seed=args.seed)
-    print(ascii_table(
+    ), ""]
+    parts.append(ascii_table(
         ("LLC policy", "accuracy"),
-        [(k, f"{v * 100:.1f}%") for k, v in inclusion.items()],
+        [(k, f"{v * 100:.1f}%") for k, v in result["inclusion"].items()],
         title="Ablation: LLC inclusion property",
     ))
-    print()
-    flush = run_flush_methods(seed=args.seed)
-    print(ascii_table(
+    parts.append("")
+    parts.append(ascii_table(
         ("flush primitive", "accuracy", "rate (Kbps)"),
         [(k, f"{v['accuracy'] * 100:.1f}%", f"{v['rate_kbps']:.0f}")
-         for k, v in flush.items()],
+         for k, v in result["flush_methods"].items()],
         title="Ablation: clflush vs LLC-set eviction (paper Sec VI-B)",
     ))
-    print()
-    home = run_home_agent(seed=args.seed)
-    print(ascii_table(
+    parts.append("")
+    home = result["home_agent"]
+    parts.append(ascii_table(
         ("remote-E address class", "latency (cycles)"),
         [("home-local", f"{home['home-local']:.0f}"),
          ("home-remote", f"{home['home-remote']:.0f}"),
          ("sub-band split", f"{home['split_cycles']:.0f}")],
         title="Ablation: home-agent directory hop (paper Sec VIII-E)",
     ))
-    print()
-    gap = run_band_gap(seed=args.seed)
-    print(ascii_table(
+    parts.append("")
+    gap = result["band_gap"]
+    parts.append(ascii_table(
         ("scenario", "band gap (cycles)", f"accuracy @ {gap['rate']:.0f}Kbps"),
         [
             (r["scenario"], f"{r['gap_cycles']:.0f}",
@@ -174,6 +266,26 @@ def main(argv: list[str] | None = None) -> None:
         ],
         title="Ablation: band gap vs high-rate robustness",
     ))
+    return "\n".join(parts)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -20,8 +20,37 @@ from repro.analysis.reporting import ascii_table
 from repro.channel.config import ProtocolParams, scenario_by_name
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.channel.symbols import MultiBitSession, SymbolParams
-from repro.experiments.common import payload_bits
+from repro.experiments.common import (
+    execute_from_args,
+    payload_bits,
+    runner_arguments,
+    warn_legacy_run,
+)
 from repro.mem.latency import CLOCK_HZ
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "capacity"
+SUMMARY = "extension: information-theoretic capacity"
+POINT_FN = "repro.experiments.capacity_analysis:point"
+
+#: The operating points of the capacity table: (kind, rate, noise).
+OPERATING_POINTS = (
+    ("binary", 400.0, 0),
+    ("binary", 1000.0, 0),
+    ("binary", 400.0, 4),
+    ("multibit", 800.0, 0),
+    ("multibit", 1100.0, 0),
+)
+
+
+def point(*, kind: str, rate: float, noise: int, seed: int,
+          bits: int) -> dict:
+    """Capacity measurement at one operating point."""
+    if kind == "binary":
+        return _binary_point(rate, noise, seed, bits)
+    if kind == "multibit":
+        return _multibit_point(rate, seed, bits)
+    raise ValueError(f"unknown operating-point kind {kind!r}")
 
 
 def _binary_point(rate: float, noise: int, seed: int, bits: int) -> dict:
@@ -75,38 +104,72 @@ def _multibit_point(rate: float, seed: int, bits: int) -> dict:
     }
 
 
-def run(seed: int = 0, bits: int = 200) -> dict:
-    """Capacity table across operating points."""
-    points = [
-        _binary_point(400, 0, seed, bits),
-        _binary_point(1000, 0, seed, bits),
-        _binary_point(400, 4, seed, bits),
-        _multibit_point(800, seed, bits),
-        _multibit_point(1100, seed, bits),
-    ]
-    return {"points": points}
+def build_spec(seed: int = 0, bits: int = 200) -> ExperimentSpec:
+    """One point per capacity operating point."""
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={"kind": kind, "rate": rate, "noise": noise,
+                    "seed": seed, "bits": bits},
+            label=f"{kind}@{rate:g}K noise={noise}",
+        )
+        for kind, rate, noise in OPERATING_POINTS
+    )
+    return ExperimentSpec(experiment=NAME, points=points)
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--bits", type=int, default=200)
-    args = parser.parse_args(argv)
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    return {"points": list(values)}
 
-    outcome = run(seed=args.seed, bits=args.bits)
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Capacity table across operating points.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
     rows = [
         (p["label"], f"{p['accuracy'] * 100:.1f}%",
          f"{p['mutual_information']:.3f}",
          f"{p['capacity_bits']:.3f}",
          f"{p['capacity_kbps']:.0f}")
-        for p in outcome["points"]
+        for p in result["points"]
     ]
-    print(ascii_table(
+    return ascii_table(
         ("operating point", "accuracy", "I(X;Y) bits/sym",
          "capacity bits/sym", "capacity Kbit/s"),
         rows,
         title="Channel capacity (extension experiment)",
-    ))
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=200)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed, bits=args.bits)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -1,13 +1,24 @@
 """Shared plumbing for the experiment drivers.
 
-Every driver exposes ``run(...) -> dict`` returning plain data (so the
-benchmark harness can assert on shapes) and a ``main()`` entry point
-that prints the paper-style table/figure as text.
+Every driver speaks the unified :class:`~repro.runner.ExperimentSpec`
+API:
+
+* ``point(**params)`` — the top-level per-grid-point function the
+  runner executes (in-process or in a worker);
+* ``build_spec(**kwargs) -> ExperimentSpec`` — declares the grid;
+* ``collect(spec, values) -> dict`` — reassembles point values into the
+  figure-shaped result dict;
+* ``run(spec) -> dict`` — the normalized entry point (legacy keyword
+  forms survive as deprecation shims);
+* ``render(result) -> str`` — the paper-style text table;
+* ``main(argv)`` — CLI glue with the shared ``--jobs``/``--no-cache``/
+  ``--cache-dir`` runner options.
 """
 
 from __future__ import annotations
 
 import argparse
+import warnings
 
 import numpy as np
 
@@ -65,4 +76,62 @@ def common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--bits", type=int, default=100,
         help="payload length in bits (default matches the paper's 100)",
+    )
+
+
+def runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared execution options every experiment command accepts."""
+    group = parser.add_argument_group("runner")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the point grid (0 = all CPUs)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/results)",
+    )
+    group.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-point progress lines on stderr",
+    )
+
+
+def execute_from_args(spec, args: argparse.Namespace) -> list:
+    """Run *spec* under the CLI's runner options; returns point values.
+
+    Builds a :class:`~repro.runner.Runner` from the options
+    :func:`runner_arguments` added (``--jobs``, ``--no-cache``,
+    ``--cache-dir``, ``--no-progress``), emits per-point progress and an
+    end-of-sweep timing summary on stderr, and returns the values in
+    grid order.
+    """
+    from repro.runner import ResultCache, Runner, StderrProgress
+
+    cache = None if getattr(args, "no_cache", False) else ResultCache(
+        getattr(args, "cache_dir", None)
+    )
+    progress = None if getattr(args, "no_progress", False) else StderrProgress(
+        spec.experiment
+    )
+    runner = Runner(jobs=getattr(args, "jobs", 1), cache=cache,
+                    progress=progress)
+    report = runner.run(spec)
+    if progress is not None:
+        progress.summarize(report)
+    return report.values
+
+
+def warn_legacy_run(module: str) -> None:
+    """Deprecation warning for the pre-ExperimentSpec ``run()`` forms."""
+    warnings.warn(
+        f"calling {module}.run() with legacy keyword arguments is "
+        f"deprecated; build a grid with {module}.build_spec(...) and pass "
+        f"the ExperimentSpec as the single positional argument",
+        DeprecationWarning,
+        stacklevel=3,
     )

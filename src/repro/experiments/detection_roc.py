@@ -13,50 +13,66 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I
+from repro.channel.config import TABLE_I, scenario_by_name
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.detection import ChannelDetector, EventMonitor
-from repro.experiments.common import payload_bits
+from repro.experiments.common import (
+    execute_from_args,
+    payload_bits,
+    runner_arguments,
+    warn_legacy_run,
+)
 from repro.kernel.syscalls import Kernel
 from repro.kernel.workloads import spawn_kernel_build
 from repro.mem.cacheline import LINE_SIZE
 from repro.mem.hierarchy import Machine, MachineConfig
+from repro.runner import ExperimentSpec, Point, execute
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
+NAME = "detect"
+SUMMARY = "extension: covert-channel detection"
+POINT_FN = "repro.experiments.detection_roc:point"
 
-def run_attacks(seed: int = 0, bits: int = 40) -> list[dict]:
-    """Run each scenario under monitoring; report detection outcomes."""
-    rows = []
-    payload = payload_bits(bits)
-    for scenario in TABLE_I:
-        session = ChannelSession(SessionConfig(
-            scenario=scenario, seed=seed, calibration_samples=200,
-        ))
-        monitor = EventMonitor(session.machine)
-        monitor.attach()
-        session.transmit(payload)
-        detector = ChannelDetector(monitor)
-        detections = detector.scan(session.sim.global_clock)
-        covert_line = (
-            session.spy_proc.translate(session.spy_va) & ~(LINE_SIZE - 1)
-        )
-        hit = any(d.line == covert_line for d in detections)
-        top = detections[0] if detections else None
-        rows.append({
-            "workload": f"attack:{scenario.name}",
-            "detected": hit,
-            "score": top.score if top else 0.0,
-            "reasons": list(top.reasons) if top else [],
-        })
-    return rows
+BENIGN_WORKLOADS = ("kernel-build", "producer-consumer")
 
 
-def run_benign(seed: int = 0) -> list[dict]:
-    """Run benign workloads under monitoring; count false positives."""
-    rows = []
+def point(*, workload: str, seed: int, bits: int = 40) -> dict:
+    """Run one monitored workload; returns its detection verdict row."""
+    kind, _, detail = workload.partition(":")
+    if kind == "attack":
+        return _attack_point(detail, seed, bits)
+    if kind == "benign" and detail == "kernel-build":
+        return _benign_kernel_build(seed)
+    if kind == "benign" and detail == "producer-consumer":
+        return _benign_producer_consumer(seed)
+    raise ValueError(f"unknown workload {workload!r}")
 
-    # Benign 1: kernel-build compile noise.
+
+def _attack_point(scenario: str, seed: int, bits: int) -> dict:
+    session = ChannelSession(SessionConfig(
+        scenario=scenario_by_name(scenario), seed=seed,
+        calibration_samples=200,
+    ))
+    monitor = EventMonitor(session.machine)
+    monitor.attach()
+    session.transmit(payload_bits(bits))
+    detector = ChannelDetector(monitor)
+    detections = detector.scan(session.sim.global_clock)
+    covert_line = (
+        session.spy_proc.translate(session.spy_va) & ~(LINE_SIZE - 1)
+    )
+    hit = any(d.line == covert_line for d in detections)
+    top = detections[0] if detections else None
+    return {
+        "workload": f"attack:{scenario}",
+        "detected": hit,
+        "score": top.score if top else 0.0,
+        "reasons": list(top.reasons) if top else [],
+    }
+
+
+def _benign_kernel_build(seed: int) -> dict:
     rng = RngStreams(seed)
     machine = Machine(MachineConfig(), rng)
     sim = Simulator(machine.stats)
@@ -72,15 +88,16 @@ def run_benign(seed: int = 0) -> list[dict]:
     kernel.spawn(process, "w", waiter, core_id=0)
     sim.run()
     detections = ChannelDetector(monitor).scan(sim.global_clock)
-    rows.append({
+    return {
         "workload": "benign:kernel-build x6",
         "detected": bool(detections),
         "score": detections[0].score if detections else 0.0,
         "reasons": list(detections[0].reasons) if detections else [],
-    })
+    }
 
-    # Benign 2: shared-memory producer/consumer.
-    rng = RngStreams(seed + 1)
+
+def _benign_producer_consumer(seed: int) -> dict:
+    rng = RngStreams(seed)
     machine = Machine(MachineConfig(), rng)
     sim = Simulator(machine.stats)
     kernel = Kernel(machine, sim, rng)
@@ -103,19 +120,61 @@ def run_benign(seed: int = 0) -> list[dict]:
     kernel.spawn(app, "cons", consumer, core_id=2)
     sim.run()
     detections = ChannelDetector(monitor).scan(sim.global_clock)
-    rows.append({
+    return {
         "workload": "benign:producer/consumer",
         "detected": bool(detections),
         "score": detections[0].score if detections else 0.0,
         "reasons": list(detections[0].reasons) if detections else [],
-    })
-    return rows
+    }
 
 
-def run(seed: int = 0, bits: int = 40) -> dict:
-    """Full sweep: attacks must be flagged, benign workloads must not."""
-    attacks = run_attacks(seed=seed, bits=bits)
-    benign = run_benign(seed=seed)
+def run_attacks(seed: int = 0, bits: int = 40) -> list[dict]:
+    """Run each scenario under monitoring; report detection outcomes."""
+    return [
+        point(workload=f"attack:{scenario.name}", seed=seed, bits=bits)
+        for scenario in TABLE_I
+    ]
+
+
+def run_benign(seed: int = 0) -> list[dict]:
+    """Run benign workloads under monitoring; count false positives."""
+    return [
+        point(workload="benign:kernel-build", seed=seed),
+        point(workload="benign:producer-consumer", seed=seed + 1),
+    ]
+
+
+def build_spec(seed: int = 0, bits: int = 40) -> ExperimentSpec:
+    """Attack points (one per scenario) plus the benign workloads."""
+    points = [
+        Point(
+            fn=POINT_FN,
+            params={"workload": f"attack:{s.name}", "seed": seed,
+                    "bits": bits},
+            label=f"attack:{s.name}",
+        )
+        for s in TABLE_I
+    ]
+    points.append(Point(
+        fn=POINT_FN,
+        params={"workload": "benign:kernel-build", "seed": seed},
+        label="benign:kernel-build",
+    ))
+    points.append(Point(
+        fn=POINT_FN,
+        params={"workload": "benign:producer-consumer", "seed": seed + 1},
+        label="benign:producer-consumer",
+    ))
+    return ExperimentSpec(
+        experiment=NAME,
+        points=tuple(points),
+        meta={"attacks": len(TABLE_I), "benign": 2},
+    )
+
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    n_attacks = spec.meta["attacks"]
+    attacks, benign = values[:n_attacks], values[n_attacks:]
     return {
         "rows": attacks + benign,
         "true_positives": sum(1 for r in attacks if r["detected"]),
@@ -125,26 +184,56 @@ def run(seed: int = 0, bits: int = 40) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--bits", type=int, default=40)
-    args = parser.parse_args(argv)
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Full sweep: attacks must be flagged, benign workloads must not.
 
-    outcome = run(seed=args.seed, bits=args.bits)
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
     rows = [
         (r["workload"], "FLAGGED" if r["detected"] else "clear",
          f"{r['score']:.2f}", "; ".join(r["reasons"])[:60])
-        for r in outcome["rows"]
+        for r in result["rows"]
     ]
-    print(ascii_table(
+    table = ascii_table(
         ("workload", "verdict", "score", "signatures"),
         rows,
         title="Coherence covert-channel detection (extension experiment)",
-    ))
-    print(f"\ndetected {outcome['true_positives']}/{outcome['attacks']} "
-          f"attacks, {outcome['false_positives']}/{outcome['benign']} "
-          "false positives")
+    )
+    return (
+        f"{table}\n\ndetected {result['true_positives']}/"
+        f"{result['attacks']} attacks, {result['false_positives']}/"
+        f"{result['benign']} false positives"
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=40)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed, bits=args.bits)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

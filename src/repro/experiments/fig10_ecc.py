@@ -16,13 +16,21 @@ import argparse
 import numpy as np
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, ProtocolParams
+from repro.channel.config import TABLE_I, ProtocolParams, scenario_by_name
 from repro.channel.ecc import ReliableChannel
 from repro.experiments.common import (
     FIG10_NOISE,
+    execute_from_args,
+    runner_arguments,
     scenario_argument,
     selected_scenarios,
+    warn_legacy_run,
 )
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "fig10"
+SUMMARY = "Figure 10 parity+NACK effective rates"
+POINT_FN = "repro.experiments.fig10_ecc:point"
 
 #: Transmission rate the reliable transfer runs at.
 FIG10_RATE_KBPS = 350
@@ -35,80 +43,147 @@ FIG10_RATE_KBPS = 350
 FIG10_PACKET_BYTES = 4
 
 
-def run(
+def point(*, scenario: str, noise_threads: int, seed: int,
+          payload_bytes: int, packet_bytes: int, rate: float) -> dict:
+    """One reliable transfer at one (scenario, noise) operating point."""
+    rng = np.random.default_rng(seed)
+    payload = bytes(rng.integers(0, 256, payload_bytes, dtype=np.uint8))
+    channel = ReliableChannel(
+        scenario_by_name(scenario),
+        params=ProtocolParams().at_rate(rate),
+        seed=seed,
+        noise_threads=noise_threads,
+        packet_bytes=packet_bytes,
+        max_attempts=80,
+        checksum="crc16",
+    )
+    result = channel.send(payload)
+    return {
+        "effective_kbps": result.effective_rate_kbps,
+        "transmissions": result.transmissions,
+        "nacks": result.nacks,
+        "intact": result.intact,
+    }
+
+
+def build_spec(
     seed: int = 0,
     payload_bytes: int = 32,
     packet_bytes: int = FIG10_PACKET_BYTES,
     scenarios=None,
     noise=FIG10_NOISE,
     rate_kbps: float = FIG10_RATE_KBPS,
-) -> dict:
-    """Effective information rate per (scenario, noise level)."""
-    scenarios = scenarios if scenarios is not None else list(TABLE_I)
-    rng = np.random.default_rng(seed)
-    payload = bytes(rng.integers(0, 256, payload_bytes, dtype=np.uint8))
-    params = ProtocolParams().at_rate(rate_kbps)
-    table: dict[str, dict[str, dict]] = {}
-    for scenario in scenarios:
-        per_noise = {}
-        for label, threads in noise.items():
-            channel = ReliableChannel(
-                scenario,
-                params=params,
-                seed=seed,
-                noise_threads=threads,
-                packet_bytes=packet_bytes,
-                max_attempts=80,
-                checksum="crc16",
+) -> ExperimentSpec:
+    """The scenario × noise-label grid of Figure 10."""
+    names = [
+        s if isinstance(s, str) else s.name
+        for s in (scenarios if scenarios is not None else TABLE_I)
+    ]
+    noise = dict(noise)
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={
+                "scenario": name,
+                "noise_threads": int(threads),
+                "seed": seed,
+                "payload_bytes": payload_bytes,
+                "packet_bytes": packet_bytes,
+                "rate": float(rate_kbps),
+            },
+            label=f"{name} {label}",
+        )
+        for name in names
+        for label, threads in noise.items()
+    )
+    return ExperimentSpec(
+        experiment=NAME,
+        points=points,
+        meta={
+            "scenarios": names,
+            "noise_labels": list(noise),
+            "payload_bytes": payload_bytes,
+        },
+    )
+
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    labels = spec.meta["noise_labels"]
+    it = iter(values)
+    table = {
+        name: {label: next(it) for label in labels}
+        for name in spec.meta["scenarios"]
+    }
+    return {"table": table, "payload_bytes": spec.meta["payload_bytes"]}
+
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Effective information rate per (scenario, noise level).
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., payload_bytes=..., packet_bytes=..., scenarios=...,
+    noise=..., rate_kbps=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
+    labels = list(next(iter(result["table"].values()), {}))
+    rows = []
+    for name, per_noise in result["table"].items():
+        base = per_noise[labels[0]]["effective_kbps"] if labels else 0.0
+        row = [name]
+        for index, label in enumerate(labels):
+            cell = per_noise[label]
+            drop = (1 - cell["effective_kbps"] / base) * 100 if base else 0.0
+            row.append(
+                f"{cell['effective_kbps']:.0f}K"
+                + (f" (-{drop:.0f}%)" if index else "")
+                + ("" if cell["intact"] else " [CORRUPT]")
             )
-            result = channel.send(payload)
-            per_noise[label] = {
-                "effective_kbps": result.effective_rate_kbps,
-                "transmissions": result.transmissions,
-                "nacks": result.nacks,
-                "intact": result.intact,
-            }
-        table[scenario.name] = per_noise
-    return {"table": table, "payload_bytes": payload_bytes}
+        rows.append(row)
+    return ascii_table(
+        ["scenario", *labels],
+        rows,
+        title=(
+            "Figure 10: effective information rate with parity+NACK "
+            "(all transfers delivered intact)"
+        ),
+    )
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--payload-bytes", type=int, default=32)
     parser.add_argument("--packet-bytes", type=int, default=FIG10_PACKET_BYTES)
     parser.add_argument("--rate", type=float, default=FIG10_RATE_KBPS)
     scenario_argument(parser)
-    args = parser.parse_args(argv)
 
-    outcome = run(
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(
         seed=args.seed,
         payload_bytes=args.payload_bytes,
         packet_bytes=args.packet_bytes,
         scenarios=selected_scenarios(args.scenario),
         rate_kbps=args.rate,
     )
-    rows = []
-    for name, per_noise in outcome["table"].items():
-        base = per_noise["no-noise"]["effective_kbps"]
-        row = [name]
-        for label in FIG10_NOISE:
-            cell = per_noise[label]
-            drop = (1 - cell["effective_kbps"] / base) * 100 if base else 0.0
-            row.append(
-                f"{cell['effective_kbps']:.0f}K"
-                + (f" (-{drop:.0f}%)" if label != "no-noise" else "")
-                + ("" if cell["intact"] else " [CORRUPT]")
-            )
-        rows.append(row)
-    print(ascii_table(
-        ["scenario", *FIG10_NOISE],
-        rows,
-        title=(
-            "Figure 10: effective information rate with parity+NACK "
-            "(all transfers delivered intact)"
-        ),
-    ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -14,67 +14,134 @@ import argparse
 
 from repro.analysis.reporting import ascii_table, bitstring
 from repro.channel.symbols import MultiBitSession, SymbolParams
-from repro.experiments.common import payload_bits
+from repro.experiments.common import (
+    execute_from_args,
+    payload_bits,
+    runner_arguments,
+    warn_legacy_run,
+)
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "fig11"
+SUMMARY = "Figure 11 2-bit symbol channel"
+POINT_FN = "repro.experiments.fig11_multibit:point"
 
 #: The 18-bit prefix of Figure 11's magnified view: all four symbols.
 FIG11_PREFIX = [1, 0, 0, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1, 0, 1, 1]
 
+#: Symbol rates swept by default (Kbits/s).
+FIG11_RATES = (700, 900, 1100, 1300)
 
-def run(
-    seed: int = 0,
-    bits: int = 120,
-    rates=(700, 900, 1100, 1300),
-) -> dict:
-    """Accuracy/rate of the multi-bit channel across symbol rates."""
+
+def _payload(bits: int) -> list[int]:
     payload = FIG11_PREFIX + payload_bits(bits - len(FIG11_PREFIX))
     if len(payload) % 2:
         payload.append(0)
-    points = []
-    trace = None
-    for rate in rates:
-        session = MultiBitSession(
-            symbol_params=SymbolParams().at_rate(rate), seed=seed
+    return payload
+
+
+def point(*, rate: float, seed: int, bits: int) -> dict:
+    """One symbol-rate point; keeps the full trace for the first rate."""
+    session = MultiBitSession(
+        symbol_params=SymbolParams().at_rate(rate), seed=seed
+    )
+    result = session.transmit(_payload(bits))
+    return {
+        "rate_kbps": float(rate),
+        "achieved_kbps": result.achieved_rate_kbps,
+        "accuracy": result.accuracy,
+        "result": result,
+    }
+
+
+def build_spec(
+    seed: int = 0, bits: int = 120, rates=FIG11_RATES
+) -> ExperimentSpec:
+    """One point per swept symbol rate."""
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={"rate": float(rate), "seed": seed, "bits": bits},
+            label=f"{rate:g}K",
         )
-        result = session.transmit(payload)
-        points.append({
-            "rate_kbps": float(rate),
-            "achieved_kbps": result.achieved_rate_kbps,
-            "accuracy": result.accuracy,
-        })
-        if trace is None:
-            trace = result
-    return {"points": points, "payload": payload, "trace": trace}
+        for rate in rates
+    )
+    return ExperimentSpec(
+        experiment=NAME, points=points, meta={"bits": bits},
+    )
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--bits", type=int, default=120)
-    args = parser.parse_args(argv)
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    points = [
+        {k: v for k, v in value.items() if k != "result"} for value in values
+    ]
+    trace = values[0]["result"] if values else None
+    return {
+        "points": points,
+        "payload": _payload(spec.meta["bits"]),
+        "trace": trace,
+    }
 
-    outcome = run(seed=args.seed, bits=args.bits)
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Accuracy/rate of the multi-bit channel across symbol rates.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=..., rates=...)`` keyword form warns but still
+    works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
     rows = [
         (f"{p['rate_kbps']:.0f}", f"{p['achieved_kbps']:.0f}",
          f"{p['accuracy'] * 100:.1f}%")
-        for p in outcome["points"]
+        for p in result["points"]
     ]
-    print(ascii_table(
+    parts = [ascii_table(
         ("nominal rate (Kbps)", "achieved (Kbps)", "bit accuracy"),
         rows,
         title=(
             "Figure 11 / Sec VIII-D: 2-bit symbol channel "
             "(paper peak ~1100 Kbps vs ~700 Kbps binary)"
         ),
-    ))
-    trace = outcome["trace"]
-    print()
-    print("Magnified view: first 9 symbols (18 bits "
-          + bitstring(outcome["payload"][:18], group=2) + ")")
+    )]
+    trace = result["trace"]
+    parts.append("")
+    parts.append("Magnified view: first 9 symbols (18 bits "
+                 + bitstring(result["payload"][:18], group=2) + ")")
     for sample in trace.samples[:30]:
-        print(
+        parts.append(
             f"  t={sample.timestamp:12.0f}  latency={sample.latency:7.1f}"
             f"  symbol={sample.label}"
         )
+    return "\n".join(parts)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=120)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed, bits=args.bits)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -16,12 +16,22 @@ import numpy as np
 from repro.analysis.cdf import band_separation
 from repro.analysis.reporting import ascii_cdf, ascii_table
 from repro.channel.calibration import calibrate
+from repro.experiments.common import (
+    execute_from_args,
+    runner_arguments,
+    warn_legacy_run,
+)
 from repro.mem.hierarchy import Machine, MachineConfig
+from repro.runner import ExperimentSpec, Point, execute
 from repro.sim.rng import RngStreams
 
+NAME = "fig2"
+SUMMARY = "Figure 2 + Section V latency reference points"
+POINT_FN = "repro.experiments.fig2_latency_cdf:point"
 
-def run(samples: int = 1000, seed: int = 0) -> dict:
-    """Measure all bands; returns raw samples, medians and separations."""
+
+def point(*, samples: int, seed: int) -> dict:
+    """The whole calibration sweep is one (heavy) grid point."""
     machine = Machine(MachineConfig(), RngStreams(seed))
     bands, raw = calibrate(machine, samples=samples)
     medians = {k: float(np.median(v)) for k, v in raw.items()}
@@ -40,32 +50,77 @@ def run(samples: int = 1000, seed: int = 0) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--samples", type=int, default=1000)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
+def build_spec(samples: int = 1000, seed: int = 0) -> ExperimentSpec:
+    """A single-point grid: one full band calibration."""
+    return ExperimentSpec(
+        experiment=NAME,
+        points=(Point(
+            fn=POINT_FN,
+            params={"samples": samples, "seed": seed},
+            label=f"calibrate x{samples}",
+        ),),
+    )
 
-    result = run(samples=args.samples, seed=args.seed)
-    print(ascii_cdf(result["raw"], title="Figure 2: load-latency CDFs (cycles)"))
-    print()
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    return values[0]
+
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Measure all bands; returns raw samples, medians and separations.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(samples=..., seed=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("samples", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
+    parts = [ascii_cdf(result["raw"],
+                       title="Figure 2: load-latency CDFs (cycles)"), ""]
     rows = [
         (name, f"{median:.1f}")
         for name, median in sorted(result["medians"].items(),
                                    key=lambda kv: kv[1])
     ]
-    print(ascii_table(
+    parts.append(ascii_table(
         ("combination", "median latency (cycles)"), rows,
         title="Section V reference points (paper: LShared~98, LExcl~124)",
     ))
-    print()
+    parts.append("")
     rows = [
         (pair, f"{sep:.2f}") for pair, sep in result["separations"].items()
     ]
-    print(ascii_table(
+    parts.append(ascii_table(
         ("adjacent bands", "separation (pooled sigma)"), rows,
         title="Band separations (all should be positive)",
     ))
+    return "\n".join(parts)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(samples=args.samples, seed=args.seed)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

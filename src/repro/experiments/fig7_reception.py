@@ -14,71 +14,126 @@ import argparse
 
 from repro.analysis.reporting import ascii_table, bitstring
 from repro.channel.config import TABLE_I
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.session import execute_point
 from repro.experiments.common import (
     common_arguments,
-    default_params,
+    execute_from_args,
     payload_bits,
+    runner_arguments,
     scenario_argument,
     selected_scenarios,
+    warn_legacy_run,
 )
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "fig7"
+SUMMARY = "Figures 6-7 transmission + reception traces"
+POINT_FN = "repro.experiments.fig7_reception:point"
 
 
-def run(seed: int = 0, bits: int = 100, scenarios=None) -> dict:
-    """Transmit the Figure 6 pattern on each scenario; keep the traces."""
-    scenarios = scenarios if scenarios is not None else list(TABLE_I)
-    payload = payload_bits(bits)
-    params = default_params()
-    outcomes = {}
-    for scenario in scenarios:
-        session = ChannelSession(
-            SessionConfig(scenario=scenario, params=params, seed=seed)
+def point(*, scenario: str, seed: int, bits: int):
+    """Transmit the Figure 6 pattern on one scenario; keep the trace."""
+    return execute_point(
+        scenario=scenario, payload=payload_bits(bits), seed=seed
+    )
+
+
+def build_spec(seed: int = 0, bits: int = 100, scenarios=None) -> ExperimentSpec:
+    """One point (full reception trace) per scenario."""
+    names = [
+        s if isinstance(s, str) else s.name
+        for s in (scenarios if scenarios is not None else TABLE_I)
+    ]
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={"scenario": name, "seed": seed, "bits": bits},
+            label=name,
         )
-        result = session.transmit(payload)
-        outcomes[scenario.name] = result
-    return {"payload": payload, "results": outcomes}
+        for name in names
+    )
+    return ExperimentSpec(
+        experiment=NAME, points=points,
+        meta={"scenarios": names, "bits": bits},
+    )
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    outcomes = dict(zip(spec.meta["scenarios"], values))
+    return {"payload": payload_bits(spec.meta["bits"]), "results": outcomes}
+
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Transmit the Figure 6 pattern on each scenario; keep the traces.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=..., scenarios=...)`` keyword form warns but
+    still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict, trace_samples: int = 40) -> str:
+    parts = ["Figure 6: bit pattern covertly transmitted by the trojan",
+             bitstring(result["payload"]), ""]
+    rows = []
+    for name, outcome in result["results"].items():
+        rows.append((
+            name,
+            f"{outcome.accuracy * 100:.1f}%",
+            f"{outcome.achieved_rate_kbps:.0f}",
+            len(outcome.samples),
+        ))
+    parts.append(ascii_table(
+        ("scenario", "decode accuracy", "rate (Kbps)", "spy samples"),
+        rows,
+        title="Figure 7: spy reception summary (paper: 100% for all six)",
+    ))
+    name, outcome = next(iter(result["results"].items()))
+    parts.append("")
+    parts.append(
+        f"Magnified view ({name}): first {trace_samples} timed loads"
+    )
+    for sample in outcome.samples[:trace_samples]:
+        marker = {"c": "*", "b": ".", "x": "?"}[sample.label]
+        parts.append(
+            f"  t={sample.timestamp:12.0f}  latency={sample.latency:7.1f}"
+            f"  [{sample.label}] {marker * int(sample.latency / 12)}"
+        )
+    return "\n".join(parts)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
     common_arguments(parser)
     scenario_argument(parser)
     parser.add_argument(
         "--trace-samples", type=int, default=40,
         help="reception samples shown in the magnified view",
     )
-    args = parser.parse_args(argv)
 
-    outcome = run(
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(
         seed=args.seed,
         bits=args.bits,
         scenarios=selected_scenarios(args.scenario),
     )
-    print("Figure 6: bit pattern covertly transmitted by the trojan")
-    print(bitstring(outcome["payload"]))
-    print()
-    rows = []
-    for name, result in outcome["results"].items():
-        rows.append((
-            name,
-            f"{result.accuracy * 100:.1f}%",
-            f"{result.achieved_rate_kbps:.0f}",
-            len(result.samples),
-        ))
-    print(ascii_table(
-        ("scenario", "decode accuracy", "rate (Kbps)", "spy samples"),
-        rows,
-        title="Figure 7: spy reception summary (paper: 100% for all six)",
-    ))
-    name, result = next(iter(outcome["results"].items()))
-    print()
-    print(f"Magnified view ({name}): first {args.trace_samples} timed loads")
-    for sample in result.samples[: args.trace_samples]:
-        marker = {"c": "*", "b": ".", "x": "?"}[sample.label]
-        print(
-            f"  t={sample.timestamp:12.0f}  latency={sample.latency:7.1f}"
-            f"  [{sample.label}] {marker * int(sample.latency / 12)}"
-        )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values), trace_samples=args.trace_samples))
 
 
 if __name__ == "__main__":

@@ -14,61 +14,123 @@ import argparse
 
 from repro.analysis.reporting import ascii_table
 from repro.channel.config import TABLE_I
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.session import execute_point
 from repro.experiments.common import (
     FIG8_RATES,
     common_arguments,
-    default_params,
+    execute_from_args,
     payload_bits,
+    runner_arguments,
     scenario_argument,
     selected_scenarios,
+    warn_legacy_run,
 )
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "fig8"
+SUMMARY = "Figure 8 accuracy-vs-rate sweep"
+POINT_FN = "repro.experiments.fig8_bandwidth:point"
 
 
-def run(
+def point(*, scenario: str, rate: float, seed: int, bits: int) -> float:
+    """One grid point: decode accuracy of *scenario* at *rate* Kbps."""
+    result = execute_point(
+        scenario=scenario,
+        payload=payload_bits(bits),
+        rate_kbps=rate,
+        seed=seed,
+    )
+    return result.accuracy
+
+
+def build_spec(
     seed: int = 0,
     bits: int = 100,
     rates=FIG8_RATES,
     scenarios=None,
-) -> dict:
-    """Accuracy at each rate per scenario."""
-    scenarios = scenarios if scenarios is not None else list(TABLE_I)
-    payload = payload_bits(bits)
-    base = default_params()
-    curves: dict[str, list[tuple[float, float]]] = {}
-    for scenario in scenarios:
-        points = []
-        for rate in rates:
-            session = ChannelSession(SessionConfig(
-                scenario=scenario,
-                params=base.at_rate(rate),
-                seed=seed,
-            ))
-            result = session.transmit(payload)
-            points.append((float(rate), result.accuracy))
-        curves[scenario.name] = points
+) -> ExperimentSpec:
+    """The scenario × rate grid of Figure 8."""
+    names = [
+        s if isinstance(s, str) else s.name
+        for s in (scenarios if scenarios is not None else TABLE_I)
+    ]
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={"scenario": name, "rate": float(rate),
+                    "seed": seed, "bits": bits},
+            label=f"{name}@{rate:g}K",
+        )
+        for name in names
+        for rate in rates
+    )
+    return ExperimentSpec(
+        experiment=NAME,
+        points=points,
+        meta={"rates": list(rates), "scenarios": names},
+    )
+
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    """Reassemble point accuracies into the per-scenario rate curves."""
+    rates = spec.meta["rates"]
+    it = iter(values)
+    curves = {
+        name: [(float(rate), next(it)) for rate in rates]
+        for name in spec.meta["scenarios"]
+    }
     return {"curves": curves, "rates": list(rates)}
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Accuracy at each rate per scenario.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`.  The old
+    ``run(seed=..., bits=..., rates=..., scenarios=...)`` keyword form
+    still works but warns with :class:`DeprecationWarning`.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
+    """The Figure 8 accuracy table as text."""
+    headers = ["scenario"] + [f"{r}K" for r in result["rates"]]
+    rows = []
+    for name, points in result["curves"].items():
+        rows.append([name] + [f"{acc * 100:.0f}%" for _r, acc in points])
+    return ascii_table(
+        headers, rows,
+        title="Figure 8: raw-bit accuracy vs transmission rate",
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
     common_arguments(parser)
     scenario_argument(parser)
-    args = parser.parse_args(argv)
 
-    outcome = run(
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(
         seed=args.seed,
         bits=args.bits,
         scenarios=selected_scenarios(args.scenario),
     )
-    headers = ["scenario"] + [f"{r}K" for r in outcome["rates"]]
-    rows = []
-    for name, points in outcome["curves"].items():
-        rows.append([name] + [f"{acc * 100:.0f}%" for _r, acc in points])
-    print(ascii_table(
-        headers, rows,
-        title="Figure 8: raw-bit accuracy vs transmission rate",
-    ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

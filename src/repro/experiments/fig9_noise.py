@@ -12,79 +12,160 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, ProtocolParams
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.config import TABLE_I
+from repro.channel.session import execute_point
 from repro.experiments.common import (
     FIG9_NOISE_LEVELS,
     common_arguments,
+    execute_from_args,
     payload_bits,
+    runner_arguments,
     scenario_argument,
     selected_scenarios,
+    warn_legacy_run,
 )
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "fig9"
+SUMMARY = "Figure 9 kernel-build noise sweep"
+POINT_FN = "repro.experiments.fig9_noise:point"
 
 #: Figure 9 is measured at a moderate transmission rate.
 FIG9_RATE_KBPS = 500
 
+#: Warm-up prefix transmitted before the measured payload so the noise
+#: workload's cache footprint reaches steady state (Figure 9's regime).
+WARMUP_BITS = 24
 
-def run(
+
+def point(*, scenario: str, level: int, seed: int, rate: float,
+          bits: int) -> float:
+    """One (scenario, noise level, trial): steady-state accuracy."""
+    result = execute_point(
+        scenario=scenario,
+        payload=payload_bits(bits),
+        rate_kbps=rate,
+        seed=seed,
+        noise_threads=level,
+        warmup_bits=WARMUP_BITS,
+    )
+    return result.accuracy
+
+
+def build_spec(
     seed: int = 0,
     bits: int = 100,
     noise_levels=FIG9_NOISE_LEVELS,
     scenarios=None,
     rate_kbps: float = FIG9_RATE_KBPS,
     trials: int = 2,
-) -> dict:
-    """Accuracy per (scenario, noise level), averaged over *trials* seeds.
+) -> ExperimentSpec:
+    """The scenario × noise-level × trial grid of Figure 9.
 
-    Each trial warms the machine up with a short transmission first so
-    the noise workload's cache footprint is in steady state before the
-    measured payload — the regime Figure 9 reports.
+    Per-trial seeds stay on the historical ``seed + 101 * trial``
+    derivation so results are bit-compatible with the serial driver.
     """
-    scenarios = scenarios if scenarios is not None else list(TABLE_I)
-    payload = payload_bits(bits)
-    params = ProtocolParams().at_rate(rate_kbps)
+    names = [
+        s if isinstance(s, str) else s.name
+        for s in (scenarios if scenarios is not None else TABLE_I)
+    ]
+    trials = max(1, trials)
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={
+                "scenario": name,
+                "level": int(level),
+                "seed": seed + 101 * trial,
+                "rate": float(rate_kbps),
+                "bits": bits,
+            },
+            label=f"{name} x{level}kbuild t{trial}",
+        )
+        for name in names
+        for level in noise_levels
+        for trial in range(trials)
+    )
+    return ExperimentSpec(
+        experiment=NAME,
+        points=points,
+        meta={
+            "scenarios": names,
+            "noise_levels": [int(n) for n in noise_levels],
+            "trials": trials,
+        },
+    )
+
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    """Average the trials back into per-scenario noise curves."""
+    trials = spec.meta["trials"]
+    levels = spec.meta["noise_levels"]
+    it = iter(values)
     curves: dict[str, list[tuple[int, float]]] = {}
-    for scenario in scenarios:
+    for name in spec.meta["scenarios"]:
         points = []
-        for level in noise_levels:
-            accs = []
-            for trial in range(max(1, trials)):
-                session = ChannelSession(SessionConfig(
-                    scenario=scenario,
-                    params=params,
-                    seed=seed + 101 * trial,
-                    noise_threads=level,
-                ))
-                session.transmit(payload[:24])  # steady-state warm-up
-                accs.append(session.transmit(payload).accuracy)
+        for level in levels:
+            accs = [next(it) for _ in range(trials)]
             points.append((int(level), sum(accs) / len(accs)))
-        curves[scenario.name] = points
-    return {"curves": curves, "noise_levels": list(noise_levels)}
+        curves[name] = points
+    return {"curves": curves, "noise_levels": list(levels)}
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Accuracy per (scenario, noise level), averaged over the trials.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=..., noise_levels=..., scenarios=...,
+    rate_kbps=..., trials=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
+    headers = ["scenario"] + [
+        f"{n} kbuild" for n in result["noise_levels"]
+    ]
+    rows = []
+    for name, points in result["curves"].items():
+        rows.append([name] + [f"{acc * 100:.0f}%" for _n, acc in points])
+    return ascii_table(
+        headers, rows,
+        title="Figure 9: raw-bit accuracy under kernel-build noise",
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
     common_arguments(parser)
     scenario_argument(parser)
     parser.add_argument("--rate", type=float, default=FIG9_RATE_KBPS)
-    args = parser.parse_args(argv)
+    parser.add_argument("--trials", type=int, default=2)
 
-    outcome = run(
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(
         seed=args.seed,
         bits=args.bits,
         scenarios=selected_scenarios(args.scenario),
         rate_kbps=args.rate,
+        trials=args.trials,
     )
-    headers = ["scenario"] + [
-        f"{n} kbuild" for n in outcome["noise_levels"]
-    ]
-    rows = []
-    for name, points in outcome["curves"].items():
-        rows.append([name] + [f"{acc * 100:.0f}%" for _n, acc in points])
-    print(ascii_table(
-        headers, rows,
-        title="Figure 9: raw-bit accuracy under kernel-build noise",
-    ))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -11,13 +11,32 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, ProtocolParams, Scenario
+from repro.channel.config import TABLE_I, ProtocolParams, scenario_by_name
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.errors import CalibrationError, ChannelError, SyncTimeoutError
-from repro.experiments.common import payload_bits
+from repro.experiments.common import (
+    execute_from_args,
+    payload_bits,
+    runner_arguments,
+    warn_legacy_run,
+)
 from repro.mitigation.hardware import attach_obfuscator, hardened_machine_config
 from repro.mitigation.ksm_policy import deploy_ksm_timeout
 from repro.mitigation.noise_injector import deploy_noise_injector
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "mitigations"
+SUMMARY = "Section VIII-E defenses"
+POINT_FN = "repro.experiments.mitigations:point"
+
+#: Grid order of the defense points; collect() preserves it.
+DEFENSES = (
+    "undefended",
+    "noise-injector",
+    "ksm-timeout",
+    "llc-direct-e",
+    "timing-obfuscation",
+)
 
 
 def _safe_transmit(session: ChannelSession, payload: list[int]) -> float:
@@ -29,83 +48,146 @@ def _safe_transmit(session: ChannelSession, payload: list[int]) -> float:
         return 0.0
 
 
-def run(
-    seed: int = 0, bits: int = 60, scenario: Scenario | None = None
-) -> dict:
-    """Accuracy of the channel under each defense."""
-    scenario = scenario if scenario is not None else TABLE_I[0]
+def point(*, defense: str, scenario: str, seed: int, bits: int):
+    """Channel quality under one defense, on a fresh session."""
+    scenario_obj = scenario_by_name(scenario)
     payload = payload_bits(bits)
-    outcomes = {}
     # Bound reception so defenses that keep the block permanently cached
     # cannot hang the spy.
     params = ProtocolParams(max_reception_slots=3_000)
 
-    # Baseline: no defense.
-    session = ChannelSession(SessionConfig(scenario=scenario, seed=seed,
-                                           params=params))
-    outcomes["undefended"] = _safe_transmit(session, payload)
-
-    # Defense 1: targeted noise injection on the shared page.
-    session = ChannelSession(SessionConfig(scenario=scenario, seed=seed,
-                                           params=params))
-    paddr = session.spy_proc.translate(session.spy_va)
-    monitor_core = session.local_cores[-1] + 1 \
-        if session.local_cores[-1] + 1 < session.config.machine.cores_per_socket \
-        else 3
-    deploy_noise_injector(session.kernel, paddr, core_id=monitor_core,
-                          period=session.config.params.slot_cycles / 4)
-    outcomes["noise injector"] = _safe_transmit(session, payload)
-
-    # Defense 2: KSM timeout on suspicious flush activity.
-    session = ChannelSession(SessionConfig(scenario=scenario, seed=seed,
-                                           params=params))
-    _thread, policy = deploy_ksm_timeout(session.kernel)
-    outcomes["ksm timeout"] = _safe_transmit(session, payload)
-    outcomes["ksm timeout triggered"] = policy.triggered
-
-    # Defense 3: LLC answers E-state reads directly (hardware change).
-    try:
-        session = ChannelSession(SessionConfig(
-            scenario=scenario, seed=seed, params=params,
-            machine=hardened_machine_config(),
+    def fresh_session(**kwargs) -> ChannelSession:
+        return ChannelSession(SessionConfig(
+            scenario=scenario_obj, seed=seed, params=params, **kwargs
         ))
-        outcomes["llc direct E response"] = _safe_transmit(session, payload)
-    except CalibrationError:
-        # The E and S bands merged: the channel cannot even calibrate.
-        outcomes["llc direct E response"] = 0.0
 
-    # Defense 4: timing obfuscation for the (suspicious) spy core.
-    try:
-        session = ChannelSession(SessionConfig(scenario=scenario, seed=seed,
-                                               params=params))
-        attach_obfuscator(session.machine, {session.config.spy_core})
-        # Re-calibrate under obfuscation, as the spy would.
-        session.bands = session._calibrate()
-        outcomes["timing obfuscation"] = _safe_transmit(session, payload)
-    except CalibrationError:
-        outcomes["timing obfuscation"] = 0.0
+    if defense == "undefended":
+        return _safe_transmit(fresh_session(), payload)
 
-    return {"scenario": scenario.name, "outcomes": outcomes}
+    if defense == "noise-injector":
+        session = fresh_session()
+        paddr = session.spy_proc.translate(session.spy_va)
+        monitor_core = session.local_cores[-1] + 1 \
+            if session.local_cores[-1] + 1 \
+            < session.config.machine.cores_per_socket else 3
+        deploy_noise_injector(
+            session.kernel, paddr, core_id=monitor_core,
+            period=session.config.params.slot_cycles / 4,
+        )
+        return _safe_transmit(session, payload)
+
+    if defense == "ksm-timeout":
+        session = fresh_session()
+        _thread, policy = deploy_ksm_timeout(session.kernel)
+        accuracy = _safe_transmit(session, payload)
+        return {"accuracy": accuracy, "triggered": policy.triggered}
+
+    if defense == "llc-direct-e":
+        try:
+            session = fresh_session(machine=hardened_machine_config())
+            return _safe_transmit(session, payload)
+        except CalibrationError:
+            # The E and S bands merged: the channel cannot even calibrate.
+            return 0.0
+
+    if defense == "timing-obfuscation":
+        try:
+            session = fresh_session()
+            attach_obfuscator(session.machine, {session.config.spy_core})
+            # Re-calibrate under obfuscation, as the spy would.
+            session.bands = session._calibrate()
+            return _safe_transmit(session, payload)
+        except CalibrationError:
+            return 0.0
+
+    raise ValueError(f"unknown defense {defense!r}")
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--bits", type=int, default=60)
-    args = parser.parse_args(argv)
+def build_spec(
+    seed: int = 0, bits: int = 60, scenario=None
+) -> ExperimentSpec:
+    """One point per defense configuration."""
+    name = (
+        TABLE_I[0].name if scenario is None
+        else scenario if isinstance(scenario, str)
+        else scenario.name
+    )
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={"defense": defense, "scenario": name,
+                    "seed": seed, "bits": bits},
+            label=defense,
+        )
+        for defense in DEFENSES
+    )
+    return ExperimentSpec(
+        experiment=NAME, points=points, meta={"scenario": name},
+    )
 
-    outcome = run(seed=args.seed, bits=args.bits)
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    """Reassemble the per-defense values into the legacy outcome dict."""
+    by_defense = dict(zip(DEFENSES, values))
+    ksm = by_defense["ksm-timeout"]
+    outcomes = {
+        "undefended": by_defense["undefended"],
+        "noise injector": by_defense["noise-injector"],
+        "ksm timeout": ksm["accuracy"],
+        "ksm timeout triggered": ksm["triggered"],
+        "llc direct E response": by_defense["llc-direct-e"],
+        "timing obfuscation": by_defense["timing-obfuscation"],
+    }
+    return {"scenario": spec.meta["scenario"], "outcomes": outcomes}
+
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Accuracy of the channel under each defense.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=..., scenario=...)`` keyword form warns but
+    still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
     rows = []
-    for name, value in outcome["outcomes"].items():
+    for name, value in result["outcomes"].items():
         if isinstance(value, bool):
             rows.append((name, str(value)))
         else:
             rows.append((name, f"{value * 100:.1f}% accuracy"))
-    print(ascii_table(
+    return ascii_table(
         ("configuration", "channel quality"),
         rows,
-        title=f"Section VIII-E mitigations ({outcome['scenario']})",
-    ))
+        title=f"Section VIII-E mitigations ({result['scenario']})",
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=60)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed, bits=args.bits)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -9,14 +9,25 @@ latency sequences both parties observed.
 from __future__ import annotations
 
 import argparse
+from dataclasses import asdict
 
 from repro.analysis.reporting import ascii_table
 from repro.channel.config import TABLE_I
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.channel.sync import SyncParams, run_synchronization
+from repro.experiments.common import (
+    execute_from_args,
+    runner_arguments,
+    warn_legacy_run,
+)
+from repro.runner import ExperimentSpec, Point, execute
+
+NAME = "sync"
+SUMMARY = "Section VII-A synchronization timing"
+POINT_FN = "repro.experiments.sync_handshake:point"
 
 
-def run(seed: int = 0, params: SyncParams | None = None) -> dict:
+def point(*, seed: int, params: dict | None = None) -> dict:
     """Run the handshake on a fresh session; returns durations."""
     session = ChannelSession(SessionConfig(scenario=TABLE_I[0], seed=seed))
     result = run_synchronization(
@@ -28,7 +39,7 @@ def run(seed: int = 0, params: SyncParams | None = None) -> dict:
         session.spy_va,
         trojan_core=session.local_cores[0],
         spy_core=session.config.spy_core,
-        params=params,
+        params=SyncParams(**params) if params is not None else None,
     )
     return {
         "synced": result.synced,
@@ -40,23 +51,71 @@ def run(seed: int = 0, params: SyncParams | None = None) -> dict:
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
+def build_spec(
+    seed: int = 0, params: SyncParams | dict | None = None
+) -> ExperimentSpec:
+    """A single-point grid: one handshake measurement."""
+    if isinstance(params, SyncParams):
+        params = asdict(params)
+    return ExperimentSpec(
+        experiment=NAME,
+        points=(Point(
+            fn=POINT_FN,
+            params={"seed": seed, "params": params},
+            label="handshake",
+        ),),
+    )
 
-    outcome = run(seed=args.seed)
-    print(ascii_table(
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    return values[0]
+
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Run the handshake on a fresh session; returns durations.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., params=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
+    return ascii_table(
         ("metric", "value"),
         [
-            ("synchronized", outcome["synced"]),
-            ("handshake duration", f"{outcome['duration_ms']:.1f} ms"),
-            ("trojan side", f"{outcome['trojan_ms']:.1f} ms"),
-            ("spy side", f"{outcome['spy_ms']:.1f} ms"),
+            ("synchronized", result["synced"]),
+            ("handshake duration", f"{result['duration_ms']:.1f} ms"),
+            ("trojan side", f"{result['trojan_ms']:.1f} ms"),
+            ("spy side", f"{result['spy_ms']:.1f} ms"),
             ("paper reference", "~90 ms average"),
         ],
         title="Section VII-A: pre-transmission synchronization",
-    ))
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

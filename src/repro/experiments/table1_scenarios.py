@@ -12,29 +12,19 @@ import argparse
 from collections import Counter
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I
-from repro.channel.session import ChannelSession, SessionConfig
-from repro.experiments.common import payload_bits
+from repro.channel.config import TABLE_I, scenario_by_name
+from repro.channel.session import execute_point
+from repro.experiments.common import (
+    execute_from_args,
+    payload_bits,
+    runner_arguments,
+    warn_legacy_run,
+)
+from repro.runner import ExperimentSpec, Point, execute
 
-
-def run(seed: int = 0, bits: int = 24) -> dict:
-    """Run a short transmission per scenario; returns placement + accuracy."""
-    payload = payload_bits(bits)
-    rows = []
-    for scenario in TABLE_I:
-        session = ChannelSession(SessionConfig(scenario=scenario, seed=seed))
-        result = session.transmit(payload)
-        label_counts = Counter(s.label for s in result.samples)
-        rows.append({
-            "scenario": scenario.name,
-            "total_threads": scenario.total_threads,
-            "local_threads": scenario.local_threads,
-            "remote_threads": scenario.remote_threads,
-            "accuracy": result.accuracy,
-            "labels": dict(label_counts),
-        })
-    return {"rows": rows}
-
+NAME = "table1"
+SUMMARY = "Table I scenario/thread-placement check"
+POINT_FN = "repro.experiments.table1_scenarios:point"
 
 #: The paper's Table I thread columns, for cross-checking.
 PAPER_TABLE_I = {
@@ -47,17 +37,60 @@ PAPER_TABLE_I = {
 }
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--bits", type=int, default=24)
-    args = parser.parse_args(argv)
+def point(*, scenario: str, seed: int, bits: int) -> dict:
+    """Short transmission on one scenario: placement + live accuracy."""
+    obj = scenario_by_name(scenario)
+    result = execute_point(
+        scenario=obj, payload=payload_bits(bits), seed=seed
+    )
+    label_counts = Counter(s.label for s in result.samples)
+    return {
+        "scenario": obj.name,
+        "total_threads": obj.total_threads,
+        "local_threads": obj.local_threads,
+        "remote_threads": obj.remote_threads,
+        "accuracy": result.accuracy,
+        "labels": dict(label_counts),
+    }
 
-    result = run(seed=args.seed, bits=args.bits)
+
+def build_spec(seed: int = 0, bits: int = 24) -> ExperimentSpec:
+    """One point per Table I scenario."""
+    points = tuple(
+        Point(
+            fn=POINT_FN,
+            params={"scenario": s.name, "seed": seed, "bits": bits},
+            label=s.name,
+        )
+        for s in TABLE_I
+    )
+    return ExperimentSpec(experiment=NAME, points=points)
+
+
+def collect(spec: ExperimentSpec, values: list) -> dict:
+    return {"rows": list(values)}
+
+
+def run(spec: ExperimentSpec | None = None, **legacy) -> dict:
+    """Run a short transmission per scenario; returns placement + accuracy.
+
+    Pass an :class:`ExperimentSpec` from :func:`build_spec`; the old
+    ``run(seed=..., bits=...)`` keyword form warns but still works.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        if spec is not None:
+            legacy.setdefault("seed", spec)
+        warn_legacy_run(__name__)
+        spec = build_spec(**legacy)
+    return collect(spec, execute(spec))
+
+
+def render(result: dict) -> str:
     rows = []
     for row in result["rows"]:
         paper = PAPER_TABLE_I[row["scenario"]]
-        ours = (row["total_threads"], row["local_threads"], row["remote_threads"])
+        ours = (row["total_threads"], row["local_threads"],
+                row["remote_threads"])
         rows.append((
             row["scenario"],
             f"{ours[0]} ({ours[1]} local, {ours[2]} remote)",
@@ -65,12 +98,32 @@ def main(argv: list[str] | None = None) -> None:
             "OK" if ours == paper else "MISMATCH",
             f"{row['accuracy'] * 100:.0f}%",
         ))
-    print(ascii_table(
+    return ascii_table(
         ("scenario", "our trojan threads", "paper Table I", "check",
          "live accuracy"),
         rows,
         title="Table I: scenarios and trojan thread placement",
-    ))
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bits", type=int, default=24)
+
+
+def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return build_spec(seed=args.seed, bits=args.bits)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_arguments(parser)
+    runner_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = spec_from_args(args)
+    values = execute_from_args(spec, args)
+    print(render(collect(spec, values)))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,55 @@
+"""repro.runner: parallel, memoized execution of experiment grids.
+
+The subsystem behind every ``python -m repro <figure>`` sweep:
+
+* :mod:`repro.runner.spec` — :class:`Point` / :class:`ExperimentSpec`,
+  the declarative grid description every driver now builds;
+* :mod:`repro.runner.executor` — :class:`Runner`, which fans points out
+  over a process pool with per-point deterministic seeding;
+* :mod:`repro.runner.cache` — :class:`ResultCache`, the
+  content-addressed on-disk memo of completed points;
+* :mod:`repro.runner.progress` — per-point timing lines for long sweeps.
+
+Typical driver-side use::
+
+    from repro.runner import ExperimentSpec, Point, execute
+
+    spec = build_spec(seed=0)        # a grid of Points
+    values = execute(spec)           # serial, hermetic
+    result = collect(spec, values)   # figure-shaped dict
+
+and CLI-side::
+
+    runner = Runner(jobs=8, cache=ResultCache(), progress=StderrProgress("fig8"))
+    report = runner.run(spec)
+"""
+
+from repro.runner.cache import ResultCache, default_cache_dir, version_salt
+from repro.runner.executor import (
+    PointOutcome,
+    Runner,
+    RunReport,
+    execute,
+)
+from repro.runner.progress import StderrProgress
+from repro.runner.spec import (
+    ExperimentSpec,
+    Point,
+    canonical_json,
+    resolve_callable,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "Point",
+    "PointOutcome",
+    "ResultCache",
+    "RunReport",
+    "Runner",
+    "StderrProgress",
+    "canonical_json",
+    "default_cache_dir",
+    "execute",
+    "resolve_callable",
+    "version_salt",
+]

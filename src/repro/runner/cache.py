@@ -1,0 +1,125 @@
+"""Content-addressed on-disk memoization of completed grid points.
+
+Cache key = SHA-256 of the point's canonical JSON ``(fn, params)``
+salted with :data:`repro.__version__` — touching only analysis or
+rendering code leaves keys unchanged (re-running a figure is
+near-instant), while bumping the package version invalidates every
+entry wholesale (simulation semantics may have changed).
+
+Values are arbitrary picklable Python objects (floats, result dicts,
+:class:`~repro.channel.session.TransmissionResult` instances, numpy
+arrays).  Entries are written atomically (temp file + rename) so a
+killed run never leaves a torn entry, and unreadable entries are
+treated as misses and deleted.
+
+Layout::
+
+    <cache_dir>/<key[:2]>/<key>.pkl
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.runner.spec import Point
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+def version_salt() -> str:
+    """The cache-key salt: the installed repro version."""
+    from repro import __version__
+
+    return f"repro-{__version__}"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: $REPRO_CACHE_DIR, else XDG cache."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+class ResultCache:
+    """On-disk point-result store under a single root directory."""
+
+    def __init__(self, root: str | Path | None = None,
+                 salt: str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.salt = salt if salt is not None else version_salt()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, point: Point) -> str:
+        """The content hash addressing *point* under this cache's salt."""
+        return point.key(self.salt)
+
+    def path_for(self, point: Point) -> Path:
+        key = self.key_for(point)
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def lookup(self, point: Point) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; a corrupt entry counts as a miss."""
+        path = self.path_for(point)
+        value = _MISS
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            pass
+        except Exception:
+            # Torn write or stale class layout.  Unpickling corrupt
+            # bytes can raise nearly anything (UnpicklingError,
+            # EOFError, ValueError from bad opcodes, AttributeError or
+            # ImportError from renamed classes, ...): drop the entry.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if value is _MISS:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, point: Point, value: Any) -> None:
+        """Persist *value* for *point* atomically; best-effort on errors."""
+        path = self.path_for(point)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # A read-only or full cache dir must not fail the experiment.
+            pass
+
+    def evict(self, point: Point) -> bool:
+        """Remove the entry for *point*; returns whether one existed."""
+        try:
+            self.path_for(point).unlink()
+            return True
+        except OSError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache(root={str(self.root)!r}, "
+                f"hits={self.hits}, misses={self.misses})")

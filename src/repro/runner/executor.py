@@ -1,0 +1,230 @@
+"""The parallel, cache-aware grid executor.
+
+:class:`Runner` takes an :class:`~repro.runner.spec.ExperimentSpec` and
+produces one value per point, in spec order, regardless of how the work
+was scheduled:
+
+1. every point is first looked up in the on-disk result cache;
+2. the misses run either in-process (``jobs=1``) or fanned out over a
+   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``);
+3. fresh values are written back to the cache and slotted into their
+   original grid positions.
+
+Because each point carries its full RNG seed in its params (see
+:mod:`repro.runner.spec`), the values are bit-identical whether they
+came from the cache, a worker process, or a serial in-process loop —
+``--jobs 4`` must and does reproduce ``--jobs 1`` exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PointExecutionError
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ExperimentSpec, Point, resolve_callable
+
+#: Progress callback signature: called once per completed point.
+ProgressFn = Callable[["PointOutcome"], None]
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One completed point: its value plus scheduling metadata."""
+
+    index: int
+    total: int
+    point: Point
+    value: Any
+    seconds: float
+    cached: bool
+
+
+@dataclass
+class RunReport:
+    """Everything a driver or the CLI wants to know about one sweep."""
+
+    spec: ExperimentSpec
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def values(self) -> list[Any]:
+        """Point values in spec order (what ``collect()`` consumes)."""
+        return [outcome.value for outcome in self.outcomes]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def point_seconds(self) -> float:
+        """Total compute time across points (≥ wall time when parallel)."""
+        return sum(o.seconds for o in self.outcomes)
+
+
+def _timed_point(fn_path: str, params: Mapping[str, Any]) -> tuple[Any, float]:
+    """Worker entry: execute one point, returning (value, seconds).
+
+    Top-level so :mod:`concurrent.futures` can ship it to a forked or
+    spawned worker by qualified name; everything heavy (machine, kernel,
+    session) is constructed *inside* the call from the plain params.
+    """
+    start = time.perf_counter()
+    value = resolve_callable(fn_path)(**dict(params))
+    return value, time.perf_counter() - start
+
+
+class Runner:
+    """Execute experiment grids with optional parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (default) runs in-process, ``0`` or
+        ``None`` uses every available CPU.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable memoization.
+    progress:
+        Optional callback receiving a :class:`PointOutcome` as each
+        point completes (cache hits report immediately).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+        progress: ProgressFn | None = None,
+    ):
+        if jobs is None or jobs <= 0:
+            import os
+
+            jobs = os.cpu_count() or 1
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.progress = progress
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunReport:
+        """Execute every point of *spec*; outcomes come back in order."""
+        started = time.perf_counter()
+        total = len(spec.points)
+        slots: list[PointOutcome | None] = [None] * total
+
+        pending: list[int] = []
+        for index, point in enumerate(spec.points):
+            if self.cache is not None:
+                hit, value = self.cache.lookup(point)
+                if hit:
+                    slots[index] = self._completed(
+                        index, total, point, value, 0.0, cached=True
+                    )
+                    continue
+            pending.append(index)
+
+        if pending and self.jobs > 1:
+            self._run_pool(spec, pending, slots, total)
+        else:
+            for index in pending:
+                point = spec.points[index]
+                try:
+                    value, seconds = _timed_point(point.fn, point.params)
+                except PointExecutionError:
+                    raise
+                except Exception as exc:
+                    raise PointExecutionError(point.describe(), exc) from exc
+                self._store(point, value)
+                slots[index] = self._completed(
+                    index, total, point, value, seconds, cached=False
+                )
+
+        report = RunReport(spec=spec, outcomes=[s for s in slots if s is not None])
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    # -- internals ------------------------------------------------------
+
+    def _run_pool(
+        self,
+        spec: ExperimentSpec,
+        pending: list[int],
+        slots: list[PointOutcome | None],
+        total: int,
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _timed_point, spec.points[i].fn, spec.points[i].params
+                ): i
+                for i in pending
+            }
+            try:
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(
+                        remaining, return_when=FIRST_EXCEPTION
+                    )
+                    for future in done:
+                        index = futures[future]
+                        point = spec.points[index]
+                        try:
+                            value, seconds = future.result()
+                        except Exception as exc:
+                            raise PointExecutionError(
+                                point.describe(), exc
+                            ) from exc
+                        self._store(point, value)
+                        slots[index] = self._completed(
+                            index, total, point, value, seconds, cached=False
+                        )
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+
+    def _store(self, point: Point, value: Any) -> None:
+        if self.cache is not None:
+            self.cache.store(point, value)
+
+    def _completed(
+        self,
+        index: int,
+        total: int,
+        point: Point,
+        value: Any,
+        seconds: float,
+        cached: bool,
+    ) -> PointOutcome:
+        outcome = PointOutcome(
+            index=index,
+            total=total,
+            point=point,
+            value=value,
+            seconds=seconds,
+            cached=cached,
+        )
+        if self.progress is not None:
+            self.progress(outcome)
+        return outcome
+
+
+def execute(spec: ExperimentSpec, runner: Runner | None = None) -> list[Any]:
+    """Run *spec* and return its point values in grid order.
+
+    The default runner is serial and cache-less — the mode the drivers'
+    programmatic ``run()`` API uses so library calls stay hermetic; the
+    CLI passes a configured :class:`Runner` instead.
+    """
+    if runner is None:
+        runner = Runner(jobs=1, cache=None)
+    return runner.run(spec).values

@@ -1,0 +1,51 @@
+"""Progress reporting for long sweeps: one stderr line per point.
+
+The reporter is a plain callable compatible with
+:class:`~repro.runner.executor.Runner`'s ``progress`` hook, so tests can
+substitute a recording stub and the drivers stay print-free::
+
+    [ 12/60] fig8 scenario=RExclc-LSharedb,rate=500.0   0.84s
+    [ 13/60] fig8 scenario=RExclc-LSharedb,rate=600.0   cached
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from repro.runner.executor import PointOutcome, RunReport
+
+
+class StderrProgress:
+    """Print per-point completion lines (with timing) to *stream*."""
+
+    def __init__(self, experiment: str, stream: TextIO | None = None):
+        self.experiment = experiment
+        self.stream = stream if stream is not None else sys.stderr
+        self.completed = 0
+        self._started = time.perf_counter()
+
+    def __call__(self, outcome: PointOutcome) -> None:
+        self.completed += 1
+        width = len(str(outcome.total))
+        status = "cached" if outcome.cached else f"{outcome.seconds:.2f}s"
+        print(
+            f"[{self.completed:{width}d}/{outcome.total}] "
+            f"{self.experiment} {outcome.point.describe()}  {status}",
+            file=self.stream,
+        )
+
+    def summarize(self, report: RunReport) -> None:
+        """Print the end-of-sweep wall/compute/cache summary line."""
+        parts = [
+            f"{len(report.outcomes)} points",
+            f"{report.wall_seconds:.2f}s wall",
+            f"{report.point_seconds:.2f}s compute",
+        ]
+        if report.cache_hits:
+            parts.append(f"{report.cache_hits} cached")
+        print(
+            f"{self.experiment}: " + ", ".join(parts),
+            file=self.stream,
+        )

@@ -1,0 +1,154 @@
+"""Declarative experiment grids: :class:`Point` and :class:`ExperimentSpec`.
+
+Every paper figure is an embarrassingly parallel grid of independent
+simulations — one :class:`Point` per (scenario, rate, noise, seed, ...)
+combination.  A point names a **top-level callable** by module path
+(``"repro.experiments.fig8_bandwidth:point"``) plus JSON-safe keyword
+parameters, which makes it
+
+* *executable anywhere* — the runner can call it in-process or ship it
+  to a :class:`~concurrent.futures.ProcessPoolExecutor` worker, because
+  resolving a module path never requires pickling closures;
+* *content-addressable* — the canonical JSON of ``(fn, params)`` hashes
+  to a stable cache key, so completed points can be memoized on disk;
+* *deterministic* — the full RNG seed is part of the params, so a point
+  computes the same value no matter which worker runs it or in what
+  order (parallel results are bit-identical to serial ones).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecError
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize *value* to a canonical (sorted, compact) JSON string.
+
+    Raises :class:`SpecError` for values JSON cannot represent; point
+    parameters must stay plain (numbers, strings, bools, lists, dicts)
+    so cache keys and worker submissions are stable across processes.
+    """
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"value is not canonically JSON-serializable: {exc}")
+
+
+def resolve_callable(path: str) -> Callable[..., Any]:
+    """Import and return the callable named by ``"pkg.module:attr"``."""
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise SpecError(
+            f"point fn must look like 'pkg.module:callable', got {path!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+        fn = getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        raise SpecError(f"cannot resolve point fn {path!r}: {exc}")
+    if not callable(fn):
+        raise SpecError(f"point fn {path!r} resolved to a non-callable")
+    return fn
+
+
+@dataclass(frozen=True, eq=False)
+class Point:
+    """One independent unit of experimental work.
+
+    Parameters
+    ----------
+    fn:
+        ``"pkg.module:callable"`` path of a top-level function taking
+        ``**params`` and returning any picklable value.
+    params:
+        JSON-safe keyword arguments, including the RNG seed.
+    label:
+        Short human-readable tag for progress lines (not hashed).
+    """
+
+    fn: str
+    params: Mapping[str, Any]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so a malformed grid fails at build time, not
+        # deep inside a worker process.
+        object.__setattr__(self, "params", dict(self.params))
+        self.canonical()
+        if ":" not in self.fn:
+            raise SpecError(
+                f"point fn must look like 'pkg.module:callable', got "
+                f"{self.fn!r}"
+            )
+
+    def canonical(self) -> str:
+        """Canonical JSON identity of this point (fn + params only)."""
+        return canonical_json({"fn": self.fn, "params": self.params})
+
+    def key(self, salt: str = "") -> str:
+        """Content hash of the point, optionally salted (cache key)."""
+        digest = hashlib.sha256()
+        digest.update(salt.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(self.canonical().encode("utf-8"))
+        return digest.hexdigest()
+
+    def execute(self) -> Any:
+        """Resolve ``fn`` and call it with this point's params."""
+        return resolve_callable(self.fn)(**dict(self.params))
+
+    def describe(self) -> str:
+        """The progress-line name: explicit label or a params digest."""
+        if self.label:
+            return self.label
+        short = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.fn.rpartition(':')[2]}({short})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, declarative grid of independent points.
+
+    ``meta`` carries the grid axes (rates, scenario names, ...) that the
+    driver's ``collect()`` needs to reassemble point values into the
+    figure-shaped result dict; it is not hashed and never shipped to
+    workers.
+    """
+
+    experiment: str
+    points: tuple[Point, ...]
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+        object.__setattr__(self, "meta", dict(self.meta))
+        if not self.points:
+            raise SpecError(f"spec {self.experiment!r} declares no points")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def key(self, salt: str = "") -> str:
+        """Content hash of the whole grid (order-sensitive)."""
+        digest = hashlib.sha256()
+        digest.update(self.experiment.encode("utf-8"))
+        for point in self.points:
+            digest.update(point.key(salt).encode("ascii"))
+        return digest.hexdigest()

@@ -23,7 +23,7 @@ from repro.sim.events import (
     Rdtsc,
     Store,
 )
-from repro.sim.rng import RngStreams
+from repro.sim.rng import RngStreams, derive_seed
 from repro.sim.stats import Histogram, StatsRegistry
 from repro.sim.thread import Cpu, SimThread, ThreadState
 
@@ -45,4 +45,5 @@ __all__ = [
     "StatsRegistry",
     "Store",
     "ThreadState",
+    "derive_seed",
 ]

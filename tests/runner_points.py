@@ -1,0 +1,21 @@
+"""Cheap top-level point functions for the runner tests.
+
+They live in their own importable module (not inside a test function)
+because :func:`repro.runner.resolve_callable` loads points by qualified
+name — exactly what a worker process does.
+"""
+
+
+def square(*, x):
+    return x * x
+
+
+def record(*, x, log):
+    """Append *x* to the file at *log* so tests can count executions."""
+    with open(log, "a") as fh:
+        fh.write(f"{x}\n")
+    return x * 10
+
+
+def boom(*, x):
+    raise ValueError(f"boom {x}")

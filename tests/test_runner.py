@@ -1,0 +1,356 @@
+"""Tests for the parallel, cache-aware experiment runner.
+
+Covers the ExperimentSpec/Point grid API, the content-addressed on-disk
+result cache (hit / miss / invalidation), the serial-vs-parallel
+determinism guarantee on a real fig8 grid, the experiment registry, and
+the CLI validation fixes that shipped with the runner.
+"""
+
+import io
+import pickle
+
+import pytest
+
+from repro.errors import PointExecutionError, SpecError
+from repro.runner import (
+    ExperimentSpec,
+    Point,
+    ResultCache,
+    Runner,
+    StderrProgress,
+    canonical_json,
+    default_cache_dir,
+    execute,
+    resolve_callable,
+    version_salt,
+)
+
+SQUARE = "tests.runner_points:square"
+RECORD = "tests.runner_points:record"
+BOOM = "tests.runner_points:boom"
+
+
+def small_spec(n=3):
+    return ExperimentSpec(
+        experiment="toy",
+        points=tuple(
+            Point(fn=SQUARE, params={"x": i}, label=f"x={i}")
+            for i in range(n)
+        ),
+    )
+
+
+# -- spec / point identity ------------------------------------------------
+
+
+def test_canonical_json_is_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+    assert canonical_json({"a": 2, "b": 1}) == canonical_json({"b": 1, "a": 2})
+
+
+def test_canonical_json_rejects_non_json_values():
+    with pytest.raises(SpecError):
+        canonical_json({"x": {1, 2}})
+    with pytest.raises(SpecError):
+        canonical_json(float("nan"))
+
+
+def test_point_rejects_unpicklable_params_at_build_time():
+    with pytest.raises(SpecError):
+        Point(fn=SQUARE, params={"x": object()})
+
+
+def test_point_rejects_malformed_fn_path():
+    with pytest.raises(SpecError):
+        Point(fn="no.colon.here", params={})
+
+
+def test_point_identity_ignores_label():
+    a = Point(fn=SQUARE, params={"x": 1}, label="one")
+    b = Point(fn=SQUARE, params={"x": 1}, label="uno")
+    c = Point(fn=SQUARE, params={"x": 2})
+    assert a == b and hash(a) == hash(b)
+    assert a.key() == b.key()
+    assert a != c and a.key() != c.key()
+
+
+def test_point_key_depends_on_salt():
+    p = Point(fn=SQUARE, params={"x": 1})
+    assert p.key("repro-1.0.0") != p.key("repro-1.0.1")
+
+
+def test_empty_spec_rejected():
+    with pytest.raises(SpecError):
+        ExperimentSpec(experiment="empty", points=())
+
+
+def test_resolve_callable_errors():
+    assert resolve_callable(SQUARE)(x=3) == 9
+    with pytest.raises(SpecError):
+        resolve_callable("tests.runner_points")
+    with pytest.raises(SpecError):
+        resolve_callable("tests.runner_points:missing")
+    with pytest.raises(SpecError):
+        resolve_callable("tests.no_such_module:fn")
+
+
+# -- cache ----------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_layout(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    p = Point(fn=SQUARE, params={"x": 2})
+    hit, _ = cache.lookup(p)
+    assert not hit and cache.misses == 1
+    cache.store(p, {"answer": 4})
+    hit, value = cache.lookup(p)
+    assert hit and value == {"answer": 4} and cache.hits == 1
+    path = cache.path_for(p)
+    assert path.exists()
+    assert path.parent.name == cache.key_for(p)[:2]
+
+
+def test_cache_salt_invalidates(tmp_path):
+    p = Point(fn=SQUARE, params={"x": 2})
+    ResultCache(tmp_path, salt="repro-1.0.0").store(p, 4)
+    hit, _ = ResultCache(tmp_path, salt="repro-1.0.1").lookup(p)
+    assert not hit
+
+
+@pytest.mark.parametrize("junk", [
+    b"not a pickle",   # UnpicklingError
+    b"garbage\n",      # ValueError (pickle GET opcode on a non-int line)
+    b"",               # EOFError
+])
+def test_cache_corrupt_entry_is_miss_and_deleted(tmp_path, junk):
+    cache = ResultCache(tmp_path, salt="s")
+    p = Point(fn=SQUARE, params={"x": 2})
+    cache.store(p, 4)
+    cache.path_for(p).write_bytes(junk)
+    hit, _ = cache.lookup(p)
+    assert not hit
+    assert not cache.path_for(p).exists()
+
+
+def test_cache_evict(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    p = Point(fn=SQUARE, params={"x": 2})
+    assert not cache.evict(p)
+    cache.store(p, 4)
+    assert cache.evict(p)
+    assert not cache.lookup(p)[0]
+
+
+def test_cache_stores_cached_none(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    p = Point(fn=SQUARE, params={"x": 2})
+    cache.store(p, None)
+    hit, value = cache.lookup(p)
+    assert hit and value is None
+
+
+def test_default_cache_dir_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    assert default_cache_dir() == tmp_path / "c"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro" / "results"
+
+
+def test_version_salt_tracks_package_version():
+    from repro import __version__
+
+    assert __version__ in version_salt()
+
+
+# -- runner ---------------------------------------------------------------
+
+
+def test_serial_run_returns_values_in_grid_order():
+    report = Runner(jobs=1).run(small_spec(4))
+    assert report.values == [0, 1, 4, 9]
+    assert report.cache_hits == 0 and report.cache_misses == 4
+
+
+def test_execute_default_is_serial_cacheless():
+    assert execute(small_spec(3)) == [0, 1, 4]
+
+
+def test_cache_hit_skips_recompute(tmp_path):
+    log = tmp_path / "log.txt"
+    spec = ExperimentSpec(
+        experiment="toy",
+        points=tuple(
+            Point(fn=RECORD, params={"x": i, "log": str(log)})
+            for i in range(3)
+        ),
+    )
+    first = Runner(jobs=1, cache=ResultCache(tmp_path / "c", salt="s")).run(spec)
+    assert first.cache_misses == 3
+    assert log.read_text().splitlines() == ["0", "1", "2"]
+
+    second = Runner(jobs=1, cache=ResultCache(tmp_path / "c", salt="s")).run(spec)
+    assert second.cache_hits == 3 and second.cache_misses == 0
+    assert second.values == first.values == [0, 10, 20]
+    # Hits must not have re-executed the point function.
+    assert log.read_text().splitlines() == ["0", "1", "2"]
+
+    # A new salt (version bump) invalidates everything.
+    third = Runner(jobs=1, cache=ResultCache(tmp_path / "c", salt="t")).run(spec)
+    assert third.cache_misses == 3
+    assert log.read_text().splitlines() == ["0", "1", "2", "0", "1", "2"]
+
+
+def test_parallel_run_matches_serial(tmp_path):
+    spec = small_spec(6)
+    serial = Runner(jobs=1).run(spec)
+    parallel = Runner(jobs=4, cache=ResultCache(tmp_path, salt="s")).run(spec)
+    assert parallel.values == serial.values
+    # The parallel run populated the cache; a rerun is all hits.
+    rerun = Runner(jobs=4, cache=ResultCache(tmp_path, salt="s")).run(spec)
+    assert rerun.cache_hits == 6
+    assert rerun.values == serial.values
+
+
+def test_point_failure_wrapped_serial():
+    spec = ExperimentSpec(
+        experiment="toy",
+        points=(Point(fn=BOOM, params={"x": 7}, label="seven"),),
+    )
+    with pytest.raises(PointExecutionError, match="seven"):
+        Runner(jobs=1).run(spec)
+
+
+def test_point_failure_wrapped_parallel():
+    spec = ExperimentSpec(
+        experiment="toy",
+        points=(
+            Point(fn=SQUARE, params={"x": 1}),
+            Point(fn=BOOM, params={"x": 7}, label="seven"),
+        ),
+    )
+    with pytest.raises(PointExecutionError, match="seven"):
+        Runner(jobs=2).run(spec)
+
+
+def test_progress_lines_and_summary(tmp_path):
+    stream = io.StringIO()
+    progress = StderrProgress("toy", stream=stream)
+    cache = ResultCache(tmp_path, salt="s")
+    report = Runner(jobs=1, cache=cache, progress=progress).run(small_spec(2))
+    progress.summarize(report)
+    out = stream.getvalue()
+    assert "[1/2] toy x=0" in out and "[2/2] toy x=1" in out
+    assert "2 points" in out
+
+    stream = io.StringIO()
+    progress = StderrProgress("toy", stream=stream)
+    Runner(jobs=1, cache=ResultCache(tmp_path, salt="s"),
+           progress=progress).run(small_spec(2))
+    assert "cached" in stream.getvalue()
+
+
+# -- determinism on a real experiment grid --------------------------------
+
+
+def fig8_small_spec():
+    from repro.experiments import fig8_bandwidth
+
+    return fig8_bandwidth.build_spec(
+        seed=3, bits=20, rates=(400.0, 1000.0),
+        scenarios=["RExclc-LSharedb", "RExclc-LExclb"],
+    )
+
+
+def test_fig8_parallel_byte_identical_to_serial(tmp_path):
+    spec = fig8_small_spec()
+    serial = Runner(jobs=1).run(spec).values
+    parallel = Runner(jobs=4, cache=ResultCache(tmp_path, salt="s")).run(spec)
+    assert pickle.dumps(parallel.values) == pickle.dumps(serial)
+    # And the cached rerun reproduces the same bytes again.
+    cached = Runner(jobs=1, cache=ResultCache(tmp_path, salt="s")).run(spec)
+    assert cached.cache_hits == len(spec.points)
+    assert pickle.dumps(cached.values) == pickle.dumps(serial)
+
+
+def test_fig8_spec_path_matches_legacy_run():
+    from repro.experiments import fig8_bandwidth
+
+    spec = fig8_small_spec()
+    via_spec = fig8_bandwidth.run(spec)
+    with pytest.warns(DeprecationWarning):
+        legacy = fig8_bandwidth.run(
+            seed=3, bits=20, rates=(400.0, 1000.0),
+            scenarios=["RExclc-LSharedb", "RExclc-LExclb"],
+        )
+    assert via_spec == legacy
+
+
+# -- registry -------------------------------------------------------------
+
+
+def test_registry_covers_every_driver():
+    from repro.experiments import REGISTRY
+
+    assert set(REGISTRY) == {
+        "fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "sync", "mitigations", "ablations", "detect", "capacity",
+    }
+    for name, info in REGISTRY.items():
+        assert info.name == name
+        assert info.summary
+
+
+def test_registry_drivers_expose_unified_api():
+    from repro.experiments import REGISTRY
+
+    for info in REGISTRY.values():
+        module = info.load()
+        for attr in ("NAME", "SUMMARY", "POINT_FN", "point", "build_spec",
+                     "spec_from_args", "collect", "run", "render",
+                     "add_arguments", "main"):
+            assert hasattr(module, attr), f"{info.module} lacks {attr}"
+        assert module.NAME == info.name
+
+
+def test_registry_build_spec_points_are_hashable():
+    from repro.experiments import REGISTRY
+
+    spec = REGISTRY["table1"].build_spec(seed=1, bits=8)
+    assert isinstance(spec, ExperimentSpec)
+    assert len(spec.points) > 0
+    for point in spec.points:
+        point.key(version_salt())  # must not raise
+
+
+# -- CLI integration ------------------------------------------------------
+
+
+def test_cli_send_rejects_zero_rate(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["send", "101", "--rate", "0"])
+    assert "--rate must be a positive" in capsys.readouterr().err
+
+
+def test_cli_send_rejects_negative_rate(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["send", "101", "--rate", "-5"])
+    assert "--rate must be a positive" in capsys.readouterr().err
+
+
+def test_cli_experiment_uses_cache_dir(tmp_path, capsys):
+    from repro.cli import main
+
+    argv = ["table1", "--bits", "8", "--cache-dir", str(tmp_path),
+            "--no-progress"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "Table I" in first
+    assert any(tmp_path.iterdir()), "cache dir was not populated"
+    # Second run is served from cache and renders identically.
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first

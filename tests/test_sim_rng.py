@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.rng import RngStreams
+from repro.sim.rng import RngStreams, derive_seed
 
 
 def test_same_seed_same_stream():
@@ -62,3 +62,20 @@ def test_non_int_seed_rejected():
 def test_streams_are_generators():
     stream = RngStreams(0).get("g")
     assert isinstance(stream, np.random.Generator)
+
+
+def test_derive_seed_is_deterministic():
+    assert derive_seed(7, "fig9", 2) == derive_seed(7, "fig9", 2)
+
+
+def test_derive_seed_varies_with_every_component():
+    base = derive_seed(7, "fig9", 2)
+    assert derive_seed(8, "fig9", 2) != base
+    assert derive_seed(7, "fig8", 2) != base
+    assert derive_seed(7, "fig9", 3) != base
+
+
+def test_derive_seed_fits_numpy_seed_range():
+    for root in range(20):
+        seed = derive_seed(root, "trial", root * 3)
+        assert 0 <= seed < 2**31
