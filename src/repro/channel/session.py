@@ -26,6 +26,7 @@ from repro.channel.config import (
 from repro.channel.decoder import BitDecoder, DecodeReport, Sample
 from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
 from repro.channel.spy import SpyResult, eviction_flusher, spy_program
+from repro.channel.sync import resync_backoff_cycles
 from repro.channel.trojan import (
     TrojanControl,
     WorkerRole,
@@ -33,7 +34,8 @@ from repro.channel.trojan import (
     worker_program,
     worker_roles,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SyncTimeoutError
+from repro.faults.plan import FaultPlan
 from repro.kernel.process import Process
 from repro.kernel.syscalls import Kernel
 from repro.kernel.workloads import spawn_kernel_build
@@ -65,10 +67,25 @@ class SessionConfig:
     #: Evict-based flushing is slow (one load per LLC way), so pair it
     #: with a low-rate ProtocolParams (slot of several thousand cycles).
     flush_method: str = "clflush"
+    #: Extra synchronization attempts after the spy times out waiting
+    #: for the transmission start (Section VII-A re-synchronization):
+    #: each retry idles for an exponentially growing backoff — long
+    #: enough for transient disturbances (preemption, KSM churn) to
+    #: clear — then replays the whole handshake.  0 restores the old
+    #: fail-on-first-timeout behavior.
+    resync_attempts: int = 2
+    #: Base idle before the first resync attempt (doubles per attempt).
+    resync_backoff_cycles: float = 2_000_000.0
+    #: Optional :class:`repro.faults.FaultPlan` (or its ``to_json``
+    #: dict, so plans ride inside JSON-plain grid params).  Its
+    #: simulation-plane events are installed at the first transmission.
+    faults: object = None
 
     def __post_init__(self) -> None:
         if self.sharing not in ("ksm", "explicit"):
             raise ConfigError(f"unknown sharing mode {self.sharing!r}")
+        if self.resync_attempts < 0:
+            raise ConfigError("resync_attempts must be >= 0")
         if self.flush_method not in ("clflush", "evict"):
             raise ConfigError(f"unknown flush method {self.flush_method!r}")
         if self.scenario is not None:
@@ -90,6 +107,8 @@ class TransmissionResult:
     decode: DecodeReport
     cycles: float
     nominal_rate_kbps: float
+    #: Re-synchronizations this transmission needed before succeeding.
+    resyncs: int = 0
 
     @property
     def accuracy(self) -> float:
@@ -129,6 +148,10 @@ class SessionBase:
                 self.spy_proc, self.spy_va
             )
         self._transmissions = 0
+        #: Successful handshake recoveries over the session's lifetime.
+        self.resyncs = 0
+        self.fault_threads: list = []
+        self._faults_installed = False
 
     # -- setup ----------------------------------------------------------
 
@@ -232,6 +255,44 @@ class SessionBase:
         self._transmissions += 1
         return tag
 
+    def install_faults(self) -> None:
+        """Install the configured simulation-plane fault plan (once).
+
+        Deferred to the first transmission so the fault windows —
+        expressed relative to the install-time clock — land inside the
+        traffic they are meant to disturb, not the calibration phase.
+        """
+        if self._faults_installed:
+            return
+        self._faults_installed = True
+        plan = FaultPlan.from_json(self.config.faults)
+        if plan.simulation_events:
+            from repro.faults.simulation import install_simulation_faults
+
+            self.fault_threads = install_simulation_faults(self, plan)
+
+    def _reap_attempt(self, tag: int) -> None:
+        """Kill every surviving thread of one transmission attempt.
+
+        After a failed handshake the attempt's workers (daemons) and
+        controller (non-daemon, still mid-payload) are abandoned; a
+        retry spawns a fresh cohort under a new tag, so the stale one
+        must not keep running — or keep the engine alive — underneath
+        it.
+        """
+        suffix = f"-{tag}"
+        for thread in self.sim.threads:
+            # Only the attempt's own cohort: workers (trojan-L0-<tag>),
+            # controller (trojan-ctl-<tag>) and spy (spy-<tag>).  Noise
+            # workloads, KSM, and fault threads use other prefixes and
+            # must survive the reap.
+            if (
+                thread.name.startswith(("trojan-", "spy-"))
+                and thread.name.endswith(suffix)
+                and not thread.done
+            ):
+                thread.kill()
+
     def idle(self, cycles: float) -> None:
         """Advance simulated time with the channel quiet.
 
@@ -260,12 +321,53 @@ class ChannelSession(SessionBase):
     """
 
     def transmit(self, payload: list[int]) -> TransmissionResult:
-        """Send *payload* from the trojan to the spy; decode and score."""
+        """Send *payload* from the trojan to the spy; decode and score.
+
+        If the spy times out waiting for the transmission start (a lost
+        handshake — forced preemption, a severed shared page, ...), the
+        attempt's threads are reaped, the pair idles for an exponential
+        backoff, and the whole handshake replays, up to
+        ``config.resync_attempts`` retries.  Only then does
+        :class:`~repro.errors.SyncTimeoutError` propagate.
+        """
         cfg = self.config
         if any(bit not in (0, 1) for bit in payload):
             raise ConfigError("payload must be a list of 0/1 ints")
-        tag = self.next_tag()
+        self.install_faults()
 
+        for attempt in range(cfg.resync_attempts + 1):
+            if attempt:
+                # Back off long enough for the disturbance that broke
+                # the handshake to clear, then resynchronize from
+                # scratch with a fresh thread cohort.
+                self.idle(resync_backoff_cycles(
+                    attempt, base=cfg.resync_backoff_cycles
+                ))
+            tag = self.next_tag()
+            try:
+                result = self._transmit_once(payload, tag)
+            except SyncTimeoutError:
+                self._reap_attempt(tag)
+                if attempt >= cfg.resync_attempts:
+                    raise
+                self.resyncs += 1
+                continue
+            return TransmissionResult(
+                scenario_name=result.scenario_name,
+                sent=result.sent,
+                received=result.received,
+                alignment=result.alignment,
+                samples=result.samples,
+                decode=result.decode,
+                cycles=result.cycles,
+                nominal_rate_kbps=result.nominal_rate_kbps,
+                resyncs=attempt,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _transmit_once(self, payload: list[int], tag: int) -> TransmissionResult:
+        """One handshake + payload attempt (no retry logic)."""
+        cfg = self.config
         control = TrojanControl()
         decoder = BitDecoder(self.bands, cfg.scenario, cfg.params)
         spy_result = SpyResult()
@@ -320,6 +422,8 @@ def execute_point(
     params: ProtocolParams | None = None,
     machine: MachineConfig | None = None,
     flush_method: str = "clflush",
+    faults: dict | None = None,
+    resync_attempts: int | None = None,
 ) -> TransmissionResult:
     """Grid-point entry: one self-contained transmission from plain data.
 
@@ -329,7 +433,9 @@ def execute_point(
     machine/kernel/session stack is constructed *inside* the call (a
     worker never receives live simulator state).  ``warmup_bits``
     transmits a payload prefix first so noise workloads reach the
-    steady-state regime the paper measures in (Figure 9).
+    steady-state regime the paper measures in (Figure 9).  ``faults``
+    is a :meth:`repro.faults.FaultPlan.to_json` dict whose
+    simulation-plane events are injected into the transmission.
     """
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)
@@ -340,6 +446,8 @@ def execute_point(
     kwargs: dict = {}
     if calibration_samples is not None:
         kwargs["calibration_samples"] = calibration_samples
+    if resync_attempts is not None:
+        kwargs["resync_attempts"] = resync_attempts
     session = ChannelSession(SessionConfig(
         scenario=scenario,
         params=params,
@@ -347,6 +455,7 @@ def execute_point(
         noise_threads=noise_threads,
         machine=machine if machine is not None else MachineConfig(),
         flush_method=flush_method,
+        faults=faults,
         **kwargs,
     ))
     if warmup_bits:

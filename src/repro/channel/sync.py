@@ -45,6 +45,24 @@ class SyncParams:
     max_spy_polls: int = 600
 
 
+def resync_backoff_cycles(
+    attempt: int,
+    base: float = 2_000_000.0,
+    factor: float = 2.0,
+    cap: float = 64_000_000.0,
+) -> float:
+    """Idle cycles before re-synchronization *attempt* (1-based).
+
+    Exponential and fully deterministic (the simulated clock is the only
+    entropy a simulation is allowed): a desynchronized pair backs off
+    long enough for transient disturbances — a preemption burst, a KSM
+    re-merge scan — to clear before the next handshake.
+    """
+    if attempt < 1:
+        return 0.0
+    return min(cap, base * factor ** (attempt - 1))
+
+
 @dataclass
 class SyncResult:
     """Outcome of the handshake."""
@@ -145,26 +163,29 @@ def run_synchronization(
     trojan_core: int,
     spy_core: int,
     params: SyncParams | None = None,
+    tag: str = "",
 ) -> SyncResult:
     """Run the handshake on an existing session stack; returns the result.
 
     Spawns one trojan thread and one spy thread, runs the engine until
     both finish, and reports durations.  The trojan's reloads keep B
     cached, so the spy's flush+reload lands in a coherence band rather
-    than DRAM — that convergence is the sync signal.
+    than DRAM — that convergence is the sync signal.  *tag* suffixes the
+    thread names so repeated handshakes (resync attempts) stay unique in
+    the simulator's thread table.
     """
     params = params if params is not None else SyncParams()
     result = SyncResult()
     kernel.spawn(
         trojan_proc,
-        "sync-trojan",
+        f"sync-trojan{tag}",
         trojan_sync_program(result, params, bands, trojan_va),
         core_id=trojan_core,
         daemon=True,
     )
     kernel.spawn(
         spy_proc,
-        "sync-spy",
+        f"sync-spy{tag}",
         spy_sync_program(result, params, bands, spy_va),
         core_id=spy_core,
         daemon=False,

@@ -41,6 +41,8 @@ def cmd_list(_argv: list[str]) -> None:
             print(f"  {name:12s} {summary}")
     print()
     print("experiment options: --jobs N  --no-cache  --cache-dir DIR")
+    print("failure handling:   --retries N  --timeout S  --keep-going  "
+          "--inject-faults")
 
 
 def cmd_send(argv: list[str]) -> None:
@@ -52,6 +54,19 @@ def cmd_send(argv: list[str]) -> None:
                         help="nominal Kbits/s")
     parser.add_argument("--noise", type=int, default=0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--resync-attempts", type=int, default=2,
+        help="handshake retries after a spy sync timeout (default: 2)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="R",
+        help="inject simulation faults at R per million cycles "
+             "(third-party touches, preemption, latency spikes)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the injected fault plan",
+    )
     args = parser.parse_args(argv)
 
     from repro.channel.config import ProtocolParams, scenario_by_name
@@ -69,17 +84,34 @@ def cmd_send(argv: list[str]) -> None:
                 f"--rate must be a positive Kbit/s value, got {args.rate:g}"
             )
         params = params.at_rate(args.rate)
+    faults = None
+    if args.fault_rate > 0:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.build_simulation(
+            seed=args.fault_seed,
+            rate_per_mcycle=args.fault_rate,
+            window_cycles=params.slot_cycles * (len(payload) + 40),
+            kinds=("third_party_touch", "preempt", "latency_spike"),
+        )
+        print(f"injecting {len(faults)} simulation fault(s)",
+              file=sys.stderr)
     session = ChannelSession(SessionConfig(
         scenario=scenario_by_name(args.scenario),
         params=params,
         seed=args.seed,
         noise_threads=args.noise,
+        resync_attempts=args.resync_attempts,
+        faults=faults,
     ))
     result = session.transmit(payload)
     print(f"sent     {''.join(map(str, result.sent))}")
     print(f"received {''.join(map(str, result.received))}")
-    print(f"accuracy {result.accuracy * 100:.1f}%  "
-          f"rate {result.achieved_rate_kbps:.0f} Kbit/s")
+    line = (f"accuracy {result.accuracy * 100:.1f}%  "
+            f"rate {result.achieved_rate_kbps:.0f} Kbit/s")
+    if result.resyncs:
+        line += f"  resyncs {result.resyncs}"
+    print(line)
 
 
 def cmd_bands(argv: list[str]) -> None:

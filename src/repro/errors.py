@@ -87,6 +87,53 @@ class PointExecutionError(RunnerError):
         )
 
 
+class PointTimeoutError(RunnerError):
+    """A grid point exceeded its per-point wall-clock limit."""
+
+
+class WorkerCrashError(RunnerError):
+    """A pool worker died (killed, OOM, hard crash) mid-point.
+
+    Wraps :class:`concurrent.futures.process.BrokenProcessPool` for the
+    specific point whose dispatch was lost; the runner respawns the pool
+    and re-dispatches, so this surfaces only once the retry budget is
+    exhausted.
+    """
+
+
+class IncompleteRunError(RunnerError):
+    """A RunReport is missing point values (failed or never-run points).
+
+    Raised by :attr:`repro.runner.RunReport.values` instead of silently
+    returning a list misaligned with the grid order, which would let
+    ``collect()`` zip values against the wrong parameters.
+    """
+
+    def __init__(self, experiment: str, missing: list[str]):
+        self.missing = list(missing)
+        shown = ", ".join(self.missing[:5])
+        if len(self.missing) > 5:
+            shown += f", ... ({len(self.missing) - 5} more)"
+        super().__init__(
+            f"run of {experiment!r} is missing {len(self.missing)} point "
+            f"value(s): {shown}; use keep_going/padded_values() for "
+            f"partial results"
+        )
+
+
+class FaultError(ReproError):
+    """A fault plan or fault event is malformed."""
+
+
+class InjectedFaultError(FaultError):
+    """A deterministic fault injected by a FaultPlan (harness plane).
+
+    Raised in place of (or inside) a point execution to exercise the
+    runner's failure policy; never raised unless fault injection was
+    explicitly requested.
+    """
+
+
 class ChannelError(ReproError):
     """Base class for covert-channel layer errors."""
 

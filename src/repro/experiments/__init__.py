@@ -33,6 +33,7 @@ __all__ = [
     "capacity_analysis",
     "common",
     "detection_roc",
+    "fault_sweep",
     "fig2_latency_cdf",
     "fig7_reception",
     "fig8_bandwidth",
@@ -128,6 +129,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
         ExperimentInfo(
             "capacity", "capacity_analysis",
             "extension: information-theoretic capacity",
+        ),
+        ExperimentInfo(
+            "faults", "fault_sweep",
+            "robustness: accuracy vs injected fault rate",
         ),
     )
 }

@@ -99,6 +99,35 @@ def runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-progress", action="store_true",
         help="suppress per-point progress lines on stderr",
     )
+    group.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed point, with deterministic "
+             "exponential backoff (default: fail fast)",
+    )
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock limit (SIGALRM-enforced in the "
+             "executing process)",
+    )
+    group.add_argument(
+        "--keep-going", action="store_true",
+        help="run the whole grid even if points fail; failures are "
+             "reported at the end and the command exits 1",
+    )
+    group.add_argument(
+        "--inject-faults", action="store_true",
+        help="inject a deterministic harness fault plan (worker kills, "
+             "transient errors, stalls) to exercise the failure policy",
+    )
+    group.add_argument(
+        "--fault-rate", type=float, default=0.25, metavar="P",
+        help="per-point fault probability for --inject-faults "
+             "(default: 0.25)",
+    )
+    group.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed of the injected fault plan (default: 0)",
+    )
 
 
 def execute_from_args(spec, args: argparse.Namespace) -> list:
@@ -106,11 +135,16 @@ def execute_from_args(spec, args: argparse.Namespace) -> list:
 
     Builds a :class:`~repro.runner.Runner` from the options
     :func:`runner_arguments` added (``--jobs``, ``--no-cache``,
-    ``--cache-dir``, ``--no-progress``), emits per-point progress and an
-    end-of-sweep timing summary on stderr, and returns the values in
-    grid order.
+    ``--cache-dir``, ``--no-progress``, ``--retries``, ``--timeout``,
+    ``--keep-going``, ``--inject-faults``), emits per-point progress and
+    an end-of-sweep timing summary on stderr, and returns the values in
+    grid order.  Under ``--keep-going`` with failures, the per-point
+    errors are printed to stderr and the process exits 1 — completed
+    values are already cached, so re-running resumes the sweep.
     """
-    from repro.runner import ResultCache, Runner, StderrProgress
+    import sys
+
+    from repro.runner import FailurePolicy, ResultCache, Runner, StderrProgress
 
     cache = None if getattr(args, "no_cache", False) else ResultCache(
         getattr(args, "cache_dir", None)
@@ -118,11 +152,47 @@ def execute_from_args(spec, args: argparse.Namespace) -> list:
     progress = None if getattr(args, "no_progress", False) else StderrProgress(
         spec.experiment
     )
+    policy = FailurePolicy(
+        retries=getattr(args, "retries", 0),
+        timeout=getattr(args, "timeout", None),
+        keep_going=getattr(args, "keep_going", False),
+        seed=getattr(args, "seed", 0) or 0,
+    )
+    injector = None
+    if getattr(args, "inject_faults", False):
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.build_harness(
+            seed=getattr(args, "fault_seed", 0),
+            n_points=len(spec.points),
+            rate=getattr(args, "fault_rate", 0.25),
+        )
+        injector = FaultInjector(plan)
+        print(
+            f"{spec.experiment}: injecting {len(plan.harness_events)} "
+            f"harness fault(s) (plan {plan.key()[:12]})",
+            file=sys.stderr,
+        )
     runner = Runner(jobs=getattr(args, "jobs", 1), cache=cache,
-                    progress=progress)
+                    progress=progress, policy=policy, injector=injector)
     report = runner.run(spec)
     if progress is not None:
         progress.summarize(report)
+    if report.errors:
+        for outcome in report.errors:
+            print(
+                f"{spec.experiment}: point {outcome.point.describe()} "
+                f"FAILED after {outcome.attempts} attempt(s): "
+                f"{outcome.error}",
+                file=sys.stderr,
+            )
+        print(
+            f"{spec.experiment}: {len(report.errors)} of "
+            f"{len(spec.points)} point(s) failed; completed values are "
+            f"cached — re-run the same command to resume",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
     return report.values
 
 

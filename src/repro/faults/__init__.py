@@ -1,0 +1,39 @@
+"""Deterministic, replayable fault injection.
+
+Two planes of adversity, both derived bit-for-bit from a seed:
+
+* **harness** — faults against the experiment runner (worker kills,
+  transient point errors, stalls, torn cache entries), consumed by
+  :class:`FaultInjector` inside :class:`repro.runner.Runner`;
+* **simulation** — faults against a live covert-channel session (third
+  party touching the shared line, forced preemption, KSM unmerge,
+  interconnect latency spikes), installed by
+  :func:`install_simulation_faults`.
+
+See ``EXPERIMENTS.md`` ("Failure handling & fault injection") for the
+operational guide.
+"""
+
+from repro.faults.harness import (
+    WORKER_KILL_EXIT_STATUS,
+    FaultInjector,
+    apply_worker_fault,
+)
+from repro.faults.plan import (
+    HARNESS_KINDS,
+    SIMULATION_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.simulation import install_simulation_faults
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "apply_worker_fault",
+    "install_simulation_faults",
+    "HARNESS_KINDS",
+    "SIMULATION_KINDS",
+    "WORKER_KILL_EXIT_STATUS",
+]

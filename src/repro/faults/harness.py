@@ -1,0 +1,123 @@
+"""Harness-plane fault injection: adversity for the runner itself.
+
+:class:`FaultInjector` is the hook :class:`repro.runner.Runner` consults
+while executing a grid.  It answers one question — "does this attempt of
+this point fault, and how?" — from a :class:`~repro.faults.plan.FaultPlan`,
+so the same plan replays the same failures bit-for-bit, serial or
+parallel, no matter how the pool schedules the points.
+
+Fault kinds and where they bite:
+
+* ``transient`` — the point raises :class:`InjectedFaultError` (inside
+  the worker, so the failure crosses the process boundary the way a real
+  point exception does) until its faulty attempts are used up;
+* ``slow`` — the point stalls ``magnitude`` seconds before executing,
+  which trips a configured per-point timeout;
+* ``worker_kill`` — the pool worker hard-exits (``os._exit``) mid-point,
+  producing a genuine ``BrokenProcessPool`` in the parent; in serial
+  mode it degrades to a transient error (there is no worker to kill);
+* ``torn_cache`` — after the point's value is stored, its cache entry is
+  overwritten with garbage, exercising the cache's corrupt-entry
+  recovery on the next run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Mapping
+from typing import Any
+
+from repro.errors import FaultError, InjectedFaultError
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: Exit status a killed worker dies with (visible in pool diagnostics).
+WORKER_KILL_EXIT_STATUS = 17
+
+
+def apply_worker_fault(event_json: Mapping[str, Any]) -> None:
+    """Apply a harness fault inside the executing (worker) process.
+
+    Called by the runner's worker entry point before the point function
+    runs; ``event_json`` is the :meth:`FaultEvent.to_json` form because
+    only plain data crosses the process boundary.
+    """
+    kind = event_json.get("kind")
+    if kind == "worker_kill":
+        # A hard kill: no exception, no cleanup — the parent observes
+        # BrokenProcessPool exactly as with a real OOM-killed worker.
+        os._exit(WORKER_KILL_EXIT_STATUS)
+    if kind == "slow":
+        time.sleep(float(event_json.get("magnitude", 0.0)))
+        return
+    if kind == "transient":
+        raise InjectedFaultError(
+            f"injected transient fault on point "
+            f"{event_json.get('point')} (planned)"
+        )
+    if kind == "torn_cache":
+        return  # applied parent-side, after the store
+    raise FaultError(f"unknown harness fault kind {kind!r}")
+
+
+class FaultInjector:
+    """Deterministic harness-fault oracle for one grid run.
+
+    Parameters
+    ----------
+    plan:
+        The fault plan; only its harness-plane events matter here.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._by_point: dict[int, FaultEvent] = {}
+        for event in plan.harness_events:
+            if event.point in self._by_point:
+                raise FaultError(
+                    f"fault plan schedules two harness events for point "
+                    f"{event.point}"
+                )
+            self._by_point[event.point] = event
+        self._torn: set[int] = set()
+        #: (point index, attempt, kind) log of every fault fired —
+        #: tests assert replay identity against this.
+        self.fired: list[tuple[int, int, str]] = []
+
+    def event_for(self, index: int, attempt: int) -> FaultEvent | None:
+        """The fault for *attempt* (0-based) of point *index*, if any.
+
+        ``torn_cache`` events never fail an attempt, so they are not
+        reported here; see :meth:`maybe_tear`.
+        """
+        event = self._by_point.get(index)
+        if event is None or event.kind == "torn_cache":
+            return None
+        if attempt >= event.attempts:
+            return None
+        self.fired.append((index, attempt, event.kind))
+        return event
+
+    def maybe_tear(self, cache, index: int, point) -> bool:
+        """Corrupt *point*'s just-written cache entry if planned.
+
+        Fires at most once per point per run; returns whether it did.
+        The torn entry is exactly the artifact a crash between write
+        and rename would leave, so the cache's corrupt-entry handling
+        (delete + recompute) is what the next run must do.
+        """
+        event = self._by_point.get(index)
+        if (
+            cache is None
+            or event is None
+            or event.kind != "torn_cache"
+            or index in self._torn
+        ):
+            return False
+        self._torn.add(index)
+        try:
+            cache.path_for(point).write_bytes(b"torn by fault injection")
+        except OSError:
+            return False
+        self.fired.append((index, 0, "torn_cache"))
+        return True

@@ -1,0 +1,244 @@
+"""Seedable, replayable fault plans: *what* goes wrong, *when*.
+
+A :class:`FaultPlan` is a frozen list of :class:`FaultEvent` entries on
+two planes:
+
+* **harness** events target the experiment runner itself — a grid point
+  that raises transiently, stalls, kills its pool worker, or tears its
+  own cache entry.  They let the runner's failure policy be tested
+  against deterministic adversity instead of ad-hoc monkeypatching.
+* **simulation** events target a running
+  :class:`~repro.channel.session.ChannelSession` — a third party
+  touching the shared line, forced preemption on the spy's core, a KSM
+  unmerge/re-merge cycle, or a transient interconnect latency spike.
+  These are the hostile conditions (context switches, co-located
+  sharers) the paper's Section VIII robustness protocol exists for.
+
+Plans are pure data: canonically JSON-serializable (so they ride inside
+grid-point params and hash into cache keys) and derived bit-for-bit
+deterministically from a root seed via :func:`repro.sim.rng.derive_seed`
+— building the same plan twice, in any process, yields identical events
+in identical order.  :meth:`FaultPlan.key` is the replay identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.sim.rng import derive_seed
+
+#: Harness-plane fault kinds (runner adversity).
+HARNESS_KINDS = ("transient", "slow", "worker_kill", "torn_cache")
+
+#: Simulation-plane fault kinds (channel adversity).
+SIMULATION_KINDS = (
+    "third_party_touch",
+    "preempt",
+    "ksm_unmerge",
+    "latency_spike",
+)
+
+_PLANES = {"harness": HARNESS_KINDS, "simulation": SIMULATION_KINDS}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Harness events address a grid point by ``point`` (its index in the
+    spec) and fire while the point's attempt counter is below
+    ``attempts`` — so an event with ``attempts=2`` fails the first two
+    tries and lets the third succeed.  Simulation events address a
+    window of simulated time, ``at_cycles`` .. ``at_cycles +
+    duration_cycles``, relative to the start of the transmission the
+    plan is installed into.  ``magnitude`` is kind-specific (stall
+    seconds, touch period in cycles, burst intensity).
+    """
+
+    plane: str
+    kind: str
+    point: int = 0
+    attempts: int = 1
+    at_cycles: float = 0.0
+    duration_cycles: float = 0.0
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        kinds = _PLANES.get(self.plane)
+        if kinds is None:
+            raise FaultError(f"unknown fault plane {self.plane!r}")
+        if self.kind not in kinds:
+            raise FaultError(
+                f"unknown {self.plane}-plane fault kind {self.kind!r}; "
+                f"expected one of {kinds}"
+            )
+        if self.plane == "harness" and self.attempts < 1:
+            raise FaultError("a harness fault must fire on >= 1 attempt")
+        if self.at_cycles < 0 or self.duration_cycles < 0:
+            raise FaultError("fault times must be non-negative")
+
+    def to_json(self) -> dict:
+        """Plain-dict form (canonically JSON-safe)."""
+        return {
+            "plane": self.plane,
+            "kind": self.kind,
+            "point": int(self.point),
+            "attempts": int(self.attempts),
+            "at_cycles": float(self.at_cycles),
+            "duration_cycles": float(self.duration_cycles),
+            "magnitude": float(self.magnitude),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "FaultEvent":
+        try:
+            return cls(**{k: data[k] for k in (
+                "plane", "kind", "point", "attempts",
+                "at_cycles", "duration_cycles", "magnitude",
+            ) if k in data})
+        except TypeError as exc:
+            raise FaultError(f"malformed fault event {dict(data)!r}: {exc}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable set of fault events."""
+
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def plane(self, plane: str) -> tuple[FaultEvent, ...]:
+        """The events of one plane, in plan order."""
+        if plane not in _PLANES:
+            raise FaultError(f"unknown fault plane {plane!r}")
+        return tuple(e for e in self.events if e.plane == plane)
+
+    @property
+    def harness_events(self) -> tuple[FaultEvent, ...]:
+        return self.plane("harness")
+
+    @property
+    def simulation_events(self) -> tuple[FaultEvent, ...]:
+        return self.plane("simulation")
+
+    def key(self) -> str:
+        """SHA-256 replay identity: equal keys == bit-identical plans."""
+        from repro.runner.spec import canonical_json
+
+        digest = hashlib.sha256()
+        digest.update(canonical_json(self.to_json()).encode("utf-8"))
+        return digest.hexdigest()
+
+    def to_json(self) -> dict:
+        """Plain-dict form, suitable for grid-point params."""
+        return {
+            "seed": int(self.seed),
+            "events": [e.to_json() for e in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping | "FaultPlan" | None) -> "FaultPlan":
+        """Rebuild a plan from its :meth:`to_json` form (idempotent)."""
+        if data is None:
+            return cls()
+        if isinstance(data, FaultPlan):
+            return data
+        try:
+            events = tuple(
+                FaultEvent.from_json(e) for e in data.get("events", ())
+            )
+            return cls(seed=int(data.get("seed", 0)), events=events)
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise FaultError(f"malformed fault plan: {exc}")
+
+    # -- deterministic generators --------------------------------------
+
+    @classmethod
+    def build_harness(
+        cls,
+        seed: int,
+        n_points: int,
+        rate: float = 0.25,
+        kinds: Sequence[str] = HARNESS_KINDS,
+        max_faulty_attempts: int = 2,
+    ) -> "FaultPlan":
+        """A harness plan: each grid point faults with prob. *rate*.
+
+        Fully determined by the arguments — the draws come from a
+        generator seeded with ``derive_seed(seed, "faults.harness",
+        n_points)``, never from global state.  ``max_faulty_attempts``
+        bounds how many consecutive attempts a transient fault consumes,
+        so a retry budget of the same size always recovers the sweep.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise FaultError(f"fault rate must be in [0, 1], got {rate!r}")
+        for kind in kinds:
+            if kind not in HARNESS_KINDS:
+                raise FaultError(f"unknown harness fault kind {kind!r}")
+        rng = np.random.default_rng(
+            derive_seed(seed, "faults.harness", n_points)
+        )
+        events = []
+        for index in range(n_points):
+            if rng.random() >= rate:
+                continue
+            kind = kinds[int(rng.integers(len(kinds)))]
+            attempts = int(rng.integers(1, max(1, max_faulty_attempts) + 1))
+            magnitude = float(rng.uniform(0.005, 0.02))  # stall seconds
+            events.append(FaultEvent(
+                plane="harness", kind=kind, point=index,
+                attempts=attempts, magnitude=magnitude,
+            ))
+        return cls(seed=seed, events=tuple(events))
+
+    @classmethod
+    def build_simulation(
+        cls,
+        seed: int,
+        rate_per_mcycle: float,
+        window_cycles: float,
+        kinds: Sequence[str] = ("third_party_touch", "preempt"),
+        duration_range: tuple[float, float] = (30_000.0, 120_000.0),
+    ) -> "FaultPlan":
+        """A simulation plan: faults spread over one transmission window.
+
+        ``rate_per_mcycle`` is the expected fault count per million
+        simulated cycles; the realized count is the deterministic
+        rounding of ``rate * window / 1e6`` so equal arguments always
+        produce equal plans (no Poisson sampling).  Event start times and
+        durations are drawn uniformly from the window.
+        """
+        if rate_per_mcycle < 0:
+            raise FaultError("fault rate must be non-negative")
+        for kind in kinds:
+            if kind not in SIMULATION_KINDS:
+                raise FaultError(f"unknown simulation fault kind {kind!r}")
+        n_events = int(round(rate_per_mcycle * window_cycles / 1e6))
+        rng = np.random.default_rng(
+            derive_seed(seed, "faults.simulation", n_events)
+        )
+        lo, hi = duration_range
+        events = []
+        for _ in range(n_events):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            at = float(rng.uniform(0.0, max(1.0, window_cycles)))
+            duration = float(rng.uniform(lo, hi))
+            magnitude = float(rng.uniform(1_000.0, 3_000.0))  # cycles
+            events.append(FaultEvent(
+                plane="simulation", kind=kind,
+                at_cycles=at, duration_cycles=duration, magnitude=magnitude,
+            ))
+        # Sort by start time so installation order is stable and readable.
+        events.sort(key=lambda e: e.at_cycles)
+        return cls(seed=seed, events=tuple(events))

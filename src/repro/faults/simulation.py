@@ -1,0 +1,201 @@
+"""Simulation-plane fault injection: hostile conditions for the channel.
+
+Installs a :class:`~repro.faults.plan.FaultPlan`'s simulation events
+into a live :class:`~repro.channel.session.SessionBase` as simulated
+threads, scheduled relative to the moment of installation (normally the
+start of a transmission).  Each fault models a disturbance the paper
+calls out as the covert channel's operating reality:
+
+* ``third_party_touch`` — an unrelated process that maps the shared
+  frame keeps loading and occasionally flushing the covert line during
+  its window, perturbing the coherence states the spy times
+  (third-party sharers, Section VIII-C);
+* ``preempt`` — a phantom competitor occupies the spy's core for the
+  window, halving its progress and salting its timed loads with
+  context-switch penalties (the forced preemption that desynchronizes
+  the handshake, Section VII-A);
+* ``ksm_unmerge`` — the shared page is unmerged (the sharers get
+  private frames, severing the channel) and re-merged after the window
+  by a fresh KSM scan, modeling dedup churn / page migration;
+* ``latency_spike`` — a burst workload hammers the interconnect from a
+  spare core for the window, inflating and jittering everyone's
+  latencies.
+
+All fault threads are daemons that terminate themselves at the end of
+their window; they never keep the engine alive and never outlive their
+scheduled disturbance.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan
+from repro.kernel.paging import vpn_of
+from repro.mem.cacheline import LINE_SIZE
+from repro.mem.physical import PAGE_SIZE
+
+#: Pages of the latency-spike burst region (small: contention, not
+#: LLC-scale pollution — that is what noise_threads are for).
+SPIKE_PAGES = 32
+
+#: Accesses per latency-spike burst event.
+SPIKE_BURST_LINES = 64
+
+
+def _free_core(session) -> int:
+    """A core no channel party is pinned to (falls back to the last one)."""
+    n_cores = session.config.machine.n_cores
+    reserved = set(session.reserved_cores())
+    for core in range(n_cores):
+        if core not in reserved:
+            return core
+    return n_cores - 1
+
+
+def _interloper(session):
+    """The (lazily created) process fault threads run as."""
+    existing = getattr(session, "_fault_interloper", None)
+    if existing is not None:
+        return existing
+    process = session.kernel.create_process("fault-interloper")
+    session._fault_interloper = process
+    return process
+
+
+def install_simulation_faults(session, plan: FaultPlan) -> list:
+    """Spawn *plan*'s simulation events into *session*'s simulator.
+
+    Event times are relative to the simulator's current global clock, so
+    installing at the start of a transmission schedules the faults
+    mid-transmission.  Returns the spawned threads (daemons), mainly for
+    tests.
+    """
+    base = session.sim.global_clock
+    threads = []
+    for index, event in enumerate(plan.simulation_events):
+        start = base + event.at_cycles
+        end = start + max(1.0, event.duration_cycles)
+        name = f"fault-{event.kind}-{index}"
+        if event.kind == "third_party_touch":
+            threads.append(_install_touch(session, name, start, end,
+                                          period=event.magnitude))
+        elif event.kind == "preempt":
+            threads.append(_install_preempt(session, name, start, end,
+                                            token=-(1_000 + index)))
+        elif event.kind == "ksm_unmerge":
+            threads.append(_install_ksm_unmerge(session, name, start, end))
+        elif event.kind == "latency_spike":
+            threads.append(_install_spike(session, name, start, end,
+                                          mlp=max(1.0, event.magnitude / 300)))
+        else:  # pragma: no cover - plan validation rejects unknown kinds
+            raise FaultError(f"unknown simulation fault kind {event.kind!r}")
+    return threads
+
+
+def _install_touch(session, name, start, end, period):
+    """A third party loading (and periodically flushing) the covert line."""
+    kernel = session.kernel
+    process = _interloper(session)
+    pfn = kernel.phys.pfn_of(session.spy_proc.translate(session.spy_va))
+    va = process.map_frame(pfn, writable=False)
+    period = max(200.0, float(period))
+
+    def program(cpu):
+        now = yield from cpu.rdtsc()
+        if start > now:
+            yield from cpu.delay(start - now)
+        touches = 0
+        while True:
+            now = yield from cpu.rdtsc()
+            if now >= end:
+                return
+            if touches % 4 == 3:
+                # Every fourth touch evicts the line outright — the
+                # harshest thing an innocent sharer's reuse-distance
+                # behavior does to it.
+                yield from cpu.flush(va)
+            else:
+                yield from cpu.load(va)
+            touches += 1
+            yield from cpu.delay(period)
+
+    return kernel.spawn(process, name, program,
+                        core_id=_free_core(session), daemon=True)
+
+
+def _install_preempt(session, name, start, end, token):
+    """A phantom competitor on the spy's core for the window.
+
+    Registering an extra scheduler assignment on the core is exactly
+    what a runnable sibling thread does: the fair-share model halves the
+    spy's progress and its ops start drawing stochastic context-switch
+    penalties — the latency outliers a real preemption smears over
+    rdtsc-bracketed loads.
+    """
+    kernel = session.kernel
+    core = session.config.spy_core
+
+    def program(cpu):
+        now = yield from cpu.rdtsc()
+        if start > now:
+            yield from cpu.delay(start - now)
+        kernel.scheduler.assign(token, core)
+        try:
+            yield from cpu.delay(end - max(start, now))
+        finally:
+            kernel.scheduler.release(token)
+
+    # A kernel-context thread: the *phantom token* takes the scheduler
+    # slot, so the coordinator itself must not occupy a core.
+    return kernel.spawn_kernel_thread(name, program, core_id=core,
+                                      daemon=True)
+
+
+def _install_ksm_unmerge(session, name, start, end):
+    """Unmerge the shared page at *start*; re-merge after the window."""
+    kernel = session.kernel
+    spy_proc = session.spy_proc
+    vpn = vpn_of(session.spy_va)
+
+    def program(cpu):
+        now = yield from cpu.rdtsc()
+        if start > now:
+            yield from cpu.delay(start - now)
+        pte = spy_proc.page_table[vpn]
+        if pte.merged:
+            kernel.ksm.unmerge(spy_proc, vpn)
+        yield from cpu.delay(max(1.0, end - max(start, now)))
+        # The private copy still holds the pre-agreed pattern, so the
+        # next scan folds the page back onto the canonical frame.
+        kernel.ksm.scan_once()
+
+    return kernel.spawn_kernel_thread(name, program, core_id=0, daemon=True)
+
+
+def _install_spike(session, name, start, end, mlp):
+    """Sustained strided bursts from a spare core during the window."""
+    kernel = session.kernel
+    process = _interloper(session)
+    base_va = process.mmap(SPIKE_PAGES)
+    span = SPIKE_PAGES * PAGE_SIZE - SPIKE_BURST_LINES * LINE_SIZE
+
+    def program(cpu):
+        now = yield from cpu.rdtsc()
+        if start > now:
+            yield from cpu.delay(start - now)
+        offset = 0
+        while True:
+            now = yield from cpu.rdtsc()
+            if now >= end:
+                return
+            yield from cpu.burst(
+                base_va + offset,
+                count=SPIKE_BURST_LINES,
+                stride=LINE_SIZE,
+                write_ratio=0.1,
+                mlp=mlp,
+            )
+            offset = (offset + SPIKE_BURST_LINES * LINE_SIZE) % span
+
+    return kernel.spawn(process, name, program,
+                        core_id=_free_core(session), daemon=True)

@@ -26,6 +26,7 @@ and CLI-side::
 
 from repro.runner.cache import ResultCache, default_cache_dir, version_salt
 from repro.runner.executor import (
+    FailurePolicy,
     PointOutcome,
     Runner,
     RunReport,
@@ -41,6 +42,7 @@ from repro.runner.spec import (
 
 __all__ = [
     "ExperimentSpec",
+    "FailurePolicy",
     "Point",
     "PointOutcome",
     "ResultCache",

@@ -9,8 +9,10 @@ entry wholesale (simulation semantics may have changed).
 Values are arbitrary picklable Python objects (floats, result dicts,
 :class:`~repro.channel.session.TransmissionResult` instances, numpy
 arrays).  Entries are written atomically (temp file + rename) so a
-killed run never leaves a torn entry, and unreadable entries are
-treated as misses and deleted.
+killed run never leaves a torn entry.  Corrupt entries (bad pickle
+bytes) are deleted and recomputed; transiently unreadable entries
+(``OSError``) are reported as misses but left in place.  Orphaned
+``*.tmp`` files from killed runs are swept on construction.
 
 Layout::
 
@@ -22,6 +24,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -29,6 +32,10 @@ from repro.runner.spec import Point
 
 #: Sentinel distinguishing "cached None" from "not cached".
 _MISS = object()
+
+#: Minimum age (seconds) before an orphaned ``*.tmp`` file is swept.
+#: Younger temps may belong to a store() in progress in another process.
+STALE_TMP_SECONDS = 60.0
 
 
 def version_salt() -> str:
@@ -57,6 +64,31 @@ class ResultCache:
         self.salt = salt if salt is not None else version_salt()
         self.hits = 0
         self.misses = 0
+        self.swept_tmp = self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> int:
+        """Delete orphaned ``*.tmp`` files left by killed runs.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` leaks its
+        temp file forever (the next run writes a fresh one).  Swept on
+        construction, with an age grace so a concurrent writer's
+        in-flight temp is left alone.  Returns the number removed.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        cutoff = time.time() - STALE_TMP_SECONDS
+        try:
+            for tmp in self.root.glob("*/*.tmp"):
+                try:
+                    if tmp.stat().st_mtime < cutoff:
+                        tmp.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return removed
 
     def key_for(self, point: Point) -> str:
         """The content hash addressing *point* under this cache's salt."""
@@ -73,7 +105,10 @@ class ResultCache:
         try:
             with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except FileNotFoundError:
+        except OSError:
+            # Missing entry, or a *transient* read failure (EACCES from
+            # a permission hiccup, EIO, NFS timeouts).  The entry may be
+            # perfectly good — report a miss but never delete it.
             pass
         except Exception:
             # Torn write or stale class layout.  Unpickling corrupt

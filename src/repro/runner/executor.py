@@ -1,4 +1,4 @@
-"""The parallel, cache-aware grid executor.
+"""The parallel, cache-aware, failure-hardened grid executor.
 
 :class:`Runner` takes an :class:`~repro.runner.spec.ExperimentSpec` and
 produces one value per point, in spec order, regardless of how the work
@@ -14,27 +14,94 @@ Because each point carries its full RNG seed in its params (see
 :mod:`repro.runner.spec`), the values are bit-identical whether they
 came from the cache, a worker process, or a serial in-process loop —
 ``--jobs 4`` must and does reproduce ``--jobs 1`` exactly.
+
+A :class:`FailurePolicy` makes long sweeps survivable instead of
+all-or-nothing:
+
+* failed points retry up to ``retries`` extra attempts with exponential
+  backoff whose jitter is *deterministic* (derived from the policy seed
+  and the point, so two runs of the same failing grid sleep identically);
+* each attempt can carry a wall-clock ``timeout``, enforced inside the
+  executing process via ``SIGALRM`` so a wedged simulation cannot hang
+  the sweep;
+* a killed worker (``BrokenProcessPool``) no longer poisons the run —
+  the pool is respawned and only the in-flight points are re-dispatched,
+  each charged one attempt;
+* with ``keep_going`` the sweep runs to completion and failed points
+  become typed error outcomes in the :class:`RunReport` instead of an
+  exception;
+* whatever happens, every completed value is flushed to the cache
+  before the runner raises, so an interrupted grid resumes where it
+  died instead of recomputing survivors.
+
+Deterministic adversity for all of the above comes from
+:class:`repro.faults.FaultInjector` via the ``injector`` hook.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from collections.abc import Callable, Mapping
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import PointExecutionError
+from repro.errors import (
+    IncompleteRunError,
+    InjectedFaultError,
+    PointExecutionError,
+    PointTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults.harness import apply_worker_fault
 from repro.runner.cache import ResultCache
 from repro.runner.spec import ExperimentSpec, Point, resolve_callable
+from repro.sim.rng import derive_seed
 
 #: Progress callback signature: called once per completed point.
 ProgressFn = Callable[["PointOutcome"], None]
 
 
 @dataclass(frozen=True)
+class FailurePolicy:
+    """How the runner responds when a point fails.
+
+    The default policy is the historical behavior: no retries, no
+    timeout, fail the sweep on the first error.  ``backoff_seconds``
+    grows exponentially per attempt and is jittered *deterministically*
+    — the jitter for (point, attempt) comes from
+    :func:`~repro.sim.rng.derive_seed`, never from wall-clock entropy,
+    so replaying a failing sweep sleeps the exact same schedule.
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    keep_going: bool = False
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def backoff_seconds(self, key: str, attempt: int) -> float:
+        """Sleep before retrying *key* after failed attempt *attempt* (1-based)."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter <= 0.0:
+            return base
+        unit = derive_seed(self.seed, "backoff", str(key), attempt) / 0x7FFFFFFF
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+@dataclass(frozen=True)
 class PointOutcome:
-    """One completed point: its value plus scheduling metadata."""
+    """One finished point: its value (or error) plus scheduling metadata."""
 
     index: int
     total: int
@@ -42,6 +109,12 @@ class PointOutcome:
     value: Any
     seconds: float
     cached: bool
+    attempts: int = 1
+    error: PointExecutionError | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass
@@ -51,11 +124,39 @@ class RunReport:
     spec: ExperimentSpec
     outcomes: list[PointOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
+    pool_respawns: int = 0
 
     @property
     def values(self) -> list[Any]:
-        """Point values in spec order (what ``collect()`` consumes)."""
-        return [outcome.value for outcome in self.outcomes]
+        """Point values in spec order (what ``collect()`` consumes).
+
+        Raises :class:`~repro.errors.IncompleteRunError` if any point is
+        missing or failed — a shorter, silently misaligned list would
+        let ``collect()`` zip values against the wrong parameters.  Use
+        :meth:`padded_values` for partial (keep-going) reports.
+        """
+        by_index = {o.index: o for o in self.outcomes}
+        missing = [
+            point.describe()
+            for index, point in enumerate(self.spec.points)
+            if by_index.get(index) is None or by_index[index].failed
+        ]
+        if missing:
+            raise IncompleteRunError(self.spec.experiment, missing)
+        return [by_index[i].value for i in range(len(self.spec.points))]
+
+    def padded_values(self, fill: Any = None) -> list[Any]:
+        """Values in spec order with *fill* in failed/missing slots."""
+        by_index = {o.index: o for o in self.outcomes if not o.failed}
+        return [
+            by_index[i].value if i in by_index else fill
+            for i in range(len(self.spec.points))
+        ]
+
+    @property
+    def errors(self) -> list[PointOutcome]:
+        """The failed outcomes, in spec order."""
+        return [o for o in self.outcomes if o.failed]
 
     @property
     def cache_hits(self) -> int:
@@ -71,20 +172,63 @@ class RunReport:
         return sum(o.seconds for o in self.outcomes)
 
 
-def _timed_point(fn_path: str, params: Mapping[str, Any]) -> tuple[Any, float]:
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`PointTimeoutError` if the body runs past *seconds*.
+
+    Uses ``SIGALRM``, which only works on the main thread of a POSIX
+    process — exactly where pool workers and the serial runner execute
+    points.  Anywhere else (Windows, embedded interpreters) it degrades
+    to a no-op rather than breaking execution.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise PointTimeoutError(
+            f"point exceeded its {seconds:g}s wall-clock limit"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _timed_point(
+    fn_path: str,
+    params: Mapping[str, Any],
+    timeout: float | None = None,
+    fault: Mapping[str, Any] | None = None,
+) -> tuple[Any, float]:
     """Worker entry: execute one point, returning (value, seconds).
 
     Top-level so :mod:`concurrent.futures` can ship it to a forked or
     spawned worker by qualified name; everything heavy (machine, kernel,
     session) is constructed *inside* the call from the plain params.
+    The optional injected *fault* applies under the same deadline as the
+    point itself, so a ``slow`` fault trips a configured timeout.
     """
     start = time.perf_counter()
-    value = resolve_callable(fn_path)(**dict(params))
+    with _deadline(timeout):
+        if fault is not None:
+            apply_worker_fault(fault)
+        value = resolve_callable(fn_path)(**dict(params))
     return value, time.perf_counter() - start
 
 
 class Runner:
-    """Execute experiment grids with optional parallelism and caching.
+    """Execute experiment grids with parallelism, caching, and retries.
 
     Parameters
     ----------
@@ -95,7 +239,14 @@ class Runner:
         A :class:`ResultCache`, or ``None`` to disable memoization.
     progress:
         Optional callback receiving a :class:`PointOutcome` as each
-        point completes (cache hits report immediately).
+        point finishes (cache hits report immediately; failed points
+        report their error outcome).
+    policy:
+        A :class:`FailurePolicy`; the default fails fast with no
+        retries, matching the pre-policy behavior.
+    injector:
+        Optional :class:`repro.faults.FaultInjector` supplying
+        deterministic harness faults (tests and ``--inject-faults``).
     """
 
     def __init__(
@@ -103,6 +254,8 @@ class Runner:
         jobs: int | None = 1,
         cache: ResultCache | None = None,
         progress: ProgressFn | None = None,
+        policy: FailurePolicy | None = None,
+        injector: Any = None,
     ):
         if jobs is None or jobs <= 0:
             import os
@@ -111,14 +264,24 @@ class Runner:
         self.jobs = int(jobs)
         self.cache = cache
         self.progress = progress
+        self.policy = policy if policy is not None else FailurePolicy()
+        self.injector = injector
 
     # -- public API -----------------------------------------------------
 
     def run(self, spec: ExperimentSpec) -> RunReport:
-        """Execute every point of *spec*; outcomes come back in order."""
+        """Execute every point of *spec*; outcomes come back in order.
+
+        With the default policy the first failure aborts the sweep with
+        :class:`~repro.errors.PointExecutionError` — but only after
+        every already-running point has finished and been flushed to the
+        cache, so a re-run resumes instead of recomputing survivors.
+        Under ``keep_going`` failures become error outcomes instead.
+        """
         started = time.perf_counter()
         total = len(spec.points)
         slots: list[PointOutcome | None] = [None] * total
+        report = RunReport(spec=spec)
 
         pending: list[int] = []
         for index, point in enumerate(spec.points):
@@ -132,26 +295,71 @@ class Runner:
             pending.append(index)
 
         if pending and self.jobs > 1:
-            self._run_pool(spec, pending, slots, total)
+            self._run_pool(spec, pending, slots, total, report)
         else:
-            for index in pending:
-                point = spec.points[index]
-                try:
-                    value, seconds = _timed_point(point.fn, point.params)
-                except PointExecutionError:
-                    raise
-                except Exception as exc:
-                    raise PointExecutionError(point.describe(), exc) from exc
-                self._store(point, value)
-                slots[index] = self._completed(
-                    index, total, point, value, seconds, cached=False
-                )
+            self._run_serial(spec, pending, slots, total)
 
-        report = RunReport(spec=spec, outcomes=[s for s in slots if s is not None])
+        report.outcomes = [s for s in slots if s is not None]
         report.wall_seconds = time.perf_counter() - started
         return report
 
     # -- internals ------------------------------------------------------
+
+    def _fault_for(self, index: int, attempt: int):
+        """The planned fault event for a 0-based attempt, if any."""
+        if self.injector is None:
+            return None
+        return self.injector.event_for(index, attempt)
+
+    def _run_serial(
+        self,
+        spec: ExperimentSpec,
+        pending: list[int],
+        slots: list[PointOutcome | None],
+        total: int,
+    ) -> None:
+        policy = self.policy
+        for index in pending:
+            point = spec.points[index]
+            for attempt in range(policy.retries + 1):
+                event = self._fault_for(index, attempt)
+                fault = event.to_json() if event is not None else None
+                try:
+                    if fault is not None and fault["kind"] == "worker_kill":
+                        # There is no worker to kill in-process; degrade
+                        # to a transient failure instead of exiting the
+                        # parent interpreter.
+                        raise InjectedFaultError(
+                            f"injected worker_kill on point {index} "
+                            f"(serial mode: degraded to transient)"
+                        )
+                    value, seconds = _timed_point(
+                        point.fn, point.params, policy.timeout, fault
+                    )
+                except PointExecutionError:
+                    raise
+                except Exception as exc:
+                    error = PointExecutionError(point.describe(), exc)
+                    error.__cause__ = exc
+                    if attempt < policy.retries:
+                        time.sleep(
+                            policy.backoff_seconds(point.describe(), attempt + 1)
+                        )
+                        continue
+                    if policy.keep_going:
+                        slots[index] = self._completed(
+                            index, total, point, None, 0.0,
+                            cached=False, attempts=attempt + 1, error=error,
+                        )
+                        break
+                    raise error from exc
+                else:
+                    self._store(point, value, index)
+                    slots[index] = self._completed(
+                        index, total, point, value, seconds,
+                        cached=False, attempts=attempt + 1,
+                    )
+                    break
 
     def _run_pool(
         self,
@@ -159,42 +367,131 @@ class Runner:
         pending: list[int],
         slots: list[PointOutcome | None],
         total: int,
+        report: RunReport,
     ) -> None:
+        policy = self.policy
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _timed_point, spec.points[i].fn, spec.points[i].params
-                ): i
-                for i in pending
-            }
+        attempts = dict.fromkeys(pending, 0)  # attempts started per index
+        futures: dict[Any, int] = {}
+        misfired: list[int] = []  # dispatches that hit an already-broken pool
+        first_error: PointExecutionError | None = None
+        aborting = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def submit(index: int) -> None:
+            point = spec.points[index]
+            event = self._fault_for(index, attempts[index])
+            fault = event.to_json() if event is not None else None
+            attempts[index] += 1
             try:
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(
-                        remaining, return_when=FIRST_EXCEPTION
-                    )
-                    for future in done:
-                        index = futures[future]
-                        point = spec.points[index]
-                        try:
-                            value, seconds = future.result()
-                        except Exception as exc:
-                            raise PointExecutionError(
-                                point.describe(), exc
-                            ) from exc
-                        self._store(point, value)
-                        slots[index] = self._completed(
-                            index, total, point, value, seconds, cached=False
-                        )
-            except BaseException:
+                future = pool.submit(
+                    _timed_point, point.fn, point.params, policy.timeout, fault
+                )
+            except BrokenExecutor:
+                # The pool broke between crash detection and this dispatch
+                # (a worker died moments ago).  The attempt is charged;
+                # the point joins the next crash batch for re-dispatch.
+                misfired.append(index)
+                return
+            futures[future] = index
+
+        def retriable(index: int) -> bool:
+            return not aborting and attempts[index] <= policy.retries
+
+        def terminal(index: int, error: PointExecutionError) -> None:
+            """Record a point whose retry budget is spent."""
+            nonlocal first_error, aborting
+            if policy.keep_going:
+                slots[index] = self._completed(
+                    index, total, spec.points[index], None, 0.0,
+                    cached=False, attempts=attempts[index], error=error,
+                )
+                return
+            if first_error is None:
+                first_error = error
+            if not aborting:
+                # Let in-flight points finish (their values get cached,
+                # so the re-run resumes), but stop everything queued.
+                aborting = True
                 for future in futures:
                     future.cancel()
-                raise
 
-    def _store(self, point: Point, value: Any) -> None:
+        try:
+            for index in pending:
+                submit(index)
+            while futures or misfired:
+                if futures:
+                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                else:
+                    done = set()
+                crashed: list[int] = misfired[:]
+                misfired.clear()
+                retry: list[tuple[int, PointExecutionError]] = []
+                for future in done:
+                    index = futures.pop(future)
+                    point = spec.points[index]
+                    try:
+                        value, seconds = future.result()
+                    except CancelledError:
+                        continue
+                    except BrokenExecutor:
+                        crashed.append(index)
+                    except Exception as exc:
+                        error = PointExecutionError(point.describe(), exc)
+                        error.__cause__ = exc
+                        if retriable(index):
+                            retry.append((index, error))
+                        else:
+                            terminal(index, error)
+                    else:
+                        self._store(point, value, index)
+                        slots[index] = self._completed(
+                            index, total, point, value, seconds,
+                            cached=False, attempts=attempts[index],
+                        )
+                if crashed:
+                    # The pool is broken: every in-flight dispatch is
+                    # lost.  Charge each lost point one attempt, respawn
+                    # the pool, and re-dispatch only those points.
+                    crashed.extend(futures.values())
+                    futures.clear()
+                    pool.shutdown(wait=False)
+                    report.pool_respawns += 1
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    for index in sorted(crashed):
+                        point = spec.points[index]
+                        cause = WorkerCrashError(
+                            f"pool worker died while executing point "
+                            f"{point.describe()!r}"
+                        )
+                        error = PointExecutionError(point.describe(), cause)
+                        error.__cause__ = cause
+                        if retriable(index):
+                            retry.append((index, error))
+                        else:
+                            terminal(index, error)
+                # Resubmits happen only after crash handling, so a retry
+                # can never be dispatched to a pool that just broke.
+                for index, error in sorted(retry):
+                    if aborting:
+                        terminal(index, error)
+                        continue
+                    time.sleep(
+                        policy.backoff_seconds(
+                            spec.points[index].describe(), attempts[index]
+                        )
+                    )
+                    submit(index)
+        finally:
+            pool.shutdown(wait=True)
+        if first_error is not None:
+            raise first_error
+
+    def _store(self, point: Point, value: Any, index: int) -> None:
         if self.cache is not None:
             self.cache.store(point, value)
+            if self.injector is not None:
+                self.injector.maybe_tear(self.cache, index, point)
 
     def _completed(
         self,
@@ -204,6 +501,8 @@ class Runner:
         value: Any,
         seconds: float,
         cached: bool,
+        attempts: int = 1,
+        error: PointExecutionError | None = None,
     ) -> PointOutcome:
         outcome = PointOutcome(
             index=index,
@@ -212,6 +511,8 @@ class Runner:
             value=value,
             seconds=seconds,
             cached=cached,
+            attempts=attempts,
+            error=error,
         )
         if self.progress is not None:
             self.progress(outcome)

@@ -29,7 +29,18 @@ class StderrProgress:
     def __call__(self, outcome: PointOutcome) -> None:
         self.completed += 1
         width = len(str(outcome.total))
-        status = "cached" if outcome.cached else f"{outcome.seconds:.2f}s"
+        if outcome.failed:
+            cause = outcome.error.__cause__ or outcome.error
+            status = (
+                f"FAILED after {outcome.attempts} attempt(s): "
+                f"{type(cause).__name__}"
+            )
+        elif outcome.cached:
+            status = "cached"
+        else:
+            status = f"{outcome.seconds:.2f}s"
+            if outcome.attempts > 1:
+                status += f" ({outcome.attempts} attempts)"
         print(
             f"[{self.completed:{width}d}/{outcome.total}] "
             f"{self.experiment} {outcome.point.describe()}  {status}",
@@ -45,6 +56,10 @@ class StderrProgress:
         ]
         if report.cache_hits:
             parts.append(f"{report.cache_hits} cached")
+        if report.errors:
+            parts.append(f"{len(report.errors)} FAILED")
+        if report.pool_respawns:
+            parts.append(f"{report.pool_respawns} pool respawn(s)")
         print(
             f"{self.experiment}: " + ", ".join(parts),
             file=self.stream,

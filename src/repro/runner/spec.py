@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -144,6 +144,24 @@ class ExperimentSpec:
 
     def __len__(self) -> int:
         return len(self.points)
+
+    def subset(self, indices: Sequence[int]) -> "ExperimentSpec":
+        """A spec over a subset of this grid's points (same meta).
+
+        The runner's resume path uses this to re-dispatch only the
+        points an interrupted sweep never finished; ``indices`` keeps
+        the original grid order.
+        """
+        try:
+            points = tuple(self.points[i] for i in indices)
+        except IndexError as exc:
+            raise SpecError(
+                f"subset index out of range for {self.experiment!r} "
+                f"({len(self.points)} points): {exc}"
+            )
+        return ExperimentSpec(
+            experiment=self.experiment, points=points, meta=self.meta
+        )
 
     def key(self, salt: str = "") -> str:
         """Content hash of the whole grid (order-sensitive)."""

@@ -19,3 +19,41 @@ def record(*, x, log):
 
 def boom(*, x):
     raise ValueError(f"boom {x}")
+
+
+def flaky(*, x, counter, fail_times):
+    """Fail the first *fail_times* calls (counted via the *counter* file).
+
+    The counter file persists across pool workers and retries, so the
+    point deterministically recovers on attempt ``fail_times + 1``.
+    """
+    import os
+
+    count = 0
+    if os.path.exists(counter):
+        with open(counter) as fh:
+            count = int(fh.read().strip() or 0)
+    with open(counter, "w") as fh:
+        fh.write(str(count + 1))
+    if count < fail_times:
+        raise ValueError(f"flaky {x} (attempt {count + 1})")
+    return x * 100
+
+
+def kill_worker(*, x, tripwire):
+    """Hard-exit the worker once (the *tripwire* file marks the kill)."""
+    import os
+
+    if not os.path.exists(tripwire):
+        with open(tripwire, "w") as fh:
+            fh.write("killed")
+        os._exit(17)
+    return x * 1000
+
+
+def slow_point(*, x, seconds):
+    """Sleep long enough to trip a per-point timeout."""
+    import time
+
+    time.sleep(seconds)
+    return x
