@@ -1,0 +1,41 @@
+"""Repeatable performance harness for the simulator hot path.
+
+``python -m repro bench`` drives the three canonical measurements and
+emits a machine-readable ``BENCH_<date>.json`` report:
+
+* ``engine_micro`` — a default-config covert-channel transmission timed
+  around :meth:`ChannelSession.transmit` only, reported as engine
+  events/second (the discrete-event core's throughput metric);
+* ``fig8_point`` — one end-to-end Figure 8 bandwidth point (remote-E
+  scenario, 100 bits at 500 Kbit/s), session construction and
+  calibration included, reported as wall seconds;
+* ``noise_point`` — one end-to-end point with two co-located noise
+  workload threads, the contention-heavy configuration.
+
+Every benchmark is deterministic (fixed seeds) so wall time is the only
+thing that varies between runs; each is repeated and the best (minimum)
+wall time is reported to suppress scheduler noise.  See PERFORMANCE.md
+for how to run and read the reports, and how CI gates on them.
+"""
+
+from repro.bench.harness import (
+    check_regression,
+    default_report_name,
+    engine_micro,
+    fig8_point,
+    load_report,
+    noise_point,
+    run_all,
+    write_report,
+)
+
+__all__ = [
+    "check_regression",
+    "default_report_name",
+    "engine_micro",
+    "fig8_point",
+    "load_report",
+    "noise_point",
+    "run_all",
+    "write_report",
+]

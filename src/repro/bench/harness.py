@@ -1,0 +1,179 @@
+"""The benchmark implementations behind ``python -m repro bench``.
+
+Methodology
+-----------
+Each benchmark runs a fixed, deterministic workload (fixed seeds, fixed
+payloads) so that the executed event sequence is identical from run to
+run and between code versions — wall clock is the only free variable.
+Benchmarks are repeated ``repeats`` times and the minimum wall time is
+kept: the minimum is the run least disturbed by the host (GC pauses,
+scheduler preemption), which is the quantity a code change actually
+moves.
+
+``engine_micro`` times only the transmission (session construction and
+calibration excluded) and divides the engine's executed-event count by
+the wall time; ``fig8_point`` and ``noise_point`` time a whole
+experiment point end to end, construction included, because that is the
+latency a grid sweep pays per point.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+import repro
+
+#: Deterministic payload pattern shared by every benchmark.
+_PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
+
+#: Report schema version (bump when the JSON layout changes).
+SCHEMA = 1
+
+
+def _payload(bits: int) -> list[int]:
+    reps = (bits + len(_PAYLOAD) - 1) // len(_PAYLOAD)
+    return (_PAYLOAD * reps)[:bits]
+
+
+def engine_micro(
+    seed: int = 0, bits: int = 48, repeats: int = 3
+) -> dict[str, Any]:
+    """Engine throughput: events/second over a default-config session.
+
+    A fresh session is built per repeat (so cache/coherence state never
+    leaks between repeats) and only :meth:`transmit` is timed.
+    """
+    from repro.channel.config import scenario_by_name
+    from repro.channel.session import ChannelSession, SessionConfig
+
+    payload = _payload(bits)
+    best_wall = float("inf")
+    events = 0
+    for _ in range(max(1, repeats)):
+        session = ChannelSession(SessionConfig(
+            scenario=scenario_by_name("LExclc-LSharedb"),
+            seed=seed,
+            calibration_samples=200,
+        ))
+        counter = session.machine.stats.counter_handle("engine.events")
+        start_events = counter.value
+        t0 = time.perf_counter()
+        session.transmit(payload)
+        wall = time.perf_counter() - t0
+        events = counter.value - start_events
+        if wall < best_wall:
+            best_wall = wall
+    return {
+        "events": events,
+        "wall_s": best_wall,
+        "events_per_sec": events / best_wall,
+    }
+
+
+def fig8_point(repeats: int = 3, bits: int = 100) -> dict[str, Any]:
+    """One end-to-end Figure 8 bandwidth point (remote-E, 500 Kbit/s)."""
+    from repro.channel.session import execute_point
+
+    payload = _payload(bits)
+    best_wall = float("inf")
+    accuracy = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = execute_point(
+            scenario="RExclc-LSharedb", payload=payload,
+            rate_kbps=500.0, seed=0,
+        )
+        wall = time.perf_counter() - t0
+        accuracy = result.accuracy
+        if wall < best_wall:
+            best_wall = wall
+    return {"wall_s": best_wall, "accuracy": accuracy}
+
+
+def noise_point(repeats: int = 3, bits: int = 24) -> dict[str, Any]:
+    """One end-to-end point with two co-located noise workloads."""
+    from repro.channel.session import execute_point
+
+    payload = _payload(bits)
+    best_wall = float("inf")
+    accuracy = 0.0
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = execute_point(
+            scenario="LExclc-LSharedb", payload=payload,
+            seed=0, noise_threads=2,
+        )
+        wall = time.perf_counter() - t0
+        accuracy = result.accuracy
+        if wall < best_wall:
+            best_wall = wall
+    return {"wall_s": best_wall, "accuracy": accuracy}
+
+
+def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
+    """Run every benchmark and return the full report dict."""
+    if quick:
+        micro_bits, fig8_bits, noise_bits = 16, 24, 8
+    else:
+        micro_bits, fig8_bits, noise_bits = 48, 100, 24
+    return {
+        "schema": SCHEMA,
+        "date": time.strftime("%Y-%m-%d"),
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "quick": quick,
+        "benchmarks": {
+            "engine_micro": engine_micro(bits=micro_bits, repeats=repeats),
+            "fig8_point": fig8_point(repeats=repeats, bits=fig8_bits),
+            "noise_point": noise_point(repeats=repeats, bits=noise_bits),
+        },
+    }
+
+
+def default_report_name(date: str | None = None) -> str:
+    """The canonical report filename, ``BENCH_<YYYY-MM-DD>.json``."""
+    return f"BENCH_{date or time.strftime('%Y-%m-%d')}.json"
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Write *report* as indented JSON; returns the path written."""
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return out
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a report previously written by :func:`write_report`."""
+    return json.loads(Path(path).read_text())
+
+
+def check_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.20,
+) -> list[str]:
+    """Compare two reports; return a list of human-readable failures.
+
+    The gate is on engine events/second: the current run must reach at
+    least ``(1 - max_regression)`` of the baseline's throughput.  Wall
+    times of the end-to-end points are reported as context but do not
+    gate (they include calibration and are noisier on shared runners).
+    """
+    problems: list[str] = []
+    try:
+        base_eps = baseline["benchmarks"]["engine_micro"]["events_per_sec"]
+        cur_eps = current["benchmarks"]["engine_micro"]["events_per_sec"]
+    except KeyError as exc:
+        return [f"malformed report: missing {exc}"]
+    floor = base_eps * (1.0 - max_regression)
+    if cur_eps < floor:
+        problems.append(
+            f"engine_micro regressed: {cur_eps:,.0f} events/s < "
+            f"{floor:,.0f} (baseline {base_eps:,.0f} - {max_regression:.0%})"
+        )
+    return problems

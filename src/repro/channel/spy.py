@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.channel.config import ProtocolParams
 from repro.channel.decoder import BitDecoder, Sample
 from repro.errors import SyncTimeoutError
+from repro.sim.events import Delay, Fence, Flush, Load, Rdtsc
 from repro.sim.thread import Cpu
 
 
@@ -76,27 +77,43 @@ def spy_program(
     # the same: it spins on rdtsc until the next slot boundary.)
     pacing = {"next_slot": None}
 
+    # Hot loop: one sample_once per slot for the whole reception.  The
+    # fixed ops (rdtsc, flush, the fence/load/fence of a timed load, the
+    # constant post-flush wait) are pre-built frozen instances yielded
+    # directly — same op/result protocol as the Cpu helpers without a
+    # helper-generator allocation per primitive.  Only the pacing delay
+    # is allocated per slot (its duration varies).
+    rdtsc_op = Rdtsc()
+    fence_op = Fence()
+    flush_op = Flush(block_va)
+    load_op = Load(block_va)
+    wait_op = Delay(params.spy_wait_cycles)
+    label = decoder.label
+
     def sample_once(cpu: Cpu) -> Generator:
-        now = yield from cpu.rdtsc()
+        now = (yield rdtsc_op).timestamp
         target = pacing["next_slot"]
         if target is None:
             target = now
         if target > now:
-            yield from cpu.delay(target - now)
+            yield Delay(target - now)
         else:
             # We overran (a slow load or a preemption); re-anchor.
             target = now
         pacing["next_slot"] = target + params.slot_cycles
         if flusher is None:
-            yield from cpu.flush(block_va)
+            yield flush_op
         else:
             yield from flusher(cpu)
-        yield from cpu.delay(params.spy_wait_cycles)
-        load = yield from cpu.timed_load(block_va)
+        yield wait_op
+        # Fence-bracketed load, as the paper's rdtsc-timed measurement.
+        yield fence_op
+        load = yield load_op
+        yield fence_op
         return Sample(
             timestamp=load.timestamp,
             latency=load.latency,
-            label=decoder.label(load.latency),
+            label=label(load.latency),
             path=load.path,
         )
 

@@ -23,6 +23,7 @@ from repro.channel.config import (
     Scenario,
     StatePair,
 )
+from repro.sim.events import Delay, Load
 from repro.sim.thread import Cpu
 
 
@@ -79,27 +80,44 @@ def worker_program(
     """
 
     def program(cpu: Cpu) -> Generator:
-        idle_period = params.reload_period
-        backoff = params.worker_backoff_fraction * params.slot_cycles
+        # Hot loop: this program runs once per worker reload for the
+        # whole transmission, so the ops it issues are pre-built frozen
+        # instances yielded directly (every delay period here is a
+        # closure constant) — no per-iteration op or helper-generator
+        # allocation.  The op/result protocol is identical to going
+        # through the Cpu helpers.
+        load_op = Load(block_va)
+        idle_op = Delay(params.reload_period)
+        backoff_op = Delay(params.worker_backoff_fraction * params.slot_cycles)
+        spin_op = Delay(params.worker_spin_cycles)
+        adaptive = params.adaptive_backoff
+        refill_floor = params.worker_refill_floor
+        role_location = role.location
+        role_index = role.index
+        excl = LineState.EXCLUSIVE
         while control.running:
-            if control.is_active(role):
+            # Inlined TrojanControl.is_active(role) — one poll per
+            # worker wakeup for the whole transmission.
+            pair = control.active_pair
+            if (
+                pair is not None
+                and role_location is pair.location
+                and role_index < (1 if pair.state is excl else 2)
+            ):
                 # Spin: re-load as fast as the machine allows, with only a
                 # tiny loop cost between issues, so the target state is
                 # re-established as soon as possible after each spy flush.
-                result = yield from cpu.load(block_va)
-                if (
-                    params.adaptive_backoff
-                    and result.latency >= params.worker_refill_floor
-                ):
+                result = yield load_op
+                if adaptive and result.latency >= refill_floor:
                     # We just re-established the state after a flush;
                     # stay quiet until the next slot so the spy's flush
                     # primitive (clflush or eviction sweep) is not
                     # disturbed by our reloads.
-                    yield from cpu.delay(backoff)
+                    yield backoff_op
                 else:
-                    yield from cpu.delay(params.worker_spin_cycles)
+                    yield spin_op
             else:
-                yield from cpu.delay(idle_period)
+                yield idle_op
 
     return program
 

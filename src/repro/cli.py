@@ -114,6 +114,61 @@ def cmd_send(argv: list[str]) -> None:
     print(line)
 
 
+def cmd_bench(argv: list[str]) -> None:
+    """Run the performance harness and emit a BENCH_<date>.json report."""
+    parser = argparse.ArgumentParser(prog="repro bench")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per benchmark; best wall time kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller payloads (CI smoke / sanity runs)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="report path (default: BENCH_<date>.json)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print the report without writing a file")
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="compare against a committed report and fail on regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20, metavar="FRAC",
+        help="allowed events/sec drop vs --baseline (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import (
+        check_regression,
+        default_report_name,
+        load_report,
+        run_all,
+        write_report,
+    )
+
+    report = run_all(repeats=args.repeats, quick=args.quick)
+    bench = report["benchmarks"]
+    micro = bench["engine_micro"]
+    print(f"engine_micro  {micro['events_per_sec']:>12,.0f} events/s "
+          f"({micro['events']} events, best of {args.repeats})")
+    print(f"fig8_point    {bench['fig8_point']['wall_s']:>12.3f} s wall "
+          f"(accuracy {bench['fig8_point']['accuracy']:.2f})")
+    print(f"noise_point   {bench['noise_point']['wall_s']:>12.3f} s wall "
+          f"(accuracy {bench['noise_point']['accuracy']:.2f})")
+    if not args.no_write:
+        out = write_report(report, args.output or default_report_name())
+        print(f"wrote {out}")
+    if args.baseline is not None:
+        baseline = load_report(args.baseline)
+        problems = check_regression(
+            report, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            raise SystemExit(1)
+        base_eps = baseline["benchmarks"]["engine_micro"]["events_per_sec"]
+        print(f"no regression vs {args.baseline} "
+              f"({micro['events_per_sec'] / base_eps:.2f}x baseline)")
+
+
 def cmd_bands(argv: list[str]) -> None:
     """Calibrate and print the latency bands (Figure 2's summary)."""
     parser = argparse.ArgumentParser(prog="repro bands")
@@ -138,12 +193,29 @@ UTILITIES: dict[str, tuple[str, Callable[[list[str]], None]]] = {
     "list": ("print the available commands", cmd_list),
     "send": ("transmit a bit string over a chosen scenario", cmd_send),
     "bands": ("print the calibrated latency bands", cmd_bands),
+    "bench": ("run the performance harness (BENCH_<date>.json)", cmd_bench),
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns an exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--profile":
+        # Global profiling mode: run the remaining command under
+        # cProfile and print the hottest functions to stderr (see
+        # PERFORMANCE.md).  Placed before command dispatch so any
+        # command can be profiled unchanged.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return main(argv[1:])
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("tottime").print_stats(25)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__.strip())
         print()

@@ -76,8 +76,9 @@ class Scheduler:
         core = self._thread_core.get(tid)
         if core is None:
             return 1.0, 0.0
-        k = max(1, self.load(core))
-        if k == 1:
+        # Inlined self.load(core); called once per executed op.
+        k = len(self._assignments[core])
+        if k <= 1:
             return 1.0, 0.0
         penalty = 0.0
         if rng.random() < self.preempt_probability * (k - 1):

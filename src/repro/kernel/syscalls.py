@@ -72,6 +72,19 @@ class Kernel:
         self._burst_rng = self.rng.get("kernel.burst")
         self._next_pid = 1
         self.processes: list[Process] = []
+        # Bound hot-path callables/constants for _execute (which runs
+        # once per engine event).  machine.load/.flush are deliberately
+        # NOT bound: the detection subsystem interposes on them by
+        # assigning instance attributes (EventMonitor.attach), so the
+        # executor must resolve them per call.
+        self._timeshare = self.scheduler.timeshare
+        self._fence_cost = machine.config.latency.fence
+        # Scheduler internals for the timeshare fast path (thread alone
+        # on its core: factor 1, no penalty, no RNG draw — the common
+        # case).  Both dicts are mutated in place by assign/release, so
+        # holding them here stays coherent with the scheduler.
+        self._sched_thread_core = self.scheduler._thread_core
+        self._sched_assignments = self.scheduler._assignments
 
     # ------------------------------------------------------------------
     # process / thread management
@@ -243,30 +256,45 @@ class Kernel:
 
     def _execute(self, thread: SimThread, op: Op) -> OpResult:
         now = thread.clock
-        profile = self.machine.config.latency
         value = 0
         path = None
-        if isinstance(op, Load):
-            paddr = self._translate_read(thread, op.vaddr)
+        # Exact-type dispatch: op classes are final (frozen, slotted
+        # dataclasses memoized by Cpu), so ``type(op) is X`` replaces the
+        # isinstance chain that cost up to seven calls per executed op.
+        t = type(op)
+        if t is Load:
+            process = thread.process
+            paddr = op.vaddr if process is None else process.translate(op.vaddr)
             value, latency, path = self.machine.load(thread.core_id, paddr, now)
-        elif isinstance(op, Store):
+        elif t is Store:
             latency = self._do_store(thread, op.vaddr, op.value, now)
-        elif isinstance(op, Flush):
-            paddr = self._translate_read(thread, op.vaddr)
+        elif t is Flush:
+            process = thread.process
+            paddr = op.vaddr if process is None else process.translate(op.vaddr)
             latency = self.machine.flush(thread.core_id, paddr, now)
-        elif isinstance(op, Delay):
-            latency = max(0.0, float(op.cycles))
-        elif isinstance(op, Rdtsc):
+        elif t is Delay:
+            latency = float(op.cycles)
+            if latency < 0.0:
+                latency = 0.0
+        elif t is Rdtsc:
             latency = 0.0
-        elif isinstance(op, Fence):
-            latency = profile.fence
-        elif isinstance(op, Burst):
+        elif t is Fence:
+            latency = self._fence_cost
+        elif t is Burst:
             latency = self._do_burst(thread, op, now)
         else:  # pragma: no cover - engine validates op types
             raise TypeError(f"unknown op {op!r}")
 
-        factor, penalty = self.scheduler.timeshare(thread.tid, self._sched_rng)
-        if isinstance(op, (Delay, Burst)):
+        # Timeshare fast path: a thread alone on its core (or a kernel
+        # thread with no core slot) pays nothing and draws no RNG —
+        # identical to Scheduler.timeshare, which handles the shared
+        # case (k > 1, stochastic preemption penalty).
+        tid = thread.tid
+        core = self._sched_thread_core.get(tid)
+        if core is None or len(self._sched_assignments[core]) <= 1:
+            return OpResult(latency, now + latency, value, path)
+        factor, penalty = self._timeshare(tid, self._sched_rng)
+        if t is Delay or t is Burst:
             # Fair-share slowdown applies to compute/think time: an
             # oversubscribed thread progresses at 1/k rate.
             latency = latency * factor
@@ -274,12 +302,7 @@ class Kernel:
         # load it shows up as a huge latency outlier, exactly what a
         # context switch does to an rdtsc-bracketed measurement.
         latency += penalty
-        return OpResult(
-            latency=latency,
-            timestamp=now + latency,
-            value=value,
-            path=path,
-        )
+        return OpResult(latency, now + latency, value, path)
 
     def _translate_read(self, thread: SimThread, vaddr: int) -> int:
         process: Process = thread.process

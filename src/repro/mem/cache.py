@@ -32,6 +32,8 @@ class SetAssocCache(Generic[LineT]):
         Ways per set.
     """
 
+    __slots__ = ("name", "n_sets", "assoc", "_set_mask", "_sets")
+
     def __init__(self, name: str, n_sets: int, assoc: int):
         if n_sets <= 0 or (n_sets & (n_sets - 1)) != 0:
             raise ConfigError(f"{name}: n_sets must be a power of two, got {n_sets}")
@@ -40,6 +42,7 @@ class SetAssocCache(Generic[LineT]):
         self.name = name
         self.n_sets = n_sets
         self.assoc = assoc
+        self._set_mask = n_sets - 1
         # set index -> (line base addr -> line record), insertion order = LRU order
         self._sets: list[OrderedDict[int, LineT]] = [
             OrderedDict() for _ in range(n_sets)
@@ -52,12 +55,17 @@ class SetAssocCache(Generic[LineT]):
 
     def set_index(self, addr: int) -> int:
         """The set an address maps to."""
-        return (line_addr(addr) >> LINE_SHIFT) & (self.n_sets - 1)
+        return (line_addr(addr) >> LINE_SHIFT) & self._set_mask
+
+    # The three per-access methods below inline line alignment
+    # (``addr & ~63`` == line_addr for 64-byte lines) and set selection:
+    # every simulated memory access crosses at least one of them, and the
+    # two helper calls per access showed up in the event-loop profile.
 
     def lookup(self, addr: int, touch: bool = True) -> LineT | None:
         """Return the line holding *addr* or None; updates LRU on hit."""
-        base = line_addr(addr)
-        bucket = self._sets[self.set_index(base)]
+        base = addr & ~63
+        bucket = self._sets[(base >> 6) & self._set_mask]
         line = bucket.get(base)
         if line is not None and touch:
             bucket.move_to_end(base)
@@ -69,8 +77,8 @@ class SetAssocCache(Generic[LineT]):
         The victim is the LRU line of the set; the caller is responsible
         for handling write-back / back-invalidation before discarding it.
         """
-        base = line_addr(addr)
-        bucket = self._sets[self.set_index(base)]
+        base = addr & ~63
+        bucket = self._sets[(base >> 6) & self._set_mask]
         victim = None
         if base not in bucket and len(bucket) >= self.assoc:
             _victim_addr, victim = bucket.popitem(last=False)
@@ -80,8 +88,8 @@ class SetAssocCache(Generic[LineT]):
 
     def remove(self, addr: int) -> LineT | None:
         """Remove and return the line holding *addr* (None if absent)."""
-        base = line_addr(addr)
-        bucket = self._sets[self.set_index(base)]
+        base = addr & ~63
+        bucket = self._sets[(base >> 6) & self._set_mask]
         return bucket.pop(base, None)
 
     def lines(self) -> Iterator[LineT]:

@@ -52,9 +52,13 @@ class CoherenceState(enum.Enum):
         return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
 
 
-@dataclass
+@dataclass(slots=True)
 class PrivateLine:
-    """One line in a private (L1/L2) cache."""
+    """One line in a private (L1/L2) cache.
+
+    Slotted: fills and state transitions allocate/mutate these on every
+    cache miss, and slot access skips the per-instance dict.
+    """
 
     addr: int
     state: CoherenceState
@@ -64,7 +68,7 @@ class PrivateLine:
         self.addr = line_addr(self.addr)
 
 
-@dataclass
+@dataclass(slots=True)
 class LlcLine:
     """One line in the shared LLC, including its directory metadata.
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import CoherenceError
 from repro.mem.cache import SetAssocCache
-from repro.mem.cacheline import CoherenceState, LlcLine, PrivateLine, line_addr
+from repro.mem.cacheline import CoherenceState, LlcLine, PrivateLine
 from repro.mem.protocols import ProtocolPolicy
 
 
@@ -79,7 +79,7 @@ class SocketDomain:
 
         Returns (line, level) where level is "l1", "l2" or "miss".
         """
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         line = core.l1.lookup(base)
         if line is not None:
             return line, "l1"
@@ -93,7 +93,7 @@ class SocketDomain:
 
     def private_line(self, core: Core, addr: int) -> PrivateLine | None:
         """Peek at a private copy without touching LRU state."""
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         line = core.l1.lookup(base, touch=False)
         if line is None:
             line = core.l2.lookup(base, touch=False)
@@ -103,7 +103,7 @@ class SocketDomain:
         self, core: Core, addr: int, state: CoherenceState, value: int
     ) -> None:
         """Install a line in the core's L1+L2 in the given state."""
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         existing = self.private_line(core, addr)
         if existing is not None:
             existing.state = state
@@ -127,7 +127,7 @@ class SocketDomain:
 
         Returns the removed line (carrying the latest value) if present.
         """
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         line = core.l1.remove(base)
         line2 = core.l2.remove(base)
         line = line if line is not None else line2
@@ -176,7 +176,7 @@ class SocketDomain:
 
     def llc_fill(self, addr: int, value: int) -> LlcLine:
         """Create or refresh the directory entry + LLC data for *addr*."""
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         entry = self.directory.get(base)
         if entry is None:
             entry = LlcLine(addr=base, value=value)
@@ -228,7 +228,7 @@ class SocketDomain:
         when the request arrives from another socket over QPI.  Returns
         ``None`` when the socket cannot service the request.
         """
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         entry = self.directory.get(base)
         if entry is None:
             return None
@@ -300,7 +300,7 @@ class SocketDomain:
 
         Returns (latest_value, was_dirty).
         """
-        base = line_addr(addr)
+        base = addr & ~63  # line_addr inlined (64-byte lines)
         entry = self.directory.pop(base, None)
         latest: int | None = None
         dirty = False

@@ -22,6 +22,16 @@ from repro.sim.events import AccessPath
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsRegistry
 
+#: The four (location, state) bands of the paper — membership test used
+#: on the per-op _finish path instead of the AccessPath property (which
+#: costs a descriptor call plus a tuple build per access).
+_COHERENCE_BANDS = frozenset({
+    AccessPath.LOCAL_SHARED,
+    AccessPath.LOCAL_EXCL,
+    AccessPath.REMOTE_SHARED,
+    AccessPath.REMOTE_EXCL,
+})
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -106,6 +116,42 @@ class Machine:
         self.dram: dict[int, int] = {}
         self.obfuscation: ObfuscationPolicy | None = None
         self._jitter_rng = self.rng.get("machine.jitter")
+        # -- bound hot-path state ---------------------------------------
+        # Every load/store/flush used to pay an f-string format plus a
+        # string-dict probe per stats sample and a dict rebuild per
+        # latency lookup; bind counters and tables once instead.
+        profile = self.config.latency
+        self._base_latency: dict[AccessPath, float] = {
+            path: profile.for_path(path)
+            for path in AccessPath
+            if path is not AccessPath.UNCACHED
+        }
+        # Coherence-band latency table; on Section VIII-E mitigated
+        # hardware the LLC answers E-state reads itself, collapsing the
+        # E band onto the S band.
+        self._band_table: dict[AccessPath, float] = dict(self._base_latency)
+        if self.config.llc_direct_e_response:
+            self._band_table[AccessPath.LOCAL_EXCL] = profile.local_shared
+            self._band_table[AccessPath.REMOTE_EXCL] = profile.remote_shared
+        self._home_agent = (
+            self.config.home_agent and self.config.n_sockets >= 2
+        )
+        self._load_counters = {
+            path: self.stats.counter_handle(f"machine.load.{path.value}")
+            for path in AccessPath
+            if path is not AccessPath.UNCACHED
+        }
+        # One-probe fast table for load(): path -> (band-aware base
+        # latency, bound counter), so the hot path pays a single enum
+        # hash instead of two.
+        self._path_info = {
+            path: (self._band_table[path], self._load_counters[path])
+            for path in self._band_table
+        }
+        self._store_hit_counter = self.stats.counter_handle("machine.store.hit_m")
+        self._store_rfo_counter = self.stats.counter_handle("machine.store.rfo")
+        self._flush_counter = self.stats.counter_handle("machine.flush")
+        self._noise = self.config.noise
         self.interconnect = Interconnect(
             self.config.n_sockets,
             window=self.config.contention_window,
@@ -139,6 +185,18 @@ class Machine:
                 inclusive=cfg.inclusive,
             )
             self.sockets.append(domain)
+        # Per-core direct indexes for the access hot paths (socket_of
+        # keeps its range validation for external callers; internal
+        # calls always carry a valid pinned core id).  Interconnect
+        # resources are stable for the machine's lifetime (reset()
+        # mutates in place), so their register methods can be bound.
+        self._socket_by_core = [
+            self.sockets[cid // cfg.cores_per_socket] for cid in range(cfg.n_cores)
+        ]
+        ic = self.interconnect
+        self._ring_register = [r.register for r in ic.rings]
+        self._qpi_register = ic.qpi.register
+        self._mem_register = [r.register for r in ic.mems]
 
     # ------------------------------------------------------------------
     # topology helpers
@@ -162,19 +220,21 @@ class Machine:
         self, core_id: int, paddr: int, now: float = 0.0
     ) -> tuple[int, float, AccessPath]:
         """Service a load; returns (value, latency_cycles, path)."""
-        base = line_addr(paddr)
-        home = self.socket_of(core_id)
-        core = home.core(core_id)
+        base = paddr & ~63
+        home = self._socket_by_core[core_id]
+        core = self.cores[core_id]
         line, level = home.private_lookup(core, base)
-        profile = self.config.latency
         if line is not None:
             path = AccessPath.L1_HIT if level == "l1" else AccessPath.L2_HIT
-            latency = self._finish(core_id, profile.for_path(path), path)
-            self.stats.incr(f"machine.load.{path.value}")
+            base_lat, counter = self._path_info[path]
+            latency = self._finish(core_id, base_lat, path)
+            counter.value += 1
             return line.value, latency, path
 
-        contention = self.interconnect.ring_delay(home.socket_id, now)
-        home_hop = self._home_agent_hop(home.socket_id, base, now)
+        home_sid = home.socket_id
+        ring_register = self._ring_register[home_sid]
+        contention = ring_register(now, 1.0)
+        home_hop = self._home_agent_hop(home_sid, base, now)
         service = home.read(base, requester_id=core_id)
         if service is not None:
             path = (
@@ -187,18 +247,18 @@ class Machine:
                 # (LLC -> owner -> requester), so E-state services are
                 # twice as sensitive to ring congestion — the asymmetry
                 # the paper observes under kernel-build noise.
-                contention += self.interconnect.ring_delay(home.socket_id, now)
+                contention += ring_register(now, 1.0)
             home.grant_to_local(service.entry, core, service.value)
-            latency = (self._band_latency(core_id, path) + home_hop
-                       + self._queueing(contention))
+            base_lat, counter = self._path_info[path]
+            latency = (base_lat + home_hop + self._queueing(contention))
             latency = self._finish(core_id, latency, path)
-            self.stats.incr(f"machine.load.{path.value}")
+            counter.value += 1
             return service.value, latency, path
 
         # Probe the other sockets over QPI before falling back to DRAM
         # (Section VI-B).
         for remote in self.sockets:
-            if remote.socket_id == home.socket_id:
+            if remote.socket_id == home_sid:
                 continue
             remote_service = remote.read(base, requester_id=None)
             if remote_service is None:
@@ -208,13 +268,14 @@ class Machine:
                 if remote_service.band == "excl"
                 else AccessPath.REMOTE_SHARED
             )
-            contention += self.interconnect.qpi_delay(now)
-            contention += self.interconnect.ring_delay(remote.socket_id, now)
+            remote_ring = self._ring_register[remote.socket_id]
+            contention += self._qpi_register(now, 1.0)
+            contention += remote_ring(now, 1.0)
             if path is AccessPath.REMOTE_EXCL:
                 # Remote owner-forward: a second remote-ring crossing and
                 # a second QPI message leg.
-                contention += self.interconnect.ring_delay(remote.socket_id, now)
-                contention += self.interconnect.qpi_delay(now)
+                contention += remote_ring(now, 1.0)
+                contention += self._qpi_register(now, 1.0)
             value = remote_service.value
             # The line is now present in (at least) two sockets: install a
             # shared copy locally; neither socket keeps exclusive rights.
@@ -222,24 +283,25 @@ class Machine:
             entry.core_valid.add(core_id)
             entry.owner = None
             home.private_fill(core, base, CoherenceState.SHARED, value)
-            latency = (self._band_latency(core_id, path) + home_hop
-                       + self._queueing(contention))
+            base_lat, counter = self._path_info[path]
+            latency = (base_lat + home_hop + self._queueing(contention))
             latency = self._finish(core_id, latency, path)
-            self.stats.incr(f"machine.load.{path.value}")
+            counter.value += 1
             return value, latency, path
 
         # DRAM fill; requester gets the line in E state (sole copy).
         value = self.dram.get(base, 0)
-        contention += self.interconnect.mem_delay(home.socket_id, now)
+        contention += self._mem_register[home_sid](now, 1.0)
         entry = home.llc_fill(base, value)
         home.grant_to_local(entry, core, value)
         path = AccessPath.DRAM
+        base_lat, counter = self._path_info[path]
         latency = self._finish(
             core_id,
-            profile.for_path(path) + home_hop + self._queueing(contention),
+            base_lat + home_hop + self._queueing(contention),
             path,
         )
-        self.stats.incr("machine.load.dram")
+        counter.value += 1
         return value, latency, path
 
     def _queueing(self, mean_delay: float) -> float:
@@ -261,15 +323,15 @@ class Machine:
         self, core_id: int, paddr: int, value: int, now: float = 0.0
     ) -> tuple[float, AccessPath]:
         """Service a store (read-for-ownership); returns (latency, path)."""
-        base = line_addr(paddr)
-        home = self.socket_of(core_id)
-        core = home.core(core_id)
+        base = paddr & ~63
+        home = self._socket_by_core[core_id]
+        core = self.cores[core_id]
         profile = self.config.latency
         line, _level = home.private_lookup(core, base)
         if line is not None and line.state.writable:
             line.value = value
             latency = self._finish(core_id, profile.l1_hit, AccessPath.L1_HIT)
-            self.stats.incr("machine.store.hit_m")
+            self._store_hit_counter.value += 1
             return latency, AccessPath.L1_HIT
 
         # Gather the latest value and where it came from, invalidating
@@ -285,18 +347,18 @@ class Machine:
         entry.dirty = True
         home.private_fill(core, base, CoherenceState.MODIFIED, value)
         entry.value = value
-        latency = profile.for_path(source_path) + profile.store_upgrade
+        latency = self._base_latency[source_path] + profile.store_upgrade
         latency = self._finish(core_id, latency, AccessPath.UNCACHED)
-        self.stats.incr("machine.store.rfo")
+        self._store_rfo_counter.value += 1
         return latency, source_path
 
     def _gather_for_ownership(
         self, core_id: int, base: int, now: float
     ) -> tuple[int, AccessPath]:
-        home = self.socket_of(core_id)
+        home = self._socket_by_core[core_id]
         latest: int | None = None
         source = AccessPath.DRAM
-        self.interconnect.ring_delay(home.socket_id, now)
+        self._ring_register[home.socket_id](now, 1.0)
         for domain in self.sockets:
             entry = domain.directory.get(base)
             if entry is None:
@@ -328,15 +390,15 @@ class Machine:
             if not is_home:
                 domain.directory.pop(base, None)
                 domain.data_array.remove(base)
-                self.interconnect.qpi_delay(now)
+                self._qpi_register(now, 1.0)
         if latest is None:
             latest = self.dram.get(base, 0)
-            self.interconnect.mem_delay(home.socket_id, now)
+            self._mem_register[home.socket_id](now, 1.0)
         return latest, source
 
     def flush(self, core_id: int, paddr: int, now: float = 0.0) -> float:
         """clflush: drop the line from every cache in every socket."""
-        base = line_addr(paddr)
+        base = paddr & ~63
         profile = self.config.latency
         latest: int | None = None
         dirty = False
@@ -349,8 +411,8 @@ class Machine:
         if dirty and latest is not None:
             self.dram[base] = latest
             latency += profile.flush_writeback
-            self.interconnect.mem_delay(self.socket_of(core_id).socket_id, now)
-        self.stats.incr("machine.flush")
+            self._mem_register[self._socket_by_core[core_id].socket_id](now, 1.0)
+        self._flush_counter.value += 1
         return self._finish(core_id, latency, AccessPath.UNCACHED)
 
     # ------------------------------------------------------------------
@@ -364,37 +426,40 @@ class Machine:
         line's home node; page-interleaved homes mean the same (location,
         state) pair splits into home-local and home-remote sub-bands.
         """
-        if not self.config.home_agent or self.config.n_sockets < 2:
+        if not self._home_agent:
             return 0.0
         home_socket = (base // 4096) % self.config.n_sockets
         if home_socket == requester_socket:
             return 0.0
-        self.interconnect.qpi_delay(now)
+        self._qpi_register(now, 1.0)
         return self.config.home_hop_cycles
 
     def _band_latency(self, core_id: int, path: AccessPath) -> float:
-        profile = self.config.latency
-        if (
-            self.config.llc_direct_e_response
-            and path in (AccessPath.LOCAL_EXCL, AccessPath.REMOTE_EXCL)
-        ):
-            # Mitigated hardware: the LLC answers E-state reads itself, so
-            # the E band collapses onto the S band (Section VIII-E).
-            merged = {
-                AccessPath.LOCAL_EXCL: profile.local_shared,
-                AccessPath.REMOTE_EXCL: profile.remote_shared,
-            }
-            return merged[path]
-        return profile.for_path(path)
+        """Band base latency under the active mitigation flags.
+
+        Just a table lookup: the llc_direct_e_response merge (Section
+        VIII-E) is folded into ``_band_table`` at construction.
+        """
+        return self._band_table[path]
 
     def _finish(self, core_id: int, base_latency: float, path: AccessPath) -> float:
+        obf = self.obfuscation
         if (
-            self.obfuscation is not None
-            and self.obfuscation.applies_to(core_id)
-            and path.is_coherence_band
+            obf is not None
+            and obf.applies_to(core_id)
+            and path in _COHERENCE_BANDS
         ):
-            return self.obfuscation.obfuscate(self._jitter_rng)
-        return self.config.noise.sample(base_latency, self._jitter_rng)
+            return obf.obfuscate(self._jitter_rng)
+        # Inlined NoiseModel.sample (one call per executed memory op);
+        # draw order and clamping match the model exactly.
+        noise = self._noise
+        rng = self._jitter_rng
+        if not noise.enabled:
+            return base_latency if base_latency > 1.0 else 1.0
+        value = base_latency + rng.normal(0.0, noise.sigma)
+        if rng.random() < noise.tail_probability:
+            value += rng.exponential(noise.tail_scale)
+        return value if value > 1.0 else 1.0
 
     # ------------------------------------------------------------------
     # introspection (tests / experiments)

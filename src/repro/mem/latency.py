@@ -55,10 +55,10 @@ class LatencyProfile:
                 "l1 < l2 < local_shared < local_excl < remote_shared "
                 "< remote_excl < dram"
             )
-
-    def for_path(self, path: AccessPath) -> float:
-        """Base latency of a load serviced by *path*."""
-        table = {
+        # The profile is frozen after validation, so the per-path table
+        # can be built once here instead of per for_path() call (which
+        # sits on the machine's per-load hot path).
+        object.__setattr__(self, "_table", {
             AccessPath.L1_HIT: self.l1_hit,
             AccessPath.L2_HIT: self.l2_hit,
             AccessPath.LOCAL_SHARED: self.local_shared,
@@ -66,9 +66,12 @@ class LatencyProfile:
             AccessPath.REMOTE_SHARED: self.remote_shared,
             AccessPath.REMOTE_EXCL: self.remote_excl,
             AccessPath.DRAM: self.dram,
-        }
+        })
+
+    def for_path(self, path: AccessPath) -> float:
+        """Base latency of a load serviced by *path*."""
         try:
-            return table[path]
+            return self._table[path]
         except KeyError:
             raise ConfigError(f"path {path} has no base latency") from None
 

@@ -9,6 +9,11 @@ channel — causally consistent without a full cycle-accurate pipeline.
 Threads never block on each other at the Python level; they communicate
 only through the simulated memory system and through timing, exactly as
 the paper's trojan and spy do.
+
+The inner loop is amortized O(1) per event: liveness is a counter
+maintained at spawn/exit (not a scan over the thread list, which grows
+with every transmission on a long-lived session), name lookup is a dict,
+and the event counter is a bound handle flushed once per run.
 """
 
 from __future__ import annotations
@@ -18,10 +23,14 @@ import itertools
 from collections.abc import Callable, Generator
 from typing import Any
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, SimulationError, ThreadProgramError
 from repro.sim.events import Op
 from repro.sim.stats import StatsRegistry
-from repro.sim.thread import Cpu, Executor, SimThread
+from repro.sim.thread import Cpu, Executor, SimThread, ThreadState
+
+_READY = ThreadState.READY
+_DONE = ThreadState.DONE
+_FAILED = ThreadState.FAILED
 
 
 class Simulator:
@@ -40,6 +49,12 @@ class Simulator:
         self._seq = itertools.count()
         self._next_tid = itertools.count()
         self.global_clock: float = 0.0
+        #: Threads in READY state that are not daemons; maintained at
+        #: spawn and thread exit so the run loop never rescans
+        #: ``self.threads`` (which only ever grows).
+        self._live_count = 0
+        self._by_name: dict[str, SimThread] = {}
+        self._events_counter = self.stats.counter_handle("engine.events")
 
     def spawn(
         self,
@@ -56,7 +71,9 @@ class Simulator:
         Parameters
         ----------
         name:
-            Human-readable label for traces and errors.
+            Label for traces and errors; must be unique among live
+            threads (it indexes :meth:`thread_by_name`, which always
+            resolves to the most recently spawned holder of the name).
         program:
             Generator function taking a :class:`~repro.sim.thread.Cpu`.
         core_id:
@@ -73,6 +90,12 @@ class Simulator:
         process:
             Optional owning process object (used by the kernel layer).
         """
+        existing = self._by_name.get(name)
+        if existing is not None and existing.state is _READY:
+            raise SimulationError(
+                f"duplicate thread name {name!r}: names index thread_by_name "
+                "and must be unique among live threads"
+            )
         thread = SimThread(
             tid=next(self._next_tid),
             name=name,
@@ -83,19 +106,25 @@ class Simulator:
         )
         thread.daemon = daemon
         thread.clock = self.global_clock if start_time is None else float(start_time)
+        thread._engine_exit = self._thread_exited
         self.threads.append(thread)
+        self._by_name[name] = thread
+        if not daemon:
+            self._live_count += 1
         self._push(thread)
         return thread
+
+    def _thread_exited(self, thread: SimThread) -> None:
+        """Exit hook fired exactly once per thread (done/killed/failed)."""
+        if not thread.daemon:
+            self._live_count -= 1
 
     def _push(self, thread: SimThread) -> None:
         heapq.heappush(self._heap, (thread.clock, next(self._seq), thread))
 
     def _live_non_daemon(self) -> int:
-        return sum(
-            1
-            for t in self.threads
-            if not t.done and not getattr(t, "daemon", False)
-        )
+        """Number of runnable non-daemon threads (O(1))."""
+        return self._live_count
 
     def run(
         self,
@@ -122,54 +151,96 @@ class Simulator:
             across multiple :meth:`run` calls on the same simulator.
         """
         events = 0
-        while self._heap:
-            if self._live_non_daemon() == 0:
-                break
-            clock, _seq, thread = heapq.heappop(self._heap)
-            if thread.done:
-                continue
-            if clock < thread.clock:
-                # Stale heap entry (thread was rescheduled); reinsert.
-                self._push(thread)
-                continue
-            op = thread.step()
-            if op is None:
-                continue
-            result = thread.executor(thread, op)
-            thread.complete(result)
-            if thread.clock > self.global_clock:
-                self.global_clock = thread.clock
-            self._push(thread)
-            events += 1
-            self.stats.incr("engine.events")
-            if max_events is not None and events >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} "
-                    f"(global clock {self.global_clock:.0f})"
-                )
-            if max_cycles is not None and self.global_clock > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles}"
-                )
-            if stop_when is not None and stop_when(self):
-                break
-        else:
-            if self._live_non_daemon() > 0:
-                raise DeadlockError(
-                    "event heap empty but non-daemon threads remain READY"
-                )
+        # Hoisted hot-loop state: bound methods, the heap list and the
+        # sequence counter are locals so each event pays zero repeated
+        # attribute lookups.  The body of SimThread.step()/complete() is
+        # inlined below (those methods stay as the public per-thread API
+        # and must mirror any change made here): one executed op costs
+        # two Python method calls total (the generator resume and the
+        # executor) instead of four.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        seq_next = self._seq.__next__
+        global_clock = self.global_clock
+        op_types = SimThread._OP_TYPES
+        valid_ops = SimThread._VALID_OPS
+        event_limit = float("inf") if max_events is None else max_events
+        cycle_limit = float("inf") if max_cycles is None else max_cycles
+        try:
+            while heap:
+                if self._live_count == 0:
+                    break
+                clock, _seq, thread = heappop(heap)
+                if thread.state is not _READY:
+                    continue
+                tclock = thread.clock
+                if clock < tclock:
+                    # Stale heap entry (thread was rescheduled); reinsert.
+                    heappush(heap, (tclock, seq_next(), thread))
+                    continue
+                # -- inlined SimThread.step() --------------------------
+                # send(None) on a fresh generator is next(), so one send
+                # covers both the first and every later resume.
+                try:
+                    op = thread._generator.send(thread._pending_result)
+                except StopIteration as stop:
+                    thread.state = _DONE
+                    thread.result = stop.value
+                    thread._fire_exit()
+                    continue
+                except BaseException:
+                    thread.state = _FAILED
+                    thread._fire_exit()
+                    raise
+                if type(op) not in op_types and not isinstance(op, valid_ops):
+                    thread.state = _FAILED
+                    thread._fire_exit()
+                    raise ThreadProgramError(
+                        f"thread {thread.name!r} yielded {op!r}; "
+                        "expected a simulator op"
+                    )
+                result = thread.executor(thread, op)
+                # -- inlined SimThread.complete() ----------------------
+                tclock = result.timestamp
+                thread.clock = tclock
+                thread.ops_executed += 1
+                thread._pending_result = result
+                if tclock > global_clock:
+                    # Write-through: programs may spawn threads or read
+                    # the clock mid-run, so the attribute must track the
+                    # hoisted local.
+                    global_clock = tclock
+                    self.global_clock = tclock
+                heappush(heap, (tclock, seq_next(), thread))
+                events += 1
+                if events >= event_limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} "
+                        f"(global clock {global_clock:.0f})"
+                    )
+                if global_clock > cycle_limit:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}"
+                    )
+                if stop_when is not None and stop_when(self):
+                    break
+            else:
+                if self._live_count > 0:
+                    raise DeadlockError(
+                        "event heap empty but non-daemon threads remain READY"
+                    )
+        finally:
+            self._events_counter.value += events
         if kill_daemons:
             self.kill_daemons()
 
     def kill_daemons(self) -> None:
         """Kill every surviving daemon thread (final cleanup)."""
         for thread in self.threads:
-            if getattr(thread, "daemon", False) and not thread.done:
+            if thread.daemon and not thread.done:
                 thread.kill()
 
     def thread_by_name(self, name: str) -> SimThread:
         """Look up a thread by its (unique) name."""
-        for thread in self.threads:
-            if thread.name == name:
-                return thread
-        raise KeyError(name)
+        return self._by_name[name]

@@ -40,14 +40,18 @@ class AccessPath(enum.Enum):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Load:
-    """Read one cache line at virtual address ``vaddr``."""
+    """Read one cache line at virtual address ``vaddr``.
+
+    Immutable, so hot issuers (:class:`repro.sim.thread.Cpu`) memoize
+    one instance per address instead of allocating per access.
+    """
 
     vaddr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Store:
     """Write ``value`` (a small int tag) to the line at ``vaddr``."""
 
@@ -55,31 +59,31 @@ class Store:
     value: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flush:
     """clflush: evict the line at ``vaddr`` from every coherent cache."""
 
     vaddr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     """Spin for ``cycles`` cycles without touching memory."""
 
     cycles: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rdtsc:
     """Read the thread's cycle clock (result carries the timestamp)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fence:
     """Serializing no-op; costs a fixed small latency."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Burst:
     """A batched sequence of ``count`` accesses for noise workloads.
 
@@ -99,9 +103,14 @@ class Burst:
     mlp: float = 1.0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class OpResult:
     """What the engine sends back into the generator after each op.
+
+    One OpResult is allocated per executed op, so this is the hottest
+    allocation in the simulator; it is a slotted, non-frozen dataclass
+    because frozen construction costs an ``object.__setattr__`` per
+    field.  Treat instances as immutable all the same.
 
     Attributes
     ----------

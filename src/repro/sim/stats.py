@@ -3,33 +3,81 @@
 Components register named counters and latency histograms on a shared
 :class:`StatsRegistry`.  The registry is intentionally simple: experiments
 read it after a run; nothing in the hot path allocates beyond appending to
-a list or incrementing an int.
+an array or incrementing an int.
+
+Hot components should *bind* their counters once —
+``counter = registry.counter_handle("llc0.hits")`` — and then bump
+``counter.value += 1`` (or call :meth:`Counter.incr`) per sample, instead
+of paying a string hash + dict lookup on every event through
+:meth:`StatsRegistry.incr`.  Both styles update the same underlying
+object, so cold-path callers can keep using the string API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 
 import numpy as np
 
 
-@dataclass
-class Histogram:
-    """A latency sample collector with summary statistics."""
+class Counter:
+    """A bound, named event counter.
 
-    name: str
-    samples: list[float] = field(default_factory=list)
+    Obtained from :meth:`StatsRegistry.counter_handle`; incrementing the
+    handle is an attribute bump with no registry lookup, which is what
+    the engine and the memory system do once per event.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def incr(self, amount: int = 1) -> None:
+        """Add *amount* to the counter."""
+        self.value += amount
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A latency sample collector with summary statistics.
+
+    Samples live in a compact ``array('d')`` (one C double each, not a
+    boxed Python float), so recording is an append into a flat buffer
+    and :meth:`as_array` is a straight memcpy into numpy.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str, samples=None):
+        self.name = name
+        self.samples: array = array("d", samples if samples is not None else ())
 
     def record(self, value: float) -> None:
         """Append one sample."""
-        self.samples.append(float(value))
+        self.samples.append(value)
 
     def __len__(self) -> int:
         return len(self.samples)
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.name == other.name and self.samples == other.samples
+
     def as_array(self) -> np.ndarray:
-        """Return the samples as a float array (empty array if no samples)."""
-        return np.asarray(self.samples, dtype=float)
+        """Return the samples as a float array (empty array if no samples).
+
+        The result is a detached copy (a memcpy off the flat buffer);
+        mutating it never corrupts the recorded samples.
+        """
+        return np.array(self.samples, dtype=float)
 
     def mean(self) -> float:
         """Arithmetic mean of the samples (nan when empty)."""
@@ -55,6 +103,9 @@ class Histogram:
             "p95": float(np.percentile(arr, 95)),
         }
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={len(self.samples)})"
+
 
 class StatsRegistry:
     """Shared registry of counters and histograms.
@@ -65,19 +116,32 @@ class StatsRegistry:
     """
 
     def __init__(self) -> None:
-        self._counters: dict[str, int] = {}
+        self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+
+    def counter_handle(self, name: str) -> Counter:
+        """Return (creating at zero) the bound :class:`Counter` for *name*."""
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = Counter(name)
+            self._counters[name] = handle
+        return handle
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add *amount* to counter *name* (creating it at zero)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        self.counter_handle(name).value += amount
 
     def counter(self, name: str) -> int:
         """Current value of counter *name* (0 if never incremented)."""
-        return self._counters.get(name, 0)
+        handle = self._counters.get(name)
+        return 0 if handle is None else handle.value
 
     def histogram(self, name: str) -> Histogram:
-        """Return (creating if needed) the histogram called *name*."""
+        """Return (creating if needed) the histogram called *name*.
+
+        The returned object is itself the bound handle: keep a reference
+        and call :meth:`Histogram.record` without further lookups.
+        """
         hist = self._histograms.get(name)
         if hist is None:
             hist = Histogram(name)
@@ -85,14 +149,21 @@ class StatsRegistry:
         return hist
 
     def counters(self) -> dict[str, int]:
-        """A copy of all counters."""
-        return dict(self._counters)
+        """A copy of all counters as plain ints."""
+        return {name: c.value for name, c in self._counters.items()}
 
     def histograms(self) -> dict[str, Histogram]:
         """A copy of the histogram mapping (histograms are shared)."""
         return dict(self._histograms)
 
     def reset(self) -> None:
-        """Clear all counters and histograms."""
-        self._counters.clear()
-        self._histograms.clear()
+        """Clear all counters and histograms.
+
+        Bound handles survive a reset: counters are zeroed and histogram
+        buffers emptied *in place*, so components holding handles keep
+        recording into the same (now empty) objects.
+        """
+        for handle in self._counters.values():
+            handle.value = 0
+        for hist in self._histograms.values():
+            del hist.samples[:]

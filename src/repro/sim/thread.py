@@ -12,6 +12,11 @@ delegating to the :class:`Cpu` helpers with ``yield from``::
 
 Each helper yields exactly one primitive op to the engine and returns the
 :class:`~repro.sim.events.OpResult`.
+
+Hot-path notes: every class here carries ``__slots__`` (a thread executes
+millions of ops, and attribute access off a dict-backed instance costs a
+hash per read), and :class:`Cpu` memoizes the frozen per-address op
+objects so a spy hammering one shared line allocates zero ops per sample.
 """
 
 from __future__ import annotations
@@ -37,6 +42,11 @@ from repro.sim.events import (
 # one that translates virtual addresses and drives the machine model.
 Executor = Callable[["SimThread", Op], OpResult]
 
+#: Stateless ops are singletons: Fence and Rdtsc carry no payload, so
+#: every issue can yield the same frozen instance.
+_FENCE = Fence()
+_RDTSC = Rdtsc()
+
 
 class ThreadState(enum.Enum):
     """Lifecycle states of a simulated thread."""
@@ -53,8 +63,15 @@ class Cpu:
     All methods are generators meant to be invoked with ``yield from``.
     """
 
+    __slots__ = ("_thread", "_loads", "_flushes")
+
     def __init__(self, thread: "SimThread"):
         self._thread = thread
+        # Frozen op objects are immutable, so reissuing the same address
+        # can reuse the same instance (covert-channel programs touch a
+        # tiny set of addresses millions of times).
+        self._loads: dict[int, Load] = {}
+        self._flushes: dict[int, Flush] = {}
 
     @property
     def thread(self) -> "SimThread":
@@ -68,7 +85,10 @@ class Cpu:
 
     def load(self, vaddr: int) -> Generator[Op, OpResult, OpResult]:
         """Issue a load; returns the OpResult (latency, value, path)."""
-        result = yield Load(vaddr)
+        op = self._loads.get(vaddr)
+        if op is None:
+            op = self._loads[vaddr] = Load(vaddr)
+        result = yield op
         return result
 
     def store(self, vaddr: int, value: int = 0) -> Generator[Op, OpResult, OpResult]:
@@ -78,7 +98,10 @@ class Cpu:
 
     def flush(self, vaddr: int) -> Generator[Op, OpResult, OpResult]:
         """clflush the line holding *vaddr* from all coherent caches."""
-        result = yield Flush(vaddr)
+        op = self._flushes.get(vaddr)
+        if op is None:
+            op = self._flushes[vaddr] = Flush(vaddr)
+        result = yield op
         return result
 
     def delay(self, cycles: float) -> Generator[Op, OpResult, OpResult]:
@@ -88,12 +111,12 @@ class Cpu:
 
     def rdtsc(self) -> Generator[Op, OpResult, float]:
         """Return the thread's current cycle timestamp."""
-        result = yield Rdtsc()
+        result = yield _RDTSC
         return result.timestamp
 
     def fence(self) -> Generator[Op, OpResult, OpResult]:
         """Serialize (small fixed cost)."""
-        result = yield Fence()
+        result = yield _FENCE
         return result
 
     def timed_load(self, vaddr: int) -> Generator[Op, OpResult, OpResult]:
@@ -102,9 +125,12 @@ class Cpu:
         Returns the load's OpResult; its ``latency`` field is the timing
         measurement the spy records.
         """
-        yield Fence()
-        result = yield Load(vaddr)
-        yield Fence()
+        yield _FENCE
+        op = self._loads.get(vaddr)
+        if op is None:
+            op = self._loads[vaddr] = Load(vaddr)
+        result = yield op
+        yield _FENCE
         return result
 
     def burst(
@@ -127,7 +153,16 @@ class SimThread:
     directly by user code.
     """
 
+    __slots__ = (
+        "tid", "name", "core_id", "executor", "process", "clock", "state",
+        "result", "failure", "ops_executed", "cpu", "daemon", "on_exit",
+        "_exit_fired", "_engine_exit", "_generator", "_pending_result",
+    )
+
     _VALID_OPS = (Load, Store, Flush, Delay, Rdtsc, Fence, Burst)
+    #: Exact-type fast path for op validation; ``isinstance`` against the
+    #: 7-way union above costs more than a set probe per event.
+    _OP_TYPES = frozenset(_VALID_OPS)
 
     def __init__(
         self,
@@ -149,10 +184,14 @@ class SimThread:
         self.failure: BaseException | None = None
         self.ops_executed = 0
         self.cpu = Cpu(self)
+        self.daemon = False
         #: Optional callback fired exactly once when the thread leaves the
         #: READY state (finished, killed or failed).  The kernel uses it
         #: to release the scheduler slot.
         self.on_exit: Callable[["SimThread"], None] | None = None
+        #: Engine-internal exit hook (live-thread accounting); fired
+        #: before :attr:`on_exit`.
+        self._engine_exit: Callable[["SimThread"], None] | None = None
         self._exit_fired = False
         self._generator = program(self.cpu)
         self._pending_result: OpResult | None = None
@@ -165,6 +204,8 @@ class SimThread:
     def _fire_exit(self) -> None:
         if not self._exit_fired:
             self._exit_fired = True
+            if self._engine_exit is not None:
+                self._engine_exit(self)
             if self.on_exit is not None:
                 self.on_exit(self)
 
@@ -182,10 +223,11 @@ class SimThread:
         Called only by the engine.
         """
         try:
-            if self._pending_result is None:
+            pending = self._pending_result
+            if pending is None:
                 op = next(self._generator)
             else:
-                op = self._generator.send(self._pending_result)
+                op = self._generator.send(pending)
         except StopIteration as stop:
             self.state = ThreadState.DONE
             self.result = stop.value
@@ -195,7 +237,7 @@ class SimThread:
             self.state = ThreadState.FAILED
             self._fire_exit()
             raise
-        if not isinstance(op, self._VALID_OPS):
+        if type(op) not in self._OP_TYPES and not isinstance(op, self._VALID_OPS):
             self.state = ThreadState.FAILED
             self._fire_exit()
             raise ThreadProgramError(

@@ -1,0 +1,78 @@
+"""Tests for the performance harness (``repro.bench``)."""
+
+import pytest
+
+from repro.bench import (
+    check_regression,
+    default_report_name,
+    load_report,
+    run_all,
+    write_report,
+)
+from repro.bench.harness import SCHEMA
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_all(repeats=1, quick=True)
+
+
+def test_run_all_shape(quick_report):
+    assert quick_report["schema"] == SCHEMA
+    assert quick_report["quick"] is True
+    bench = quick_report["benchmarks"]
+    assert set(bench) == {"engine_micro", "fig8_point", "noise_point"}
+    micro = bench["engine_micro"]
+    assert micro["events"] > 0
+    assert micro["wall_s"] > 0
+    assert micro["events_per_sec"] == pytest.approx(
+        micro["events"] / micro["wall_s"]
+    )
+    for name in ("fig8_point", "noise_point"):
+        assert bench[name]["wall_s"] > 0
+        assert 0.0 <= bench[name]["accuracy"] <= 1.0
+
+
+def test_report_roundtrip(quick_report, tmp_path):
+    path = write_report(quick_report, tmp_path / default_report_name())
+    assert path.name.startswith("BENCH_") and path.name.endswith(".json")
+    assert load_report(path) == quick_report
+
+
+def _report(events_per_sec):
+    return {
+        "schema": SCHEMA,
+        "benchmarks": {"engine_micro": {"events_per_sec": events_per_sec}},
+    }
+
+
+def test_check_regression_passes_within_budget():
+    assert check_regression(_report(90_000.0), _report(100_000.0)) == []
+    # Exactly at the floor is allowed.
+    assert check_regression(_report(80_000.0), _report(100_000.0)) == []
+
+
+def test_check_regression_fails_below_floor():
+    problems = check_regression(_report(70_000.0), _report(100_000.0))
+    assert len(problems) == 1
+    assert "engine_micro regressed" in problems[0]
+
+
+def test_check_regression_custom_threshold():
+    assert check_regression(
+        _report(95_000.0), _report(100_000.0), max_regression=0.02
+    )
+
+
+def test_check_regression_malformed_baseline():
+    problems = check_regression(_report(100_000.0), {"benchmarks": {}})
+    assert problems and "malformed report" in problems[0]
+
+
+def test_cli_bench_quick(capsys):
+    from repro.cli import main
+
+    assert main(["bench", "--quick", "--repeats", "1", "--no-write"]) == 0
+    out = capsys.readouterr().out
+    assert "engine_micro" in out and "events/s" in out
+    assert "wrote" not in out

@@ -1,9 +1,35 @@
 """Tests for the interconnect contention model."""
 
+import random
+from collections import deque
+
 import pytest
 
 from repro.errors import ConfigError
 from repro.mem.interconnect import Interconnect, Resource
+
+
+class SeedResource:
+    """Reference implementation: the seed's literal O(window) scan.
+
+    The optimized :class:`Resource` must return bit-identical delays, so
+    the randomized tests below compare against this with exact ``==``.
+    """
+
+    def __init__(self, window=2_000.0, saturation=110.0, service_cycles=2.0):
+        self.window = window
+        self.saturation = saturation
+        self.service_cycles = service_cycles
+        self.events = deque()
+
+    def register(self, time, weight=1.0):
+        cutoff = time - self.window
+        while self.events and self.events[0][0] < cutoff:
+            self.events.popleft()
+        load = sum(w for t, w in self.events if cutoff <= t <= time)
+        self.events.append((time, weight))
+        rho = min(load / self.saturation, Resource.RHO_CAP)
+        return self.service_cycles * rho / (1.0 - rho)
 
 
 def test_idle_resource_has_no_delay():
@@ -71,6 +97,68 @@ def test_current_load():
     res.register(10.0)
     assert res.current_load(20.0) == pytest.approx(2.0)
     assert res.current_load(5_000.0) == pytest.approx(0.0)
+
+
+def test_window_boundary_is_inclusive():
+    # An event at exactly t == cutoff (time - window) still counts: the
+    # predicate is cutoff <= t <= time, and eviction drops only t < cutoff.
+    res = Resource("r", window=100, saturation=10, service_cycles=1.0)
+    res.register(0.0)
+    assert res.current_load(100.0) == pytest.approx(1.0)
+    assert res.current_load(100.5) == pytest.approx(0.0)
+
+
+def test_future_boundary_is_inclusive():
+    res = Resource("r", window=100, saturation=10, service_cycles=1.0)
+    res.register(50.0)
+    # An event registered at exactly the query time counts; later ones don't.
+    assert res.current_load(50.0) == pytest.approx(1.0)
+    assert res.current_load(49.0) == pytest.approx(0.0)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_register_matches_seed_scan_uniform(seed):
+    # Randomized stream of unit-weight events, mostly time-ordered with
+    # occasional out-of-order bursts (the machine's batched-burst shape).
+    rng = random.Random(seed)
+    fast = Resource("r", window=200, saturation=20, service_cycles=2.0)
+    ref = SeedResource(window=200, saturation=20, service_cycles=2.0)
+    now = 0.0
+    for _ in range(2_000):
+        now += rng.expovariate(0.2)
+        t = now + (rng.uniform(0.0, 50.0) if rng.random() < 0.1 else 0.0)
+        assert fast.register(t) == ref.register(t)
+
+
+def test_register_matches_seed_scan_mixed_weights():
+    # Fractional / non-uniform weights drop onto the literal slow path;
+    # results must still match the reference exactly.
+    rng = random.Random(3)
+    fast = Resource("r", window=150, saturation=15, service_cycles=1.0)
+    ref = SeedResource(window=150, saturation=15, service_cycles=1.0)
+    now = 0.0
+    for i in range(1_000):
+        now += rng.expovariate(0.3)
+        weight = 1.0 if i < 100 else rng.choice([1.0, 0.5, 2.0, 1.5])
+        assert fast.register(now, weight) == ref.register(now, weight)
+
+
+def test_reset_then_reuse_stays_consistent():
+    rng = random.Random(4)
+    fast = Resource("r", window=100, saturation=10, service_cycles=1.0)
+    ref = SeedResource(window=100, saturation=10, service_cycles=1.0)
+    now = 0.0
+    for _ in range(300):
+        now += rng.expovariate(0.5)
+        assert fast.register(now) == ref.register(now)
+    fast.reset()
+    ref.events.clear()
+    # The clock restarting below previously-seen times must not confuse
+    # the time-sorted index (this is the calibration -> measurement reset).
+    now = 0.0
+    for _ in range(300):
+        now += rng.expovariate(0.5)
+        assert fast.register(now) == ref.register(now)
 
 
 def test_invalid_parameters():

@@ -192,6 +192,48 @@ def test_thread_by_name():
         sim.thread_by_name("missing")
 
 
+def test_duplicate_live_name_rejected():
+    sim = Simulator()
+
+    def program(cpu):
+        yield from cpu.delay(1)
+
+    sim.spawn("t", program, core_id=0, executor=unit_executor())
+    with pytest.raises(SimulationError, match="duplicate thread name"):
+        sim.spawn("t", program, core_id=1, executor=unit_executor())
+
+
+def test_name_reuse_after_exit_allowed():
+    sim = Simulator()
+
+    def program(cpu):
+        yield from cpu.delay(1)
+
+    first = sim.spawn("t", program, core_id=0, executor=unit_executor())
+    sim.run()
+    assert first.state is ThreadState.DONE
+    # Dead threads release their name; the index resolves to the newest.
+    second = sim.spawn("t", program, core_id=0, executor=unit_executor())
+    assert sim.thread_by_name("t") is second
+    sim.run()
+
+
+def test_name_reuse_after_kill_allowed():
+    sim = Simulator()
+
+    def forever(cpu):
+        while True:
+            yield from cpu.delay(1)
+
+    first = sim.spawn("t", forever, core_id=0, executor=unit_executor(),
+                      daemon=True)
+    first.kill()
+    second = sim.spawn("t", forever, core_id=0, executor=unit_executor(),
+                       daemon=True)
+    assert sim.thread_by_name("t") is second
+    second.kill()
+
+
 def test_on_exit_fires_once():
     sim = Simulator()
     calls = []
