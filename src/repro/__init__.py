@@ -47,7 +47,7 @@ from repro.mem import (
 )
 from repro.sim import RngStreams, Simulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CLOCK_HZ",

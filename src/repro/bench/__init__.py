@@ -10,7 +10,12 @@ emits a machine-readable ``BENCH_<date>.json`` report:
   scenario, 100 bits at 500 Kbit/s), session construction and
   calibration included, reported as wall seconds;
 * ``noise_point`` — one end-to-end point with two co-located noise
-  workload threads, the contention-heavy configuration.
+  workload threads, the contention-heavy configuration;
+* ``grid_sweep`` — grid throughput (points/second) on a fig8-shaped
+  64-point grid, comparing the pre-optimization reference path against
+  warm-worker serial, per-point pool, and chunked pool dispatch, with a
+  bit-identity check across all modes and the schema-v2 vs legacy cache
+  entry sizes.
 
 Every benchmark is deterministic (fixed seeds) so wall time is the only
 thing that varies between runs; each is repeated and the best (minimum)
@@ -23,6 +28,7 @@ from repro.bench.harness import (
     default_report_name,
     engine_micro,
     fig8_point,
+    grid_sweep,
     load_report,
     noise_point,
     run_all,
@@ -34,6 +40,7 @@ __all__ = [
     "default_report_name",
     "engine_micro",
     "fig8_point",
+    "grid_sweep",
     "load_report",
     "noise_point",
     "run_all",

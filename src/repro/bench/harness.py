@@ -31,7 +31,9 @@ import repro
 _PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
 
 #: Report schema version (bump when the JSON layout changes).
-SCHEMA = 1
+#: v2 added the ``grid_sweep`` benchmark (points/s per execution mode,
+#: bit-identity flag, transport byte counts).
+SCHEMA = 2
 
 
 def _payload(bits: int) -> list[int]:
@@ -114,12 +116,176 @@ def noise_point(repeats: int = 3, bits: int = 24) -> dict[str, Any]:
     return {"wall_s": best_wall, "accuracy": accuracy}
 
 
+def grid_point(
+    *, scenario: str, rate: float, seed: int, bits: int
+) -> Any:
+    """One full-result grid point for the ``grid_sweep`` benchmark.
+
+    Returns the whole :class:`TransmissionResult` (not just accuracy) so
+    the benchmark exercises the compact sample transport on IPC and
+    cache paths, and so bit-identity across execution modes can be
+    checked over the complete latency trace.
+    """
+    from repro.channel.session import execute_point
+
+    return execute_point(
+        scenario=scenario, payload=_payload(bits), rate_kbps=rate, seed=seed
+    )
+
+
+def _grid_spec(points: int, bits: int):
+    """A fig8-shaped scenario × rate grid of *points* full-result points."""
+    from repro.runner import ExperimentSpec, Point
+
+    scenarios = ("LExclc-LSharedb", "RExclc-LSharedb")
+    per = max(1, points // len(scenarios))
+    rates = [100.0 + 25.0 * i for i in range(per)]
+    grid = tuple(
+        Point(
+            fn="repro.bench.harness:grid_point",
+            params={"scenario": name, "rate": rate, "seed": 0, "bits": bits},
+            label=f"{name}@{rate:g}K",
+        )
+        for name in scenarios
+        for rate in rates
+    )
+    return ExperimentSpec(experiment="bench-grid", points=grid)
+
+
+def _values_digest(values: list[Any]) -> str:
+    """SHA-256 over everything observable in a grid's results."""
+    import hashlib
+    import pickle
+
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(pickle.dumps((
+            value.sent,
+            value.received,
+            [(s.timestamp, s.latency, s.label, str(s.path))
+             for s in value.samples],
+            value.cycles,
+        )))
+    return digest.hexdigest()
+
+
+def grid_sweep(
+    jobs: int = 4, points: int = 64, bits: int = 24
+) -> dict[str, Any]:
+    """Grid throughput (points/second) across the execution modes.
+
+    Runs the same fig8-shaped grid four ways and reports each mode's
+    points/s plus its speedup over ``reference``:
+
+    * ``reference`` — serial with the calibration memo and warm machine
+      pool disabled: the pre-optimization (PR 3) execution path;
+    * ``jobs`` — the process pool with one future per point
+      (``chunk_size=1``), warm workers + memo active;
+    * ``chunked`` — the pool with auto-sized seed-grouped chunks, the
+      full optimized configuration;
+    * ``serial`` — in-process with memo + warm pool active.
+
+    The warm state is cleared before every mode, so each pays its own
+    first-calibration cost.  ``bit_identical`` asserts that all four
+    modes produced byte-equal results (sent/received bits, the full
+    latency trace, cycle counts) — speed with different answers is a
+    regression, and the gate treats it as one.  Speedups are
+    self-relative (same host, same process), so they are comparable
+    across machines in a way raw walls are not.
+
+    Also reports the on-disk transport cost of the grid's results:
+    ``cache_bytes`` under the schema-v2 entry encoding versus
+    ``cache_bytes_legacy`` under the v1 bare-pickle-with-object-samples
+    encoding it replaced.
+    """
+    import os
+    import pickle
+
+    from repro.channel.session import clear_warm_state
+    from repro.runner import Runner
+    from repro.runner.cache import encode_entry
+
+    spec = _grid_spec(points, bits)
+
+    def run_mode(
+        runner_kwargs: dict, env: dict[str, str] | None = None
+    ) -> tuple[list[Any], float]:
+        saved: dict[str, str | None] = {}
+        for key, value in (env or {}).items():
+            saved[key] = os.environ.get(key)
+            os.environ[key] = value
+        clear_warm_state()
+        try:
+            t0 = time.perf_counter()
+            values = Runner(cache=None, **runner_kwargs).run(spec).values
+            return values, time.perf_counter() - t0
+        finally:
+            for key, old in saved.items():
+                if old is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = old
+
+    optimizations_off = {
+        "REPRO_WARM_WORKERS": "0",
+        "REPRO_CALIBRATION_MEMO": "0",
+    }
+    ref_values, ref_wall = run_mode({"jobs": 1}, optimizations_off)
+    jobs_values, jobs_wall = run_mode({"jobs": jobs, "chunk_size": 1})
+    chunk_values, chunk_wall = run_mode({"jobs": jobs})
+    serial_values, serial_wall = run_mode({"jobs": 1})
+
+    reference = _values_digest(ref_values)
+    bit_identical = all(
+        _values_digest(values) == reference
+        for values in (jobs_values, chunk_values, serial_values)
+    )
+
+    n = len(spec.points)
+    modes: dict[str, dict[str, float]] = {}
+    for name, wall in (
+        ("reference", ref_wall),
+        ("serial", serial_wall),
+        ("jobs", jobs_wall),
+        ("chunked", chunk_wall),
+    ):
+        entry = {"wall_s": wall, "points_per_sec": n / wall}
+        if name != "reference":
+            entry["speedup"] = ref_wall / wall
+        modes[name] = entry
+
+    cache_bytes = sum(len(encode_entry(v)) for v in ref_values)
+    # The v1 encoding: a bare pickle whose samples are full objects.
+    legacy_bytes = sum(
+        len(pickle.dumps(
+            dict(v.__dict__), protocol=pickle.HIGHEST_PROTOCOL
+        ))
+        for v in ref_values
+    )
+    return {
+        "points": n,
+        "bits": bits,
+        "jobs": jobs,
+        "bit_identical": bit_identical,
+        "modes": modes,
+        "best_speedup": max(
+            info["speedup"] for name, info in modes.items()
+            if name != "reference"
+        ),
+        "cache_bytes": cache_bytes,
+        "cache_bytes_legacy": legacy_bytes,
+        "cache_reduction": 1.0 - cache_bytes / legacy_bytes,
+    }
+
+
 def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
     """Run every benchmark and return the full report dict."""
     if quick:
         micro_bits, fig8_bits, noise_bits = 16, 24, 8
+        grid_points, grid_bits = 16, 8
     else:
         micro_bits, fig8_bits, noise_bits = 48, 100, 24
+        grid_points, grid_bits = 64, 24
     return {
         "schema": SCHEMA,
         "date": time.strftime("%Y-%m-%d"),
@@ -131,6 +297,7 @@ def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "engine_micro": engine_micro(bits=micro_bits, repeats=repeats),
             "fig8_point": fig8_point(repeats=repeats, bits=fig8_bits),
             "noise_point": noise_point(repeats=repeats, bits=noise_bits),
+            "grid_sweep": grid_sweep(points=grid_points, bits=grid_bits),
         },
     }
 
@@ -159,10 +326,20 @@ def check_regression(
 ) -> list[str]:
     """Compare two reports; return a list of human-readable failures.
 
-    The gate is on engine events/second: the current run must reach at
-    least ``(1 - max_regression)`` of the baseline's throughput.  Wall
-    times of the end-to-end points are reported as context but do not
-    gate (they include calibration and are noisier on shared runners).
+    Two quantities gate:
+
+    * engine events/second — the current run must reach at least
+      ``(1 - max_regression)`` of the baseline's throughput;
+    * grid throughput — ``grid_sweep`` must report ``bit_identical``
+      (an optimized mode producing different results is a correctness
+      regression, whatever its speed), and when the baseline also
+      carries a ``grid_sweep``, the current best self-relative speedup
+      must stay within ``max_regression`` of the baseline's.  Speedups
+      rather than raw walls gate because they are host-portable.
+
+    Wall times of the end-to-end points are reported as context but do
+    not gate (they include calibration and are noisier on shared
+    runners).
     """
     problems: list[str] = []
     try:
@@ -176,4 +353,22 @@ def check_regression(
             f"engine_micro regressed: {cur_eps:,.0f} events/s < "
             f"{floor:,.0f} (baseline {base_eps:,.0f} - {max_regression:.0%})"
         )
+    grid = current["benchmarks"].get("grid_sweep")
+    if grid is not None:
+        if not grid.get("bit_identical", False):
+            problems.append(
+                "grid_sweep: optimized modes are not bit-identical to "
+                "the reference path"
+            )
+        base_grid = baseline["benchmarks"].get("grid_sweep")
+        if base_grid is not None:
+            base_speedup = base_grid.get("best_speedup", 0.0)
+            speedup_floor = base_speedup * (1.0 - max_regression)
+            if grid.get("best_speedup", 0.0) < speedup_floor:
+                problems.append(
+                    f"grid_sweep regressed: best speedup "
+                    f"{grid.get('best_speedup', 0.0):.2f}x < "
+                    f"{speedup_floor:.2f}x (baseline {base_speedup:.2f}x "
+                    f"- {max_regression:.0%})"
+                )
     return problems

@@ -2,13 +2,29 @@
 
 Before transmitting, the trojan and spy learn the latency bands Tc/Tb by
 self-measurement: place the shared block in each (location, state)
-combination and time loads.  :func:`calibrate` reproduces the paper's
-micro-benchmark — 1,000 timed loads per combination — and returns
-:class:`LatencyBands`, the classifier the spy-side decoder uses.
+combination and time loads.  :func:`calibrate` mirrors the paper's
+micro-benchmark loop; the paper times :data:`PAPER_CALIBRATION_SAMPLES`
+(1,000) loads per combination, while sessions default to
+:data:`DEFAULT_CALIBRATION_SAMPLES` (400) — on the simulated machine the
+band percentiles converge well before 400 samples, and the smaller count
+keeps grid sweeps tractable (see the note on the constants below).
+:func:`calibrate` returns :class:`LatencyBands`, the classifier the
+spy-side decoder uses.
+
+Calibration is the dominant *fixed* cost of an experiment point (about
+2,000 simulated flush/place/load rounds before the first payload bit
+moves), and it is a pure function of the machine configuration, the root
+seed, and the sampling parameters — every point of a Figure 8/9 grid
+that shares those re-derives the exact same bands.
+:func:`calibrate_memoized` exploits that with a process-local memo: the
+first point pays for calibration, later points restore the bands *and*
+the post-calibration RNG stream states, so their transmissions remain
+bit-identical to a cold run.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,6 +32,18 @@ import numpy as np
 from repro.channel.config import ALL_PAIRS, LineState, Location, StatePair
 from repro.errors import CalibrationError
 from repro.mem.hierarchy import Machine
+
+#: Timed loads per (location, state) combination in the paper's Figure 2
+#: micro-benchmark (Section V).
+PAPER_CALIBRATION_SAMPLES = 1000
+
+#: Default timed loads per combination for simulated sessions.  The
+#: substitution is deliberate: the simulator's latency distributions are
+#: stationary, so the 2nd/98th percentile band edges are stable to well
+#: under a cycle by 400 samples, and a grid point spends ~2.5x less time
+#: calibrating.  Pass ``calibration_samples=PAPER_CALIBRATION_SAMPLES``
+#: to reproduce the paper's exact measurement count.
+DEFAULT_CALIBRATION_SAMPLES = 400
 
 #: Extra padding (cycles) added around the measured percentile range.
 BAND_PAD = 5.0
@@ -178,7 +206,7 @@ def _stretch_upward(bands: LatencyBands, stretch: float = BAND_STRETCH) -> None:
 def calibrate(
     machine: Machine,
     paddr: int = 0x40_0000,
-    samples: int = 1000,
+    samples: int = PAPER_CALIBRATION_SAMPLES,
     spy_core: int = 0,
     percentiles: tuple[float, float] = (2.0, 98.0),
     pad: float = BAND_PAD,
@@ -212,3 +240,72 @@ def calibrate(
     machine.flush(spy_core, paddr)
     machine.interconnect.reset()
     return bands, raw
+
+
+# ----------------------------------------------------------------------
+# process-local calibration memo
+# ----------------------------------------------------------------------
+
+#: memo key -> (bands, post-calibration RNG snapshot).  Process-local by
+#: construction: pool workers each grow their own copy, and forked
+#: children inherit a bit-identical one.
+_MEMO: dict[tuple, tuple[LatencyBands, dict[str, dict]]] = {}
+
+
+def calibration_memo_enabled() -> bool:
+    """Whether the process-local calibration memo is active.
+
+    ``REPRO_CALIBRATION_MEMO=0`` disables it globally (every session
+    then calibrates from scratch, the pre-memo behavior).
+    """
+    return os.environ.get("REPRO_CALIBRATION_MEMO", "1") != "0"
+
+
+def clear_calibration_memo() -> int:
+    """Drop every memoized calibration; returns how many were held."""
+    count = len(_MEMO)
+    _MEMO.clear()
+    return count
+
+
+def _clone_bands(bands: LatencyBands) -> LatencyBands:
+    """An independent copy (Band records are frozen, the dict is not)."""
+    return LatencyBands(bands=dict(bands.bands), dram=bands.dram)
+
+
+def calibrate_memoized(
+    machine: Machine,
+    key: tuple,
+    paddr: int,
+    samples: int,
+    spy_core: int,
+) -> LatencyBands:
+    """Calibrate *machine*, reusing a memoized pass when *key* matches.
+
+    *key* must capture everything that determines both the calibration
+    measurements and the machine's RNG state at the moment of the call —
+    in practice (machine-config fingerprint, root seed, sharing mode,
+    samples, spy core, physical address); sessions build it via
+    :meth:`repro.channel.session.SessionBase._calibration_key`.
+
+    On a miss the real :func:`calibrate` runs and the resulting bands are
+    stored together with a snapshot of every RNG stream.  On a hit the
+    stored stream states are restored onto the machine's registry — the
+    generators end up exactly where running calibration would have left
+    them — so everything the session simulates afterwards is
+    bit-identical to a cold calibration (locked by the golden-determinism
+    digests).  Sessions whose calibration is *perturbed* (an installed
+    obfuscation policy, fault plans that touch the calibration window)
+    must bypass the memo entirely: a perturbed pass would poison the memo
+    for clean sessions and vice versa.
+    """
+    hit = _MEMO.get(key)
+    if hit is not None:
+        bands, states = hit
+        machine.rng.restore(states)
+        return _clone_bands(bands)
+    bands, _raw = calibrate(
+        machine, paddr=paddr, samples=samples, spy_core=spy_core
+    )
+    _MEMO[key] = (_clone_bands(bands), machine.rng.snapshot())
+    return bands

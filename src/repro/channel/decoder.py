@@ -9,10 +9,12 @@ translation walk is the paper's: find a boundary run, count consecutive
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.channel.calibration import LatencyBands
 from repro.channel.config import ProtocolParams, Scenario
+from repro.sim.events import AccessPath
 
 
 @dataclass(frozen=True)
@@ -27,6 +29,81 @@ class Sample:
     latency: float
     label: str  # 'c', 'b' or 'x'
     path: object = None
+
+
+#: Tag identifying the packed-sample wire format produced by
+#: :func:`pack_samples`.  Bump when the tuple layout changes.
+PACKED_SAMPLES_TAG = "samples/v1"
+
+
+def pack_samples(samples: list[Sample]) -> tuple | list[Sample]:
+    """Encode a sample list as a compact, picklable tuple.
+
+    A transmission's dominant payload is its latency trace — thousands
+    of :class:`Sample` records, each pickled as a full object with four
+    attribute references.  The packed form stores the numeric fields as
+    one native ``array('d')`` blob, the one-character labels as a
+    string, and the :class:`~repro.sim.events.AccessPath` ground truth
+    as a byte-per-sample index into a small name table — about 17 bytes
+    per sample instead of ~120.  Used both for IPC payloads (worker ->
+    parent pickles) and :class:`~repro.runner.cache.ResultCache`
+    entries.
+
+    Samples that do not fit the compact model (multi-character labels,
+    a ``path`` that is neither None nor an ``AccessPath``) are returned
+    unpacked; :func:`unpack_samples` passes plain lists through, so the
+    fallback stays round-trippable.
+    """
+    numeric = array("d")
+    labels: list[str] = []
+    path_codes = bytearray()
+    path_names: list[str] = []
+    path_index: dict[object, int] = {None: 0}
+    for sample in samples:
+        path = sample.path
+        code = path_index.get(path)
+        if code is None:
+            if not isinstance(path, AccessPath) or len(path_index) > 255:
+                return list(samples)
+            path_names.append(path.value)
+            code = len(path_names)
+            path_index[path] = code
+        if len(sample.label) != 1:
+            return list(samples)
+        numeric.append(sample.timestamp)
+        numeric.append(sample.latency)
+        labels.append(sample.label)
+        path_codes.append(code)
+    return (
+        PACKED_SAMPLES_TAG,
+        len(samples),
+        numeric.tobytes(),
+        "".join(labels),
+        bytes(path_codes),
+        tuple(path_names),
+    )
+
+
+def unpack_samples(packed: tuple | list[Sample]) -> list[Sample]:
+    """Inverse of :func:`pack_samples` (plain lists pass through)."""
+    if isinstance(packed, list):
+        return packed
+    tag, count, raw, labels, path_codes, path_names = packed
+    if tag != PACKED_SAMPLES_TAG:
+        raise ValueError(f"unknown packed-sample format {tag!r}")
+    numeric = array("d")
+    numeric.frombytes(raw)
+    paths: list[object] = [None]
+    paths.extend(AccessPath(name) for name in path_names)
+    return [
+        Sample(
+            timestamp=numeric[2 * i],
+            latency=numeric[2 * i + 1],
+            label=labels[i],
+            path=paths[path_codes[i]],
+        )
+        for i in range(count)
+    ]
 
 
 @dataclass

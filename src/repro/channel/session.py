@@ -14,16 +14,30 @@ mitigation experiments can reuse it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.channel.calibration import LatencyBands, calibrate
+from repro.channel.calibration import (
+    DEFAULT_CALIBRATION_SAMPLES,
+    LatencyBands,
+    calibrate,
+    calibrate_memoized,
+    calibration_memo_enabled,
+    clear_calibration_memo,
+)
 from repro.channel.config import (
     Location,
     ProtocolParams,
     Scenario,
     scenario_by_name,
 )
-from repro.channel.decoder import BitDecoder, DecodeReport, Sample
+from repro.channel.decoder import (
+    BitDecoder,
+    DecodeReport,
+    Sample,
+    pack_samples,
+    unpack_samples,
+)
 from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
 from repro.channel.spy import SpyResult, eviction_flusher, spy_program
 from repro.channel.sync import resync_backoff_cycles
@@ -57,7 +71,7 @@ class SessionConfig:
     sharing: str = "ksm"
     noise_threads: int = 0
     machine: MachineConfig = field(default_factory=MachineConfig)
-    calibration_samples: int = 400
+    calibration_samples: int = DEFAULT_CALIBRATION_SAMPLES
     #: Spy core; local trojan cores are chosen on its socket, remote
     #: cores on the next socket.
     spy_core: int = 0
@@ -80,6 +94,17 @@ class SessionConfig:
     #: dict, so plans ride inside JSON-plain grid params).  Its
     #: simulation-plane events are installed at the first transmission.
     faults: object = None
+    #: Reuse the process-local calibration memo
+    #: (:func:`repro.channel.calibration.calibrate_memoized`).  The
+    #: session still bypasses the memo on its own when calibration is
+    #: perturbed (obfuscation installed, simulation-plane fault plans);
+    #: set False to force a cold calibration unconditionally.
+    calibration_memo: bool = True
+    #: Acquire the machine from the process-local warm pool (reset in
+    #: place) instead of constructing a fresh one.  Off by default for
+    #: directly-built sessions; :func:`execute_point` turns it on so
+    #: grid workers amortize topology construction across points.
+    reuse_machine: bool = False
 
     def __post_init__(self) -> None:
         if self.sharing not in ("ksm", "explicit"):
@@ -120,6 +145,70 @@ class TransmissionResult:
         """Measured raw bit rate over the reception window."""
         return transmission_rate_kbps(len(self.sent), self.cycles)
 
+    # The latency trace dominates the pickled size of a result (IPC
+    # payloads and ResultCache entries alike), so it travels in the
+    # compact typed-array form and is rebuilt on unpickle.  Legacy
+    # pickles carry a plain list, which unpack_samples passes through.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["samples"] = pack_samples(state["samples"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["samples"] = unpack_samples(state["samples"])
+        self.__dict__.update(state)
+
+
+# ----------------------------------------------------------------------
+# warm-worker machine pool
+# ----------------------------------------------------------------------
+
+#: machine-config fingerprint -> constructed Machine.  Process-local:
+#: each pool worker grows its own, and sequential grid points whose
+#: structural parameters match reuse the topology via Machine.reset()
+#: instead of rebuilding ~10k cache sets per point.
+_MACHINE_POOL: dict[str, Machine] = {}
+
+
+def warm_workers_enabled() -> bool:
+    """Whether grid workers may reuse pooled machines across points.
+
+    ``REPRO_WARM_WORKERS=0`` disables the pool globally, restoring the
+    build-a-fresh-Machine-per-point behavior.
+    """
+    return os.environ.get("REPRO_WARM_WORKERS", "1") != "0"
+
+
+def clear_warm_state() -> int:
+    """Drop pooled machines *and* the calibration memo; returns count.
+
+    Test hook / escape hatch: after this, the next session in this
+    process pays full construction and calibration cost again.
+    """
+    count = len(_MACHINE_POOL)
+    _MACHINE_POOL.clear()
+    clear_calibration_memo()
+    return count
+
+
+def _acquire_machine(config: MachineConfig, rng: RngStreams) -> Machine:
+    """A machine for *config*: pooled + reset when one exists, else new.
+
+    Pool identity is the structural fingerprint, so a reused machine has
+    byte-equal configuration; ``Machine.reset`` restores it to
+    just-constructed state (empty caches/directory/DRAM, zeroed stats,
+    fresh jitter stream bound to *rng*).
+    """
+    key = config.fingerprint()
+    machine = _MACHINE_POOL.get(key)
+    if machine is None:
+        machine = Machine(config, rng)
+        _MACHINE_POOL[key] = machine
+    else:
+        machine.reset(rng)
+    return machine
+
 
 class SessionBase:
     """Shared plumbing: machine, kernel, processes, shared page, bands."""
@@ -127,7 +216,10 @@ class SessionBase:
     def __init__(self, config: SessionConfig):
         self.config = config
         self.rng = RngStreams(config.seed)
-        self.machine = Machine(config.machine, self.rng)
+        if config.reuse_machine and warm_workers_enabled():
+            self.machine = _acquire_machine(config.machine, self.rng)
+        else:
+            self.machine = Machine(config.machine, self.rng)
         self.sim = Simulator(self.machine.stats)
         self.kernel = Kernel(self.machine, self.sim, self.rng)
         self.trojan_proc: Process = self.kernel.create_process("trojan")
@@ -205,8 +297,51 @@ class SessionBase:
         """Cores the trojan/spy occupy (noise workloads avoid these)."""
         return [self.config.spy_core, *self.local_cores, *self.remote_cores]
 
+    def _calibration_key(self) -> tuple:
+        """Memo key: everything that shapes the calibration pass.
+
+        The machine fingerprint pins the topology and latency model, the
+        root seed pins every RNG stream, and sharing mode is included
+        because it decides how much pre-calibration work (KSM merge vs
+        explicit map) has already consumed the kernel's streams.
+        """
+        cfg = self.config
+        return (
+            cfg.machine.fingerprint(),
+            cfg.seed,
+            cfg.sharing,
+            cfg.calibration_samples,
+            cfg.spy_core,
+            self.spy_proc.translate(self.spy_va),
+        )
+
+    def _calibration_memo_usable(self) -> bool:
+        """Whether this session's calibration is memo-safe.
+
+        Perturbed calibrations must run cold: an installed obfuscation
+        policy changes the measured latencies, and fault-injected
+        sessions (simulation-plane events) opt out wholesale so a
+        disturbed pass can neither poison the memo nor mask a fault's
+        interaction with calibration.
+        """
+        cfg = self.config
+        if not cfg.calibration_memo or not calibration_memo_enabled():
+            return False
+        if self.machine.obfuscation is not None:
+            return False
+        plan = FaultPlan.from_json(cfg.faults)
+        return not plan.simulation_events
+
     def _calibrate(self) -> LatencyBands:
         paddr = self.spy_proc.translate(self.spy_va)
+        if self._calibration_memo_usable():
+            return calibrate_memoized(
+                self.machine,
+                self._calibration_key(),
+                paddr=paddr,
+                samples=self.config.calibration_samples,
+                spy_core=self.config.spy_core,
+            )
         bands, _raw = calibrate(
             self.machine,
             paddr=paddr,
@@ -436,6 +571,12 @@ def execute_point(
     steady-state regime the paper measures in (Figure 9).  ``faults``
     is a :meth:`repro.faults.FaultPlan.to_json` dict whose
     simulation-plane events are injected into the transmission.
+
+    Grid points executed back-to-back in one worker process reuse the
+    constructed machine (``reuse_machine=True`` + the process-local
+    pool) and the calibration memo; both are bit-identical to the cold
+    path and can be disabled with ``REPRO_WARM_WORKERS=0`` /
+    ``REPRO_CALIBRATION_MEMO=0``.
     """
     if isinstance(scenario, str):
         scenario = scenario_by_name(scenario)
@@ -456,6 +597,7 @@ def execute_point(
         machine=machine if machine is not None else MachineConfig(),
         flush_method=flush_method,
         faults=faults,
+        reuse_machine=True,
         **kwargs,
     ))
     if warmup_bits:

@@ -12,9 +12,9 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field, replace
 
-from repro.channel.calibration import DRAM_LABEL
+from repro.channel.calibration import DEFAULT_CALIBRATION_SAMPLES, DRAM_LABEL
 from repro.channel.config import ALL_PAIRS, ProtocolParams, Scenario, StatePair
-from repro.channel.decoder import Sample
+from repro.channel.decoder import Sample, pack_samples, unpack_samples
 from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
 from repro.channel.session import SessionBase, SessionConfig
 from repro.channel.trojan import TrojanControl, worker_roles
@@ -282,6 +282,19 @@ class SymbolTransmissionResult:
         """Measured raw bit rate over the reception window."""
         return transmission_rate_kbps(len(self.sent_bits), self.cycles)
 
+    def __getstate__(self) -> dict:
+        # Same compact transport as TransmissionResult: symbol labels
+        # ("0".."3"/"x") are single characters, so samples pack into
+        # typed arrays for IPC and cache storage.
+        state = dict(self.__dict__)
+        state["samples"] = pack_samples(state["samples"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["samples"] = unpack_samples(state["samples"])
+        self.__dict__.update(state)
+
 
 class MultiBitSession(SessionBase):
     """A 2-bit-per-symbol covert channel session (Section VIII-D)."""
@@ -293,7 +306,7 @@ class MultiBitSession(SessionBase):
         sharing: str = "ksm",
         noise_threads: int = 0,
         machine=None,
-        calibration_samples: int = 400,
+        calibration_samples: int = DEFAULT_CALIBRATION_SAMPLES,
     ):
         self.symbol_params = (
             symbol_params if symbol_params is not None else SymbolParams()

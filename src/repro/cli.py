@@ -152,6 +152,18 @@ def cmd_bench(argv: list[str]) -> None:
           f"(accuracy {bench['fig8_point']['accuracy']:.2f})")
     print(f"noise_point   {bench['noise_point']['wall_s']:>12.3f} s wall "
           f"(accuracy {bench['noise_point']['accuracy']:.2f})")
+    grid = bench.get("grid_sweep")
+    if grid:
+        for mode, info in grid["modes"].items():
+            speedup = (f"  ({info['speedup']:.2f}x)"
+                       if "speedup" in info else "")
+            print(f"grid_sweep    {info['points_per_sec']:>12.2f} points/s "
+                  f"[{mode}]{speedup}")
+        identity = "ok" if grid["bit_identical"] else "MISMATCH"
+        print(f"grid_sweep    bit-identity {identity}; cache entries "
+              f"{grid['cache_bytes'] / 1024:.0f} KiB v2 vs "
+              f"{grid['cache_bytes_legacy'] / 1024:.0f} KiB legacy "
+              f"(-{grid['cache_reduction']:.0%})")
     if not args.no_write:
         out = write_report(report, args.output or default_report_name())
         print(f"wrote {out}")
@@ -167,6 +179,49 @@ def cmd_bench(argv: list[str]) -> None:
         base_eps = baseline["benchmarks"]["engine_micro"]["events_per_sec"]
         print(f"no regression vs {args.baseline} "
               f"({micro['events_per_sec'] / base_eps:.2f}x baseline)")
+
+
+def cmd_cache(argv: list[str]) -> None:
+    """Inspect or prune the on-disk result cache."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="inspect (stats) or prune (gc) the result cache",
+    )
+    parser.add_argument(
+        "action", choices=("stats", "gc"),
+        help="stats: entry counts/bytes/schemas per generation; "
+             "gc: delete entries keyed under stale version salts",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/results)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root  {stats['root']}")
+        print(f"active salt {stats['salt']}")
+        print(f"entries     {stats['entries']}  "
+              f"({stats['bytes'] / 1024:.1f} KiB)")
+        if not stats["generations"]:
+            print("(empty)")
+        for name, info in sorted(stats["generations"].items()):
+            mark = "  <- current" if info["current"] else "  (stale)"
+            schemas = ", ".join(
+                f"{schema}:{count}"
+                for schema, count in sorted(info["schemas"].items())
+            ) or "-"
+            print(f"  {name:24s} {info['entries']:6d} entries  "
+                  f"{info['bytes'] / 1024:9.1f} KiB  [{schemas}]{mark}")
+        return
+    removed, freed = cache.gc()
+    print(f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+          f"({freed / 1024:.1f} KiB) from {cache.root}")
 
 
 def cmd_bands(argv: list[str]) -> None:
@@ -194,6 +249,7 @@ UTILITIES: dict[str, tuple[str, Callable[[list[str]], None]]] = {
     "send": ("transmit a bit string over a chosen scenario", cmd_send),
     "bands": ("print the calibrated latency bands", cmd_bands),
     "bench": ("run the performance harness (BENCH_<date>.json)", cmd_bench),
+    "cache": ("inspect or prune the on-disk result cache", cmd_cache),
 }
 
 

@@ -89,6 +89,19 @@ class MachineConfig:
         """A copy of this config with the given fields replaced."""
         return replace(self, **changes)
 
+    def fingerprint(self) -> str:
+        """Canonical JSON identity of this config (nested profiles too).
+
+        Two configs with equal fingerprints build behaviorally identical
+        machines; the warm-worker pool and the calibration memo key on
+        this.
+        """
+        import json
+        from dataclasses import asdict
+
+        return json.dumps(asdict(self), sort_keys=True,
+                          separators=(",", ":"), default=str)
+
 
 class Machine:
     """A coherent multi-socket, multi-core machine.
@@ -197,6 +210,44 @@ class Machine:
         self._ring_register = [r.register for r in ic.rings]
         self._qpi_register = ic.qpi.register
         self._mem_register = [r.register for r in ic.mems]
+
+    def reset(self, rng: RngStreams | None = None) -> None:
+        """Restore pristine post-construction state, keeping the topology.
+
+        The warm-worker path reuses one constructed machine across grid
+        points whose structural parameters match: building the object
+        graph (12 cores x 2 private caches, per-socket LLC + directory,
+        interconnect resources, bound counters) costs far more than
+        wiping it.  After ``reset`` the machine must be observationally
+        identical to ``Machine(self.config, rng)`` — the golden
+        determinism digests and the warm-vs-fresh equality tests hold it
+        to that.  Resets, in order:
+
+        * any instance-level interposition on ``load``/``store``/``flush``
+          (e.g. a detection :class:`EventMonitor`) is unwrapped;
+        * every private cache, LLC data array and directory is emptied;
+        * DRAM contents are dropped (cleared in place — sockets hold a
+          reference to the same dict);
+        * the interconnect windows and the stats registry are cleared in
+          place, so bound handles stay valid;
+        * the RNG registry is replaced by *rng* (fresh streams for the
+          next point's seed) and the jitter stream is re-bound.
+        """
+        for name in ("load", "store", "flush"):
+            self.__dict__.pop(name, None)
+        for core in self.cores:
+            core.l1.clear()
+            core.l2.clear()
+        for domain in self.sockets:
+            domain.data_array.clear()
+            domain.directory.clear()
+        self.dram.clear()
+        self.obfuscation = None
+        self.interconnect.reset()
+        self.stats.reset()
+        if rng is not None:
+            self.rng = rng
+        self._jitter_rng = self.rng.get("machine.jitter")
 
     # ------------------------------------------------------------------
     # topology helpers

@@ -30,6 +30,7 @@ from repro.runner.executor import (
     PointOutcome,
     Runner,
     RunReport,
+    auto_chunk_size,
     execute,
 )
 from repro.runner.progress import StderrProgress
@@ -37,6 +38,7 @@ from repro.runner.spec import (
     ExperimentSpec,
     Point,
     canonical_json,
+    chunk_pending,
     resolve_callable,
 )
 
@@ -49,7 +51,9 @@ __all__ = [
     "RunReport",
     "Runner",
     "StderrProgress",
+    "auto_chunk_size",
     "canonical_json",
+    "chunk_pending",
     "default_cache_dir",
     "execute",
     "resolve_callable",

@@ -14,17 +14,31 @@ bytes) are deleted and recomputed; transiently unreadable entries
 (``OSError``) are reported as misses but left in place.  Orphaned
 ``*.tmp`` files from killed runs are swept on construction.
 
+Entry format (schema v2): a 4-byte magic ``RPC2`` + 1 flags byte +
+payload.  The payload is the value's pickle, zlib-compressed when it
+exceeds :data:`COMPRESS_THRESHOLD` (flag bit 0).  Lookup decodes
+transparently, including legacy schema-v1 entries (bare pickle bytes —
+pickles never start with ``RPC2``).
+
 Layout::
 
-    <cache_dir>/<key[:2]>/<key>.pkl
+    <cache_dir>/<salt-dir>/<key[:2]>/<key>.pkl
+
+where ``<salt-dir>`` names the version salt the entries were keyed
+under.  Pre-v2 caches stored entries directly under
+``<cache_dir>/<key[:2]>/``; grouping by salt makes stale generations
+enumerable, which is what :meth:`ResultCache.stats` and
+:meth:`ResultCache.gc` (the ``repro cache`` CLI) operate on.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import re
 import tempfile
 import time
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -36,6 +50,57 @@ _MISS = object()
 #: Minimum age (seconds) before an orphaned ``*.tmp`` file is swept.
 #: Younger temps may belong to a store() in progress in another process.
 STALE_TMP_SECONDS = 60.0
+
+#: Magic prefix of schema-v2 entries.  Pickle streams begin with
+#: ``b"\x80"`` (any protocol >= 2), so the two formats cannot collide.
+ENTRY_MAGIC = b"RPC2"
+
+#: Flags-byte bit: the payload is zlib-compressed.
+FLAG_ZLIB = 0x01
+
+#: Pickles at or above this size are stored compressed.  Latency traces
+#: compress ~3-5x; tiny float entries are left alone (zlib overhead
+#: would dominate).
+COMPRESS_THRESHOLD = 4096
+
+#: Top-level directories of the pre-salt-dir layout: two hex chars.
+_LEGACY_SHARD = re.compile(r"^[0-9a-f]{2}$")
+
+
+def _salt_dirname(salt: str) -> str:
+    """A filesystem-safe directory name for *salt*.
+
+    Must never look like a legacy two-hex-char shard directory; real
+    salts (``repro-<version>``) never do, and the fallback keeps a
+    pathological salt distinguishable too.
+    """
+    name = re.sub(r"[^A-Za-z0-9._+-]", "_", salt) or "_"
+    if _LEGACY_SHARD.match(name):
+        name = f"salt-{name}"
+    return name
+
+
+def encode_entry(value: Any) -> bytes:
+    """Serialize *value* into the schema-v2 on-disk entry format."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    flags = 0
+    if len(payload) >= COMPRESS_THRESHOLD:
+        compressed = zlib.compress(payload, level=6)
+        if len(compressed) < len(payload):
+            payload = compressed
+            flags |= FLAG_ZLIB
+    return ENTRY_MAGIC + bytes([flags]) + payload
+
+
+def decode_entry(blob: bytes) -> Any:
+    """Inverse of :func:`encode_entry`; legacy bare pickles also decode."""
+    if not blob.startswith(ENTRY_MAGIC):
+        return pickle.loads(blob)  # schema v1: bare pickle bytes
+    flags = blob[len(ENTRY_MAGIC)]
+    payload = blob[len(ENTRY_MAGIC) + 1:]
+    if flags & FLAG_ZLIB:
+        payload = zlib.decompress(payload)
+    return pickle.loads(payload)
 
 
 def version_salt() -> str:
@@ -79,7 +144,9 @@ class ResultCache:
             return removed
         cutoff = time.time() - STALE_TMP_SECONDS
         try:
-            for tmp in self.root.glob("*/*.tmp"):
+            # rglob, not glob: temps live at either layout depth
+            # (<root>/<shard>/ legacy, <root>/<salt>/<shard>/ current).
+            for tmp in self.root.rglob("*.tmp"):
                 try:
                     if tmp.stat().st_mtime < cutoff:
                         tmp.unlink()
@@ -96,7 +163,7 @@ class ResultCache:
 
     def path_for(self, point: Point) -> Path:
         key = self.key_for(point)
-        return self.root / key[:2] / f"{key}.pkl"
+        return self.root / _salt_dirname(self.salt) / key[:2] / f"{key}.pkl"
 
     def lookup(self, point: Point) -> tuple[bool, Any]:
         """Return ``(hit, value)``; a corrupt entry counts as a miss."""
@@ -104,7 +171,7 @@ class ResultCache:
         value = _MISS
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                value = decode_entry(fh.read())
         except OSError:
             # Missing entry, or a *transient* read failure (EACCES from
             # a permission hiccup, EIO, NFS timeouts).  The entry may be
@@ -135,7 +202,7 @@ class ResultCache:
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(encode_entry(value))
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -154,6 +221,110 @@ class ResultCache:
             return True
         except OSError:
             return False
+
+    # -- maintenance (the ``repro cache`` CLI) --------------------------
+
+    def _generations(self) -> dict[str, list[Path]]:
+        """Entry files grouped by generation directory name.
+
+        Keys are salt-dir names, plus ``"legacy"`` for entries stored by
+        the pre-salt-dir layout directly under two-hex shard dirs.
+        """
+        generations: dict[str, list[Path]] = {}
+        if not self.root.is_dir():
+            return generations
+        try:
+            children = sorted(self.root.iterdir())
+        except OSError:
+            return generations
+        for child in children:
+            if not child.is_dir():
+                continue
+            name = "legacy" if _LEGACY_SHARD.match(child.name) else child.name
+            files = [p for p in child.rglob("*.pkl") if p.is_file()]
+            generations.setdefault(name, []).extend(files)
+        return generations
+
+    def stats(self) -> dict:
+        """Entry counts, byte totals, and schema mix per generation.
+
+        The ``current`` generation is the one this cache reads and
+        writes (its salt's directory); every other generation — other
+        salts, the legacy flat layout — is dead weight :meth:`gc` can
+        reclaim.  Schema counts come from each entry's leading bytes
+        (``v2`` framed, ``v1`` bare pickle).
+        """
+        current = _salt_dirname(self.salt)
+        out = {
+            "root": str(self.root),
+            "salt": self.salt,
+            "entries": 0,
+            "bytes": 0,
+            "generations": {},
+        }
+        for name, files in self._generations().items():
+            schemas: dict[str, int] = {}
+            total = 0
+            for path in files:
+                try:
+                    size = path.stat().st_size
+                    with open(path, "rb") as fh:
+                        head = fh.read(len(ENTRY_MAGIC))
+                except OSError:
+                    continue
+                total += size
+                schema = "v2" if head == ENTRY_MAGIC else "v1"
+                schemas[schema] = schemas.get(schema, 0) + 1
+            info = {
+                "entries": sum(schemas.values()),
+                "bytes": total,
+                "schemas": schemas,
+                "current": name == current,
+            }
+            out["generations"][name] = info
+            out["entries"] += info["entries"]
+            out["bytes"] += info["bytes"]
+        return out
+
+    def gc(self) -> tuple[int, int]:
+        """Prune every stale generation; returns (entries, bytes) freed.
+
+        Removes entries keyed under other version salts and the legacy
+        flat layout — both unreachable by this cache's lookups — along
+        with their emptied directories.  The current generation is never
+        touched.
+        """
+        current = _salt_dirname(self.salt)
+        removed = 0
+        freed = 0
+        for name, files in self._generations().items():
+            if name == current:
+                continue
+            for path in files:
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+        # Sweep now-empty generation directories (bottom-up).
+        try:
+            candidates = sorted(
+                (p for p in self.root.rglob("*") if p.is_dir()),
+                key=lambda p: len(p.parts),
+                reverse=True,
+            )
+            for directory in candidates:
+                if directory.name == current and directory.parent == self.root:
+                    continue
+                try:
+                    directory.rmdir()  # fails unless empty
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return removed, freed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ResultCache(root={str(self.root)!r}, "

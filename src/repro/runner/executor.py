@@ -6,7 +6,13 @@ was scheduled:
 
 1. every point is first looked up in the on-disk result cache;
 2. the misses run either in-process (``jobs=1``) or fanned out over a
-   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``);
+   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``), where
+   they are dispatched in seed-grouped *chunks* — one future executes
+   several points back-to-back in the same worker, amortizing the IPC
+   round-trip and letting the worker's process-local calibration memo
+   and warm machine pool hit on every point after the chunk's first
+   (``chunk_size``, auto-sized from grid size and worker count;
+   ``REPRO_CHUNK_SIZE`` overrides);
 3. fresh values are written back to the cache and slotted into their
    original grid positions.
 
@@ -40,6 +46,7 @@ Deterministic adversity for all of the above comes from
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -59,7 +66,12 @@ from repro.errors import (
 )
 from repro.faults.harness import apply_worker_fault
 from repro.runner.cache import ResultCache
-from repro.runner.spec import ExperimentSpec, Point, resolve_callable
+from repro.runner.spec import (
+    ExperimentSpec,
+    Point,
+    chunk_pending,
+    resolve_callable,
+)
 from repro.sim.rng import derive_seed
 
 #: Progress callback signature: called once per completed point.
@@ -227,6 +239,52 @@ def _timed_point(
     return value, time.perf_counter() - start
 
 
+def _timed_chunk(
+    items: list[tuple[int, str, Mapping[str, Any], Mapping[str, Any] | None]],
+    timeout: float | None = None,
+) -> list[tuple[int, bool, Any, float]]:
+    """Worker entry: execute a chunk of points in one process.
+
+    *items* is ``(grid_index, fn_path, params, fault)`` per point.  Each
+    point runs under its **own** deadline and its own try/except, so a
+    failing or timed-out point never takes the rest of the chunk with it
+    — its raw exception travels back in the result tuple for the parent
+    to wrap, retry, or record exactly as it would a per-point future.
+    (A ``worker_kill`` fault still kills the whole process and therefore
+    the whole chunk; the parent charges every point of a lost chunk one
+    attempt, matching the lost-future accounting.)
+
+    Returns ``(grid_index, ok, value_or_exception, seconds)`` per point,
+    in chunk order.
+    """
+    out: list[tuple[int, bool, Any, float]] = []
+    for index, fn_path, params, fault in items:
+        try:
+            value, seconds = _timed_point(fn_path, params, timeout, fault)
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent
+            out.append((index, False, exc, 0.0))
+        else:
+            out.append((index, True, value, seconds))
+    return out
+
+
+#: Upper bound on auto-sized chunks: big enough to amortize dispatch and
+#: calibration, small enough that one straggler chunk cannot idle the
+#: rest of the pool at the tail of a grid.
+AUTO_CHUNK_CAP = 8
+
+
+def auto_chunk_size(pending: int, workers: int) -> int:
+    """Default chunk size for *pending* points on *workers* processes.
+
+    Targets at least ~4 chunks per worker so the pool load-balances,
+    capped at :data:`AUTO_CHUNK_CAP`.  Small grids (fewer points than
+    ``4 × workers``) get chunk size 1 — there, per-point dispatch costs
+    nothing and finer granularity retires the grid sooner.
+    """
+    return max(1, min(AUTO_CHUNK_CAP, pending // (workers * 4)))
+
+
 class Runner:
     """Execute experiment grids with parallelism, caching, and retries.
 
@@ -247,6 +305,11 @@ class Runner:
     injector:
         Optional :class:`repro.faults.FaultInjector` supplying
         deterministic harness faults (tests and ``--inject-faults``).
+    chunk_size:
+        Points per pool future.  ``None`` (default) auto-sizes via
+        :func:`auto_chunk_size` — unless ``REPRO_CHUNK_SIZE`` is set,
+        which then supplies the default.  Ignored when ``jobs=1``
+        (the serial path has no dispatch to amortize).
     """
 
     def __init__(
@@ -256,16 +319,22 @@ class Runner:
         progress: ProgressFn | None = None,
         policy: FailurePolicy | None = None,
         injector: Any = None,
+        chunk_size: int | None = None,
     ):
         if jobs is None or jobs <= 0:
-            import os
-
             jobs = os.cpu_count() or 1
         self.jobs = int(jobs)
         self.cache = cache
         self.progress = progress
         self.policy = policy if policy is not None else FailurePolicy()
         self.injector = injector
+        if chunk_size is None:
+            env = os.environ.get("REPRO_CHUNK_SIZE")
+            if env:
+                chunk_size = int(env)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
 
     # -- public API -----------------------------------------------------
 
@@ -371,29 +440,33 @@ class Runner:
     ) -> None:
         policy = self.policy
         workers = min(self.jobs, len(pending))
+        size = self.chunk_size
+        if size is None:
+            size = auto_chunk_size(len(pending), workers)
         attempts = dict.fromkeys(pending, 0)  # attempts started per index
-        futures: dict[Any, int] = {}
+        futures: dict[Any, list[int]] = {}  # future -> chunk grid indices
         misfired: list[int] = []  # dispatches that hit an already-broken pool
         first_error: PointExecutionError | None = None
         aborting = False
         pool = ProcessPoolExecutor(max_workers=workers)
 
-        def submit(index: int) -> None:
-            point = spec.points[index]
-            event = self._fault_for(index, attempts[index])
-            fault = event.to_json() if event is not None else None
-            attempts[index] += 1
+        def submit(indices: list[int]) -> None:
+            items = []
+            for index in indices:
+                point = spec.points[index]
+                event = self._fault_for(index, attempts[index])
+                fault = event.to_json() if event is not None else None
+                attempts[index] += 1
+                items.append((index, point.fn, dict(point.params), fault))
             try:
-                future = pool.submit(
-                    _timed_point, point.fn, point.params, policy.timeout, fault
-                )
+                future = pool.submit(_timed_chunk, items, policy.timeout)
             except BrokenExecutor:
                 # The pool broke between crash detection and this dispatch
-                # (a worker died moments ago).  The attempt is charged;
-                # the point joins the next crash batch for re-dispatch.
-                misfired.append(index)
+                # (a worker died moments ago).  The attempts are charged;
+                # the points join the next crash batch for re-dispatch.
+                misfired.extend(indices)
                 return
-            futures[future] = index
+            futures[future] = list(indices)
 
         def retriable(index: int) -> bool:
             return not aborting and attempts[index] <= policy.retries
@@ -416,9 +489,21 @@ class Runner:
                 for future in futures:
                     future.cancel()
 
+        def point_failed(
+            index: int,
+            exc: Exception,
+            retry: list[tuple[int, PointExecutionError]],
+        ) -> None:
+            error = PointExecutionError(spec.points[index].describe(), exc)
+            error.__cause__ = exc
+            if retriable(index):
+                retry.append((index, error))
+            else:
+                terminal(index, error)
+
         try:
-            for index in pending:
-                submit(index)
+            for chunk in chunk_pending(spec.points, pending, size):
+                submit(chunk)
             while futures or misfired:
                 if futures:
                     done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
@@ -428,32 +513,36 @@ class Runner:
                 misfired.clear()
                 retry: list[tuple[int, PointExecutionError]] = []
                 for future in done:
-                    index = futures.pop(future)
-                    point = spec.points[index]
+                    indices = futures.pop(future)
                     try:
-                        value, seconds = future.result()
+                        results = future.result()
                     except CancelledError:
                         continue
                     except BrokenExecutor:
-                        crashed.append(index)
+                        crashed.extend(indices)
                     except Exception as exc:
-                        error = PointExecutionError(point.describe(), exc)
-                        error.__cause__ = exc
-                        if retriable(index):
-                            retry.append((index, error))
-                        else:
-                            terminal(index, error)
+                        # The chunk machinery itself failed (a value or
+                        # exception that would not pickle back, say);
+                        # every point of the chunk is charged.
+                        for index in indices:
+                            point_failed(index, exc, retry)
                     else:
-                        self._store(point, value, index)
-                        slots[index] = self._completed(
-                            index, total, point, value, seconds,
-                            cached=False, attempts=attempts[index],
-                        )
+                        for index, ok, payload, seconds in results:
+                            if not ok:
+                                point_failed(index, payload, retry)
+                                continue
+                            point = spec.points[index]
+                            self._store(point, payload, index)
+                            slots[index] = self._completed(
+                                index, total, point, payload, seconds,
+                                cached=False, attempts=attempts[index],
+                            )
                 if crashed:
                     # The pool is broken: every in-flight dispatch is
                     # lost.  Charge each lost point one attempt, respawn
                     # the pool, and re-dispatch only those points.
-                    crashed.extend(futures.values())
+                    for indices in futures.values():
+                        crashed.extend(indices)
                     futures.clear()
                     pool.shutdown(wait=False)
                     report.pool_respawns += 1
@@ -472,6 +561,9 @@ class Runner:
                             terminal(index, error)
                 # Resubmits happen only after crash handling, so a retry
                 # can never be dispatched to a pool that just broke.
+                # Retries go out as singleton chunks: the point already
+                # failed once, so it gets its own future (and its own
+                # deterministic backoff) rather than risking a batch.
                 for index, error in sorted(retry):
                     if aborting:
                         terminal(index, error)
@@ -481,7 +573,7 @@ class Runner:
                             spec.points[index].describe(), attempts[index]
                         )
                     )
-                    submit(index)
+                    submit([index])
         finally:
             pool.shutdown(wait=True)
         if first_error is not None:

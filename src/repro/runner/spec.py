@@ -122,6 +122,36 @@ class Point:
         return hash(self.canonical())
 
 
+def chunk_pending(
+    points: Sequence[Point], pending: Sequence[int], chunk_size: int
+) -> list[list[int]]:
+    """Split *pending* grid indices into seed-grouped dispatch chunks.
+
+    Chunks are the unit the pool executor ships to a worker: one future
+    executes ``chunk_size`` points back-to-back in the same process, so
+    points sharing a calibration identity (the root ``seed`` param)
+    should travel together — the first point of the chunk pays for
+    calibration, the rest hit the worker's process-local memo.  Indices
+    are therefore ordered by (seed, index) before slicing.  The slot
+    each value lands in is still its grid index, so chunk order never
+    affects results.
+
+    ``chunk_size == 1`` preserves *pending*'s original order — one
+    point per future, the pre-chunking dispatch exactly.
+    """
+    if chunk_size < 1:
+        raise SpecError(f"chunk_size must be >= 1, got {chunk_size}")
+    if chunk_size == 1:
+        return [[index] for index in pending]
+    ordered = sorted(
+        pending, key=lambda i: (repr(points[i].params.get("seed")), i)
+    )
+    return [
+        ordered[lo:lo + chunk_size]
+        for lo in range(0, len(ordered), chunk_size)
+    ]
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A named, declarative grid of independent points.

@@ -82,6 +82,36 @@ class RngStreams:
             self._streams[name] = stream
         return stream
 
+    def snapshot(self) -> dict[str, dict]:
+        """Capture the exact state of every stream created so far.
+
+        The returned mapping (stream name -> bit-generator state dict) is
+        a deep copy, so later draws do not mutate it.  Together with
+        :meth:`restore` this lets a caller skip a deterministic block of
+        work — e.g. a memoized calibration pass — while leaving the
+        generators exactly where really doing the work would have left
+        them, which is what keeps downstream draws bit-identical.
+        """
+        import copy
+
+        return {
+            name: copy.deepcopy(stream.bit_generator.state)
+            for name, stream in self._streams.items()
+        }
+
+    def restore(self, states: dict[str, dict]) -> None:
+        """Set streams to a :meth:`snapshot` taken from an equal registry.
+
+        Streams named in *states* are created on demand; streams we have
+        that the snapshot lacks are left untouched (the snapshot was
+        taken after strictly more work, so such streams cannot exist when
+        restoring onto an identically-constructed registry).
+        """
+        import copy
+
+        for name, state in states.items():
+            self.get(name).bit_generator.state = copy.deepcopy(state)
+
     def fork(self, salt: int) -> "RngStreams":
         """Return a new registry whose streams are independent of ours.
 

@@ -21,7 +21,9 @@ def test_run_all_shape(quick_report):
     assert quick_report["schema"] == SCHEMA
     assert quick_report["quick"] is True
     bench = quick_report["benchmarks"]
-    assert set(bench) == {"engine_micro", "fig8_point", "noise_point"}
+    assert set(bench) == {
+        "engine_micro", "fig8_point", "noise_point", "grid_sweep"
+    }
     micro = bench["engine_micro"]
     assert micro["events"] > 0
     assert micro["wall_s"] > 0
@@ -31,6 +33,18 @@ def test_run_all_shape(quick_report):
     for name in ("fig8_point", "noise_point"):
         assert bench[name]["wall_s"] > 0
         assert 0.0 <= bench[name]["accuracy"] <= 1.0
+    grid = bench["grid_sweep"]
+    assert grid["bit_identical"] is True
+    assert set(grid["modes"]) == {"reference", "serial", "jobs", "chunked"}
+    for mode, info in grid["modes"].items():
+        assert info["points_per_sec"] > 0
+        if mode != "reference":
+            assert info["speedup"] > 0
+    assert grid["best_speedup"] == pytest.approx(
+        max(info["speedup"] for mode, info in grid["modes"].items()
+            if mode != "reference")
+    )
+    assert 0 < grid["cache_bytes"] <= grid["cache_bytes_legacy"]
 
 
 def test_report_roundtrip(quick_report, tmp_path):

@@ -389,7 +389,7 @@ def test_cache_transient_oserror_does_not_delete_entry(tmp_path, monkeypatch):
     def eio(*_args, **_kwargs):
         raise OSError("I/O error (transient)")
 
-    monkeypatch.setattr(pickle, "load", eio)
+    monkeypatch.setattr("repro.runner.cache.decode_entry", eio)
     hit, _ = cache.lookup(point)
     assert not hit
     assert cache.path_for(point).exists(), "transient OSError deleted entry"
