@@ -10,6 +10,7 @@ A from-scratch reproduction of Yao, Doroslovacki and Venkataramani,
 * :mod:`repro.channel` — the paper's trojan/spy channels (the core).
 * :mod:`repro.mitigation` — the Section VIII-E defenses.
 * :mod:`repro.analysis` — CDFs, band discovery, channel capacity.
+* :mod:`repro.obs` — structured tracing and run manifests.
 * :mod:`repro.experiments` — one runnable driver per paper figure/table.
 
 Quickstart::
@@ -45,9 +46,12 @@ from repro.mem import (
     NoiseModel,
     check_machine,
 )
+from repro.obs import RunManifest, TraceRecorder
 from repro.sim import RngStreams, Simulator
 
-__version__ = "1.2.0"
+# 1.3.0: TransmissionResult grew a RunManifest attachment — the bump
+# salts the result cache so pre-manifest pickles are never resurfaced.
+__version__ = "1.3.0"
 
 __all__ = [
     "CLOCK_HZ",
@@ -64,11 +68,13 @@ __all__ = [
     "ReliableChannel",
     "ReproError",
     "RngStreams",
+    "RunManifest",
     "Scenario",
     "SessionConfig",
     "Simulator",
     "SymbolParams",
     "TABLE_I",
+    "TraceRecorder",
     "TransmissionResult",
     "calibrate",
     "check_machine",

@@ -20,11 +20,15 @@ def samples_to_csv(samples: Sequence[Sample]) -> str:
     writer = csv.writer(out)
     writer.writerow(("timestamp", "latency", "label", "path"))
     for sample in samples:
+        # A path is usually an AccessPath enum, but round-tripped traces
+        # (samples_from_csv, legacy pickles) carry plain strings — emit
+        # those as-is instead of collapsing them to "".
+        path = sample.path
         writer.writerow((
             f"{sample.timestamp:.1f}",
             f"{sample.latency:.2f}",
             sample.label,
-            getattr(sample.path, "value", "") if sample.path else "",
+            "" if path is None else getattr(path, "value", str(path)),
         ))
     return out.getvalue()
 

@@ -15,7 +15,11 @@ emits a machine-readable ``BENCH_<date>.json`` report:
   64-point grid, comparing the pre-optimization reference path against
   warm-worker serial, per-point pool, and chunked pool dispatch, with a
   bit-identity check across all modes and the schema-v2 vs legacy cache
-  entry sizes.
+  entry sizes;
+* ``trace_overhead`` — the wall-time cost of structured tracing
+  (:mod:`repro.obs`): disabled-mode overhead is gated (< 2%, since the
+  disabled path is the unmodified hot code), enabled-mode cost is
+  reported for information.
 
 Every benchmark is deterministic (fixed seeds) so wall time is the only
 thing that varies between runs; each is repeated and the best (minimum)
@@ -24,6 +28,7 @@ for how to run and read the reports, and how CI gates on them.
 """
 
 from repro.bench.harness import (
+    TRACE_OVERHEAD_LIMIT,
     check_regression,
     default_report_name,
     engine_micro,
@@ -32,10 +37,12 @@ from repro.bench.harness import (
     load_report,
     noise_point,
     run_all,
+    trace_overhead,
     write_report,
 )
 
 __all__ = [
+    "TRACE_OVERHEAD_LIMIT",
     "check_regression",
     "default_report_name",
     "engine_micro",
@@ -44,5 +51,6 @@ __all__ = [
     "load_report",
     "noise_point",
     "run_all",
+    "trace_overhead",
     "write_report",
 ]

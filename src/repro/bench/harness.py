@@ -33,7 +33,15 @@ _PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
 #: Report schema version (bump when the JSON layout changes).
 #: v2 added the ``grid_sweep`` benchmark (points/s per execution mode,
 #: bit-identity flag, transport byte counts).
-SCHEMA = 2
+#: v3 added ``trace_overhead`` (disabled/enabled tracing cost).
+SCHEMA = 3
+
+#: Allowed wall-time overhead of *disabled* tracing vs the baseline.
+#: Disabled tracing attaches nothing to the machine — the hot path is
+#: byte-for-byte the untraced code — so this is an A/B of identical
+#: work and the gate bounds measurement noise plus any accidental
+#: reintroduction of per-event checks.
+TRACE_OVERHEAD_LIMIT = 0.02
 
 
 def _payload(bits: int) -> list[int]:
@@ -114,6 +122,73 @@ def noise_point(repeats: int = 3, bits: int = 24) -> dict[str, Any]:
         if wall < best_wall:
             best_wall = wall
     return {"wall_s": best_wall, "accuracy": accuracy}
+
+
+def trace_overhead(
+    seed: int = 0, bits: int = 24, repeats: int = 3
+) -> dict[str, Any]:
+    """Tracing cost: disabled-mode (gated) and enabled-mode (reported).
+
+    Three session variants transmit the same fixed payload:
+
+    * ``baseline`` — ``trace=False``, tracing forced off;
+    * ``disabled`` — ``trace=None`` with ``REPRO_TRACE`` unset, the
+      default production path (must resolve to the same untraced code);
+    * ``enabled`` — ``trace=True``, full recording.
+
+    Variants are interleaved within each repeat so host drift hits all
+    three equally, and the best wall per variant is kept.  The report
+    carries ``disabled_overhead`` (gated at
+    :data:`TRACE_OVERHEAD_LIMIT` by :func:`check_regression`) and
+    ``enabled_overhead`` (informational — the price of turning the
+    feature on).
+    """
+    import os
+
+    from repro.channel.config import scenario_by_name
+    from repro.channel.session import ChannelSession, SessionConfig
+
+    payload = _payload(bits)
+
+    def one(trace: bool | None) -> tuple[float, int]:
+        session = ChannelSession(SessionConfig(
+            scenario=scenario_by_name("LExclc-LSharedb"),
+            seed=seed,
+            calibration_samples=200,
+            trace=trace,
+        ))
+        t0 = time.perf_counter()
+        session.transmit(payload)
+        wall = time.perf_counter() - t0
+        emitted = session.recorder.emitted if session.recorder else 0
+        return wall, emitted
+
+    # The "disabled" variant must see the real default, even when the
+    # harness itself runs under a REPRO_TRACE=1 CI leg.
+    saved = os.environ.pop("REPRO_TRACE", None)
+    best = {"baseline": float("inf"), "disabled": float("inf"),
+            "enabled": float("inf")}
+    traced_events = 0
+    try:
+        for _ in range(max(1, repeats)):
+            for name, flag in (("baseline", False), ("disabled", None),
+                               ("enabled", True)):
+                wall, emitted = one(flag)
+                best[name] = min(best[name], wall)
+                if name == "enabled":
+                    traced_events = emitted
+    finally:
+        if saved is not None:
+            os.environ["REPRO_TRACE"] = saved
+    return {
+        "bits": bits,
+        "baseline_wall_s": best["baseline"],
+        "disabled_wall_s": best["disabled"],
+        "enabled_wall_s": best["enabled"],
+        "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
+        "enabled_overhead": best["enabled"] / best["baseline"] - 1.0,
+        "traced_events": traced_events,
+    }
 
 
 def grid_point(
@@ -298,6 +373,9 @@ def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "fig8_point": fig8_point(repeats=repeats, bits=fig8_bits),
             "noise_point": noise_point(repeats=repeats, bits=noise_bits),
             "grid_sweep": grid_sweep(points=grid_points, bits=grid_bits),
+            "trace_overhead": trace_overhead(
+                bits=noise_bits, repeats=repeats
+            ),
         },
     }
 
@@ -328,8 +406,13 @@ def check_regression(
 
     Two quantities gate:
 
+    Three quantities gate:
+
     * engine events/second — the current run must reach at least
       ``(1 - max_regression)`` of the baseline's throughput;
+    * disabled-mode tracing — ``trace_overhead.disabled_overhead`` must
+      stay under :data:`TRACE_OVERHEAD_LIMIT` (an absolute bound, not
+      baseline-relative: disabled tracing is contractually free);
     * grid throughput — ``grid_sweep`` must report ``bit_identical``
       (an optimized mode producing different results is a correctness
       regression, whatever its speed), and when the baseline also
@@ -353,6 +436,15 @@ def check_regression(
             f"engine_micro regressed: {cur_eps:,.0f} events/s < "
             f"{floor:,.0f} (baseline {base_eps:,.0f} - {max_regression:.0%})"
         )
+    trace = current["benchmarks"].get("trace_overhead")
+    if trace is not None:
+        overhead = trace.get("disabled_overhead", 0.0)
+        if overhead >= TRACE_OVERHEAD_LIMIT:
+            problems.append(
+                f"trace_overhead: disabled-mode tracing costs "
+                f"{overhead:.1%} >= {TRACE_OVERHEAD_LIMIT:.0%} "
+                f"(must be free when off)"
+            )
     grid = current["benchmarks"].get("grid_sweep")
     if grid is not None:
         if not grid.get("bit_identical", False):

@@ -54,6 +54,7 @@ from repro.kernel.process import Process
 from repro.kernel.syscalls import Kernel
 from repro.kernel.workloads import spawn_kernel_build
 from repro.mem.hierarchy import Machine, MachineConfig
+from repro.obs import MachineTap, RunManifest, TraceRecorder, trace_enabled
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
@@ -105,6 +106,13 @@ class SessionConfig:
     #: directly-built sessions; :func:`execute_point` turns it on so
     #: grid workers amortize topology construction across points.
     reuse_machine: bool = False
+    #: Structured tracing (:mod:`repro.obs`).  ``None`` (the default)
+    #: defers to the ``REPRO_TRACE`` environment variable — set by the
+    #: CLI's ``--trace`` flag — so the decision never enters grid cache
+    #: keys; ``True``/``False`` force it per session.  When enabled the
+    #: session owns a :class:`~repro.obs.TraceRecorder` with a
+    #: :class:`~repro.obs.MachineTap` attached for its whole lifetime.
+    trace: bool | None = None
 
     def __post_init__(self) -> None:
         if self.sharing not in ("ksm", "explicit"):
@@ -134,6 +142,11 @@ class TransmissionResult:
     nominal_rate_kbps: float
     #: Re-synchronizations this transmission needed before succeeding.
     resyncs: int = 0
+    #: :class:`~repro.obs.RunManifest` snapshot taken when the result
+    #: was assembled (attached whether or not tracing is enabled).
+    #: Excluded from equality so manifest-bearing results still compare
+    #: equal to pre-manifest ones on the channel-level fields.
+    manifest: object = field(default=None, compare=False)
 
     @property
     def accuracy(self) -> float:
@@ -157,6 +170,7 @@ class TransmissionResult:
     def __setstate__(self, state: dict) -> None:
         state = dict(state)
         state["samples"] = unpack_samples(state["samples"])
+        state.setdefault("manifest", None)  # pre-1.3 pickles
         self.__dict__.update(state)
 
 
@@ -215,18 +229,31 @@ class SessionBase:
 
     def __init__(self, config: SessionConfig):
         self.config = config
+        # Tracing is decided once, here: either forced by the config or
+        # taken from REPRO_TRACE.  When off, recorder and tap are None
+        # and the machine hot path is byte-for-byte the untraced code.
+        traced = config.trace if config.trace is not None else trace_enabled()
+        self.recorder: TraceRecorder | None = TraceRecorder() if traced else None
+        self.tap: MachineTap | None = None
         self.rng = RngStreams(config.seed)
         if config.reuse_machine and warm_workers_enabled():
             self.machine = _acquire_machine(config.machine, self.rng)
         else:
             self.machine = Machine(config.machine, self.rng)
+        if self.recorder is not None:
+            self.tap = MachineTap(self.machine, self.recorder)
+            self.tap.attach()
         self.sim = Simulator(self.machine.stats)
         self.kernel = Kernel(self.machine, self.sim, self.rng)
         self.trojan_proc: Process = self.kernel.create_process("trojan")
         self.spy_proc: Process = self.kernel.create_process("spy")
+        self._phase("setup", "B", sharing=config.sharing)
         self._setup_sharing()
         self._assign_cores()
+        self._phase("setup", "E")
+        self._phase("calibrate", "B", samples=config.calibration_samples)
         self.bands: LatencyBands = self._calibrate()
+        self._phase("calibrate", "E")
         self.noise_threads = []
         if config.noise_threads:
             self.noise_threads = spawn_kernel_build(
@@ -246,6 +273,13 @@ class SessionBase:
         self._faults_installed = False
 
     # -- setup ----------------------------------------------------------
+
+    def _phase(self, name: str, mark: str, **data) -> None:
+        """Emit a channel phase mark (``B``/``E``) at the current clock."""
+        if self.recorder is not None:
+            self.recorder.emit(
+                self.sim.global_clock, "phase", name, {"mark": mark, **data}
+            )
 
     def _setup_sharing(self) -> None:
         if self.config.sharing == "ksm":
@@ -470,35 +504,45 @@ class ChannelSession(SessionBase):
             raise ConfigError("payload must be a list of 0/1 ints")
         self.install_faults()
 
-        for attempt in range(cfg.resync_attempts + 1):
-            if attempt:
-                # Back off long enough for the disturbance that broke
-                # the handshake to clear, then resynchronize from
-                # scratch with a fresh thread cohort.
-                self.idle(resync_backoff_cycles(
-                    attempt, base=cfg.resync_backoff_cycles
-                ))
-            tag = self.next_tag()
-            try:
-                result = self._transmit_once(payload, tag)
-            except SyncTimeoutError:
-                self._reap_attempt(tag)
-                if attempt >= cfg.resync_attempts:
-                    raise
-                self.resyncs += 1
-                continue
-            return TransmissionResult(
-                scenario_name=result.scenario_name,
-                sent=result.sent,
-                received=result.received,
-                alignment=result.alignment,
-                samples=result.samples,
-                decode=result.decode,
-                cycles=result.cycles,
-                nominal_rate_kbps=result.nominal_rate_kbps,
-                resyncs=attempt,
-            )
-        raise AssertionError("unreachable")  # pragma: no cover
+        self._phase("transmit", "B", bits=len(payload))
+        try:
+            for attempt in range(cfg.resync_attempts + 1):
+                if attempt:
+                    # Back off long enough for the disturbance that broke
+                    # the handshake to clear, then resynchronize from
+                    # scratch with a fresh thread cohort.
+                    self._phase("resync", "B", attempt=attempt)
+                    self.idle(resync_backoff_cycles(
+                        attempt, base=cfg.resync_backoff_cycles
+                    ))
+                    self._phase("resync", "E")
+                tag = self.next_tag()
+                self._phase("attempt", "B", tag=tag)
+                try:
+                    result = self._transmit_once(payload, tag)
+                except SyncTimeoutError:
+                    self._phase("attempt", "E", outcome="sync-timeout")
+                    self._reap_attempt(tag)
+                    if attempt >= cfg.resync_attempts:
+                        raise
+                    self.resyncs += 1
+                    continue
+                self._phase("attempt", "E", outcome="ok")
+                return TransmissionResult(
+                    scenario_name=result.scenario_name,
+                    sent=result.sent,
+                    received=result.received,
+                    alignment=result.alignment,
+                    samples=result.samples,
+                    decode=result.decode,
+                    cycles=result.cycles,
+                    nominal_rate_kbps=result.nominal_rate_kbps,
+                    resyncs=attempt,
+                    manifest=RunManifest.capture(self, resyncs=attempt),
+                )
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            self._phase("transmit", "E")
 
     def _transmit_once(self, payload: list[int], tag: int) -> TransmissionResult:
         """One handshake + payload attempt (no retry logic)."""
@@ -531,8 +575,10 @@ class ChannelSession(SessionBase):
         if controller_thread.failure is not None:  # pragma: no cover
             raise controller_thread.failure
 
+        self._phase("decode", "B", samples=len(spy_result.samples))
         report = decoder.decode(spy_result.samples)
         alignment = align_bits(list(payload), report.bits)
+        self._phase("decode", "E", bits=len(report.bits))
         return TransmissionResult(
             scenario_name=cfg.scenario.name,
             sent=list(payload),

@@ -20,6 +20,7 @@ from repro.channel.session import SessionBase, SessionConfig
 from repro.channel.trojan import TrojanControl, worker_roles
 from repro.errors import ConfigError
 from repro.mem.latency import CLOCK_HZ
+from repro.obs import RunManifest
 from repro.sim.thread import Cpu
 
 #: Symbol alphabet: index -> state pair.  Two bits per symbol:
@@ -271,6 +272,8 @@ class SymbolTransmissionResult:
     samples: list[Sample]
     cycles: float
     nominal_rate_kbps: float
+    #: :class:`~repro.obs.RunManifest` snapshot (see TransmissionResult).
+    manifest: object = field(default=None, compare=False)
 
     @property
     def accuracy(self) -> float:
@@ -293,6 +296,7 @@ class SymbolTransmissionResult:
     def __setstate__(self, state: dict) -> None:
         state = dict(state)
         state["samples"] = unpack_samples(state["samples"])
+        state.setdefault("manifest", None)  # pre-1.3 pickles
         self.__dict__.update(state)
 
 
@@ -354,6 +358,7 @@ class MultiBitSession(SessionBase):
         report = decoder.decode(state.samples)
         alignment = align_bits(list(bits), report.bits)
         return SymbolTransmissionResult(
+            manifest=RunManifest.capture(self),
             sent_bits=list(bits),
             received_bits=report.bits,
             sent_symbols=symbols,

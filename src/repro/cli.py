@@ -43,6 +43,9 @@ def cmd_list(_argv: list[str]) -> None:
     print("experiment options: --jobs N  --no-cache  --cache-dir DIR")
     print("failure handling:   --retries N  --timeout S  --keep-going  "
           "--inject-faults")
+    print("global flags:       --profile (cProfile)  --trace "
+          "(structured tracing; also per-command via --trace or "
+          "REPRO_TRACE=1)")
 
 
 def cmd_send(argv: list[str]) -> None:
@@ -164,6 +167,11 @@ def cmd_bench(argv: list[str]) -> None:
               f"{grid['cache_bytes'] / 1024:.0f} KiB v2 vs "
               f"{grid['cache_bytes_legacy'] / 1024:.0f} KiB legacy "
               f"(-{grid['cache_reduction']:.0%})")
+    trace = bench.get("trace_overhead")
+    if trace:
+        print(f"trace_overhead  disabled {trace['disabled_overhead']:+.1%}  "
+              f"enabled {trace['enabled_overhead']:+.1%} "
+              f"({trace['traced_events']} events)")
     if not args.no_write:
         out = write_report(report, args.output or default_report_name())
         print(f"wrote {out}")
@@ -224,6 +232,75 @@ def cmd_cache(argv: list[str]) -> None:
           f"({freed / 1024:.1f} KiB) from {cache.root}")
 
 
+def cmd_trace(argv: list[str]) -> None:
+    """Run one traced transmission and export its event stream."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="run a fixed-seed transmission with tracing on and "
+                    "export the recorded event stream",
+    )
+    parser.add_argument(
+        "action", choices=("export",),
+        help="export: transmit once and write/print the trace",
+    )
+    parser.add_argument("--format", choices=("chrome", "text"),
+                        default="chrome",
+                        help="chrome: trace-event JSON loadable in "
+                             "chrome://tracing / Perfetto; text: merged "
+                             "event + sample timeline")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="output file (default: trace.json for "
+                             "chrome, stdout for text)")
+    parser.add_argument("--scenario", default="RExclc-LSharedb")
+    parser.add_argument("--bits", type=int, default=16,
+                        help="payload length (alternating bits)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="nominal Kbits/s")
+    parser.add_argument("--calibration-samples", type=int, default=150)
+    args = parser.parse_args(argv)
+
+    from repro.channel.config import ProtocolParams, scenario_by_name
+    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.obs import text_timeline, write_chrome_trace
+
+    params = ProtocolParams()
+    if args.rate is not None:
+        if args.rate <= 0:
+            parser.error(
+                f"--rate must be a positive Kbit/s value, got {args.rate:g}"
+            )
+        params = params.at_rate(args.rate)
+    session = ChannelSession(SessionConfig(
+        scenario=scenario_by_name(args.scenario),
+        params=params,
+        seed=args.seed,
+        calibration_samples=args.calibration_samples,
+        trace=True,
+    ))
+    payload = [i % 2 for i in range(max(1, args.bits))]
+    result = session.transmit(payload)
+    recorder = session.recorder
+    print(f"transmitted {len(payload)} bits "
+          f"(accuracy {result.accuracy * 100:.1f}%); "
+          f"recorded {recorder.emitted} events "
+          f"({recorder.dropped} dropped)", file=sys.stderr)
+    if args.format == "chrome":
+        out = write_chrome_trace(
+            args.output or "trace.json", recorder, result.manifest
+        )
+        print(f"wrote {out}")
+    else:
+        timeline = text_timeline(recorder, samples=result.samples)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(timeline + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(timeline)
+
+
 def cmd_bands(argv: list[str]) -> None:
     """Calibrate and print the latency bands (Figure 2's summary)."""
     parser = argparse.ArgumentParser(prog="repro bands")
@@ -250,6 +327,7 @@ UTILITIES: dict[str, tuple[str, Callable[[list[str]], None]]] = {
     "bands": ("print the calibrated latency bands", cmd_bands),
     "bench": ("run the performance harness (BENCH_<date>.json)", cmd_bench),
     "cache": ("inspect or prune the on-disk result cache", cmd_cache),
+    "trace": ("run a traced transmission and export the events", cmd_trace),
 }
 
 
@@ -272,6 +350,15 @@ def main(argv: list[str] | None = None) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("tottime").print_stats(25)
+    if argv and argv[0] == "--trace":
+        # Global tracing mode: every session and runner constructed by
+        # the remaining command records structured events (repro.obs).
+        # Propagated through the environment so worker processes and
+        # cached-point keys are unaffected.
+        import os
+
+        os.environ["REPRO_TRACE"] = "1"
+        return main(argv[1:])
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__.strip())
         print()

@@ -134,6 +134,12 @@ def runner_arguments(parser: argparse.ArgumentParser) -> None:
         "--fault-seed", type=int, default=0, metavar="SEED",
         help="seed of the injected fault plan (default: 0)",
     )
+    group.add_argument(
+        "--trace", action="store_true",
+        help="record structured trace events (repro.obs) in every "
+             "session and the runner (sets REPRO_TRACE=1 so worker "
+             "processes inherit it; cache keys are unaffected)",
+    )
 
 
 def execute_from_args(spec, args: argparse.Namespace) -> list:
@@ -149,10 +155,17 @@ def execute_from_args(spec, args: argparse.Namespace) -> list:
     errors are printed to stderr and the process exits 1 — completed
     values are already cached, so re-running resumes the sweep.
     """
+    import os
     import sys
 
     from repro.runner import FailurePolicy, ResultCache, Runner, StderrProgress
 
+    if getattr(args, "trace", False):
+        # Environment propagation (not a Point param) keeps grid cache
+        # keys identical with and without tracing; pool workers inherit
+        # the variable on fork/spawn.
+        os.environ["REPRO_TRACE"] = "1"
+        spec.meta.setdefault("trace", True)
     cache = None if getattr(args, "no_cache", False) else ResultCache(
         getattr(args, "cache_dir", None)
     )

@@ -71,11 +71,19 @@ def install_simulation_faults(session, plan: FaultPlan) -> list:
     tests.
     """
     base = session.sim.global_clock
+    recorder = getattr(session, "recorder", None)
     threads = []
     for index, event in enumerate(plan.simulation_events):
         start = base + event.at_cycles
         end = start + max(1.0, event.duration_cycles)
         name = f"fault-{event.kind}-{index}"
+        if recorder is not None:
+            recorder.emit(base, "fault", event.kind, {
+                "index": index,
+                "start": start,
+                "end": end,
+                "magnitude": event.magnitude,
+            })
         if event.kind == "third_party_touch":
             threads.append(_install_touch(session, name, start, end,
                                           period=event.magnitude))

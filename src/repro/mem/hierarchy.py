@@ -233,6 +233,12 @@ class Machine:
         * the RNG registry is replaced by *rng* (fresh streams for the
           next point's seed) and the jitter stream is re-bound.
         """
+        tap = getattr(self, "_trace_tap", None)
+        if tap is not None:
+            # A trace tap also swapped the interconnect register
+            # bindings; its detach restores them before the generic
+            # unwrap below clears any remaining op interposition.
+            tap.detach()
         for name in ("load", "store", "flush"):
             self.__dict__.pop(name, None)
         for core in self.cores:

@@ -139,6 +139,78 @@ def check_machine(machine: Machine) -> None:
                     )
 
 
+def check_transition_events(events) -> None:
+    """Validate recorded coherence-transition events against MESI law.
+
+    *events* is an iterable of ``repro.obs`` ``TraceEvent`` records (or
+    plain mappings with the same ``data`` payload) of category
+    ``"coherence"``, as emitted by ``MachineTap``.  Each event carries
+    the complete post-transition private-state map of the affected line
+    (``data["states"]``: core id -> state value) plus the per-core
+    ``data["changed"]`` triples, so every snapshot can be checked
+    independently:
+
+    * **SWMR** per snapshot: at most one M/E copy, and a sole-copy state
+      never coexists with other holders; at most one O copy, and O only
+      coexists with S/F.
+    * ``changed`` consistency: each ``[core, src, dst]`` triple must be a
+      genuine change and its destination must match the snapshot.
+
+    Snapshots are *not* required to chain into one another: victim
+    evictions of unrelated lines are untraced by design, so a core can
+    legitimately appear to drop a line between two recorded events.
+
+    Raises :class:`~repro.errors.CoherenceError` on the first violation.
+    """
+    for index, event in enumerate(events):
+        data = event.data if hasattr(event, "data") else event["data"]
+        line = data.get("line", -1)
+        states = {
+            int(core_id): CoherenceState(value)
+            for core_id, value in data["states"].items()
+        }
+        values = list(states.values())
+        strong = [s for s in values if s.sole_copy]
+        if strong and len(values) > 1:
+            raise CoherenceError(
+                f"event {index} line {line:#x}: {strong[0].value} copy "
+                f"coexists with {len(values) - 1} other private copies"
+            )
+        if len(strong) > 1:
+            raise CoherenceError(
+                f"event {index} line {line:#x}: multiple M/E copies"
+            )
+        owned = [s for s in values if s is CoherenceState.OWNED]
+        if len(owned) > 1:
+            raise CoherenceError(
+                f"event {index} line {line:#x}: multiple O copies"
+            )
+        if owned:
+            bad = [
+                s for s in values
+                if s not in (CoherenceState.OWNED, CoherenceState.SHARED,
+                             CoherenceState.FORWARD)
+            ]
+            if bad:
+                raise CoherenceError(
+                    f"event {index} line {line:#x}: O coexists with "
+                    f"{bad[0].value}"
+                )
+        for core_id, src, dst in data.get("changed", ()):
+            if src == dst:
+                raise CoherenceError(
+                    f"event {index} line {line:#x}: core {core_id} recorded "
+                    f"a no-op transition {src}->{dst}"
+                )
+            recorded = states.get(int(core_id), CoherenceState.INVALID)
+            if recorded.value != dst:
+                raise CoherenceError(
+                    f"event {index} line {line:#x}: core {core_id} "
+                    f"transition lands in {dst} but snapshot shows "
+                    f"{recorded.value}"
+                )
+
+
 def check_line(machine: Machine, paddr: int) -> None:
     """Check the invariants relevant to one line (cheaper than full walk)."""
     base = line_addr(paddr)

@@ -1,0 +1,59 @@
+"""Structured tracing and run telemetry (``repro.obs``).
+
+The paper's argument is a causal chain — coherence state transition →
+service path → latency sample → decoded bit — and this package makes
+every link of that chain observable as *typed events* instead of
+aggregate counters:
+
+* :class:`TraceRecorder` — a bounded ring buffer of
+  :class:`TraceEvent` records with a stable content digest;
+* :class:`MachineTap` — read-only interposition on a
+  :class:`~repro.mem.hierarchy.Machine` that records loads, stores,
+  flushes, interconnect hops and the coherence-state transitions of
+  every accessed line;
+* :class:`RunManifest` — the reproducibility fingerprint (seed,
+  machine, versions, fault plan, stats snapshot) attached to every
+  transmission result;
+* Chrome trace-event JSON and text-timeline exporters
+  (:func:`to_chrome_trace`, :func:`write_chrome_trace`,
+  :func:`text_timeline`).
+
+Tracing is **inert by design**: when disabled (the default) nothing is
+attached to the machine and the hot path is byte-for-byte the untraced
+code; when enabled, the tap draws no RNG and mutates no simulated state,
+so the golden determinism digests are identical with tracing on and off.
+Enable per session with ``SessionConfig(trace=True)``, globally with
+``REPRO_TRACE=1`` or the CLI's ``--trace`` flag.
+"""
+
+from repro.obs.export import (
+    text_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.recorder import (
+    DEFAULT_CAPACITY,
+    TraceEvent,
+    TraceRecorder,
+    clear_runner_recorder,
+    runner_recorder,
+    trace_enabled,
+)
+from repro.obs.tap import MachineTap
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "MachineTap",
+    "RunManifest",
+    "TraceEvent",
+    "TraceRecorder",
+    "clear_runner_recorder",
+    "runner_recorder",
+    "text_timeline",
+    "to_chrome_trace",
+    "trace_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,195 @@
+"""Trace exporters: Chrome trace-event JSON and merged text timelines.
+
+``chrome://tracing`` / Perfetto's legacy JSON importer accept the
+*JSON Object Format*: a dict with a ``traceEvents`` list whose entries
+carry ``name``/``ph``/``ts``/``pid``/``tid``.  Timestamps are nominally
+microseconds; we write simulated cycles directly, so one viewer
+"microsecond" is one simulated cycle (noted in ``otherData``).
+
+:func:`text_timeline` renders the same stream as terminal text, merged
+chronologically with the spy's latency samples so the causal chain —
+flush, transition, service path, timed sample — reads top to bottom.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.obs.recorder import TraceEvent, TraceRecorder
+
+#: Category -> Chrome "thread" lane, in display order.
+_LANES = {
+    "phase": 0,
+    "load": 1,
+    "store": 2,
+    "flush": 3,
+    "coherence": 4,
+    "hop": 5,
+    "fault": 6,
+    "runner": 7,
+}
+
+_PHASES_ALLOWED = {"B", "E", "i", "M", "X"}
+
+
+def _as_events(events) -> list[TraceEvent]:
+    if isinstance(events, TraceRecorder):
+        return events.events()
+    return list(events)
+
+
+def to_chrome_trace(
+    events: TraceRecorder | Iterable[TraceEvent],
+    manifest=None,
+) -> dict:
+    """Build a Chrome trace-event JSON object from an event stream.
+
+    Phase events carrying ``data["mark"]`` of ``"B"``/``"E"`` become
+    duration begin/end pairs; everything else becomes a thread-scoped
+    instant event.  *manifest* (a :class:`~repro.obs.manifest.RunManifest`
+    or its ``to_json`` dict) lands in ``otherData``.
+    """
+    trace_events: list[dict] = []
+    for category, tid in _LANES.items():
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": category},
+        })
+    for event in _as_events(events):
+        tid = _LANES.get(event.category, len(_LANES))
+        record = {
+            "name": event.name,
+            "cat": event.category,
+            "ts": float(event.ts),
+            "pid": 1,
+            "tid": tid,
+            "args": dict(event.data),
+        }
+        mark = event.data.get("mark") if event.category == "phase" else None
+        if mark in ("B", "E"):
+            record["ph"] = mark
+            record["args"] = {
+                k: v for k, v in event.data.items() if k != "mark"
+            }
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    other: dict = {"timeUnit": "simulated cycles (1 cycle = 1 viewer us)"}
+    if manifest is not None:
+        other["manifest"] = (
+            manifest if isinstance(manifest, dict) else manifest.to_json()
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def validate_chrome_trace(obj) -> None:
+    """Raise :class:`ValueError` unless *obj* is viewer-loadable JSON.
+
+    Checks the JSON Object Format contract the Chrome trace viewer and
+    Perfetto's legacy importer actually enforce: a ``traceEvents`` list
+    whose entries are dicts with a string ``name``, a known ``ph``, a
+    numeric ``ts`` and integer ``pid``/``tid``, with begin/end phase
+    marks balanced per (pid, tid).
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    depth: dict[tuple, int] = {}
+    for i, record in enumerate(events):
+        if not isinstance(record, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        if not isinstance(record.get("name"), str):
+            raise ValueError(f"traceEvents[{i}] has no string 'name'")
+        ph = record.get("ph")
+        if ph not in _PHASES_ALLOWED:
+            raise ValueError(f"traceEvents[{i}] has unknown ph {ph!r}")
+        if ph != "M":
+            if not isinstance(record.get("ts"), (int, float)):
+                raise ValueError(f"traceEvents[{i}] has no numeric 'ts'")
+        for key in ("pid", "tid"):
+            if not isinstance(record.get(key), int):
+                raise ValueError(f"traceEvents[{i}] has no integer {key!r}")
+        if ph in ("B", "E"):
+            lane = (record["pid"], record["tid"])
+            depth[lane] = depth.get(lane, 0) + (1 if ph == "B" else -1)
+            if depth[lane] < 0:
+                raise ValueError(
+                    f"traceEvents[{i}]: 'E' without matching 'B' on {lane}"
+                )
+    unbalanced = {lane: d for lane, d in depth.items() if d != 0}
+    if unbalanced:
+        raise ValueError(f"unbalanced B/E phase marks: {unbalanced}")
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: TraceRecorder | Iterable[TraceEvent],
+    manifest=None,
+) -> Path:
+    """Validate and write a Chrome trace JSON file; returns the path."""
+    trace = to_chrome_trace(events, manifest=manifest)
+    validate_chrome_trace(trace)
+    out = Path(path)
+    out.write_text(json.dumps(trace, indent=1, default=str) + "\n")
+    return out
+
+
+def _summarize(data: dict) -> str:
+    parts = []
+    for key, value in data.items():
+        if key == "line" and isinstance(value, int):
+            parts.append(f"line={value:#x}")
+        elif isinstance(value, float):
+            parts.append(f"{key}={value:.1f}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def text_timeline(
+    events: TraceRecorder | Iterable[TraceEvent],
+    samples: Sequence | None = None,
+    max_rows: int | None = None,
+) -> str:
+    """Render events (and optionally spy samples) as a merged timeline.
+
+    Rows are ordered by timestamp; each is ``cycles | category | name |
+    payload``.  *samples* (``repro.channel.decoder.Sample`` records, the
+    stream :mod:`repro.analysis.trace` exports) appear as ``sample``
+    rows, so a run's trace and its reception trace line up in one view.
+    """
+    rows: list[tuple[float, int, str]] = []
+    for order, event in enumerate(_as_events(events)):
+        rows.append((
+            float(event.ts),
+            order,
+            f"{event.ts:14.1f} | {event.category:9s} | {event.name:14s} | "
+            f"{_summarize(event.data)}",
+        ))
+    if samples:
+        for order, sample in enumerate(samples):
+            path = getattr(sample.path, "value", sample.path)
+            rows.append((
+                float(sample.timestamp),
+                1_000_000_000 + order,
+                f"{sample.timestamp:14.1f} | {'sample':9s} | "
+                f"{sample.label:14s} | latency={sample.latency:.1f} "
+                f"path={path if path is not None else '-'}",
+            ))
+    rows.sort(key=lambda row: (row[0], row[1]))
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    header = f"{'cycles':>14s} | {'category':9s} | {'event':14s} | detail"
+    return "\n".join([header, *[text for _ts, _order, text in rows]])

@@ -65,6 +65,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.faults.harness import apply_worker_fault
+from repro.obs.recorder import runner_now, runner_recorder
 from repro.runner.cache import ResultCache
 from repro.runner.spec import (
     ExperimentSpec,
@@ -335,6 +336,14 @@ class Runner:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
+        # Bound once: None when tracing is disabled, so the scheduling
+        # paths carry a single attribute test and no environment reads.
+        self._recorder = runner_recorder()
+
+    def _emit(self, name: str, **data) -> None:
+        """Record one runner-lifecycle trace event (no-op when untraced)."""
+        if self._recorder is not None:
+            self._recorder.emit(runner_now(), "runner", name, data)
 
     # -- public API -----------------------------------------------------
 
@@ -351,12 +360,17 @@ class Runner:
         total = len(spec.points)
         slots: list[PointOutcome | None] = [None] * total
         report = RunReport(spec=spec)
+        self._emit(
+            "run-start", experiment=spec.experiment, points=total,
+            jobs=self.jobs,
+        )
 
         pending: list[int] = []
         for index, point in enumerate(spec.points):
             if self.cache is not None:
                 hit, value = self.cache.lookup(point)
                 if hit:
+                    self._emit("cache-hit", index=index)
                     slots[index] = self._completed(
                         index, total, point, value, 0.0, cached=True
                     )
@@ -370,6 +384,11 @@ class Runner:
 
         report.outcomes = [s for s in slots if s is not None]
         report.wall_seconds = time.perf_counter() - started
+        self._emit(
+            "run-end", experiment=spec.experiment,
+            completed=len(report.outcomes),
+            respawns=report.pool_respawns,
+        )
         return report
 
     # -- internals ------------------------------------------------------
@@ -393,6 +412,10 @@ class Runner:
             for attempt in range(policy.retries + 1):
                 event = self._fault_for(index, attempt)
                 fault = event.to_json() if event is not None else None
+                self._emit(
+                    "dispatch", index=index, attempt=attempt + 1,
+                    mode="serial",
+                )
                 try:
                     if fault is not None and fault["kind"] == "worker_kill":
                         # There is no worker to kill in-process; degrade
@@ -411,6 +434,10 @@ class Runner:
                     error = PointExecutionError(point.describe(), exc)
                     error.__cause__ = exc
                     if attempt < policy.retries:
+                        self._emit(
+                            "retry", index=index, attempt=attempt + 1,
+                            error=type(exc).__name__,
+                        )
                         time.sleep(
                             policy.backoff_seconds(point.describe(), attempt + 1)
                         )
@@ -458,6 +485,9 @@ class Runner:
                 fault = event.to_json() if event is not None else None
                 attempts[index] += 1
                 items.append((index, point.fn, dict(point.params), fault))
+            self._emit(
+                "dispatch", indices=list(indices), mode="pool",
+            )
             try:
                 future = pool.submit(_timed_chunk, items, policy.timeout)
             except BrokenExecutor:
@@ -546,6 +576,7 @@ class Runner:
                     futures.clear()
                     pool.shutdown(wait=False)
                     report.pool_respawns += 1
+                    self._emit("pool-respawn", lost=sorted(crashed))
                     pool = ProcessPoolExecutor(max_workers=workers)
                     for index in sorted(crashed):
                         point = spec.points[index]
@@ -568,6 +599,9 @@ class Runner:
                     if aborting:
                         terminal(index, error)
                         continue
+                    self._emit(
+                        "retry", index=index, attempt=attempts[index],
+                    )
                     time.sleep(
                         policy.backoff_seconds(
                             spec.points[index].describe(), attempts[index]
@@ -605,6 +639,11 @@ class Runner:
             cached=cached,
             attempts=attempts,
             error=error,
+        )
+        self._emit(
+            "point-failed" if error is not None else "point-complete",
+            index=index, cached=cached, attempts=attempts,
+            seconds=round(seconds, 6),
         )
         if self.progress is not None:
             self.progress(outcome)

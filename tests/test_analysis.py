@@ -180,6 +180,26 @@ def test_trace_csv_roundtrip(tmp_path):
     assert "*" in timeline and "o" in timeline and "." in timeline
 
 
+def test_trace_csv_preserves_plain_string_paths():
+    """Regression: a round-tripped trace carries plain-string paths;
+    re-serializing it used to collapse them to the empty string."""
+    from repro.analysis.trace import samples_from_csv, samples_to_csv
+    from repro.channel.decoder import Sample
+
+    samples = [
+        Sample(timestamp=1000.0, latency=98.4, label="b",
+               path="local_shared"),
+        Sample(timestamp=2200.0, latency=321.0, label="x", path=None),
+    ]
+    text = samples_to_csv(samples)
+    assert ",local_shared" in text
+    again = samples_from_csv(text)
+    assert again[0].path == "local_shared"
+    assert again[1].path is None
+    # Fixed point: a second round trip is byte-identical.
+    assert samples_to_csv(again) == text
+
+
 def test_ascii_timeline_clamps_out_of_range():
     from repro.analysis.trace import ascii_timeline
     from repro.channel.decoder import Sample

@@ -22,7 +22,8 @@ def test_run_all_shape(quick_report):
     assert quick_report["quick"] is True
     bench = quick_report["benchmarks"]
     assert set(bench) == {
-        "engine_micro", "fig8_point", "noise_point", "grid_sweep"
+        "engine_micro", "fig8_point", "noise_point", "grid_sweep",
+        "trace_overhead",
     }
     micro = bench["engine_micro"]
     assert micro["events"] > 0
@@ -45,6 +46,14 @@ def test_run_all_shape(quick_report):
             if mode != "reference")
     )
     assert 0 < grid["cache_bytes"] <= grid["cache_bytes_legacy"]
+    trace = bench["trace_overhead"]
+    assert trace["baseline_wall_s"] > 0
+    assert trace["disabled_wall_s"] > 0
+    assert trace["enabled_wall_s"] > 0
+    assert trace["traced_events"] > 0
+    assert trace["disabled_overhead"] == pytest.approx(
+        trace["disabled_wall_s"] / trace["baseline_wall_s"] - 1.0
+    )
 
 
 def test_report_roundtrip(quick_report, tmp_path):
@@ -76,6 +85,19 @@ def test_check_regression_custom_threshold():
     assert check_regression(
         _report(95_000.0), _report(100_000.0), max_regression=0.02
     )
+
+
+def test_check_regression_trace_overhead_gate():
+    current = _report(100_000.0)
+    current["benchmarks"]["trace_overhead"] = {"disabled_overhead": 0.05}
+    problems = check_regression(current, _report(100_000.0))
+    assert len(problems) == 1
+    assert "trace_overhead" in problems[0]
+    current["benchmarks"]["trace_overhead"] = {"disabled_overhead": 0.005}
+    assert check_regression(current, _report(100_000.0)) == []
+    # Negative overhead (disabled faster than baseline: pure noise) passes.
+    current["benchmarks"]["trace_overhead"] = {"disabled_overhead": -0.01}
+    assert check_regression(current, _report(100_000.0)) == []
 
 
 def test_check_regression_malformed_baseline():

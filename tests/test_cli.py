@@ -51,3 +51,47 @@ def test_experiment_names_resolve():
     for module_name in EXPERIMENTS.values():
         module = importlib.import_module(f"repro.experiments.{module_name}")
         assert callable(module.main)
+
+
+def test_trace_export_chrome(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    out = tmp_path / "trace.json"
+    assert main(["trace", "export", "--format", "chrome",
+                 "--output", str(out), "--bits", "4",
+                 "--scenario", "LExclc-LSharedb"]) == 0
+    captured = capsys.readouterr()
+    assert f"wrote {out}" in captured.out
+    trace = json.loads(out.read_text())
+    validate_chrome_trace(trace)
+    manifest = trace["otherData"]["manifest"]
+    assert manifest["seed"] == 7
+    assert manifest["scenario"] == "LExclc-LSharedb"
+    assert manifest["traced_events"] > 0
+
+
+def test_trace_export_text(capsys):
+    assert main(["trace", "export", "--format", "text", "--bits", "2",
+                 "--scenario", "LExclc-LSharedb"]) == 0
+    captured = capsys.readouterr()
+    assert "recorded" in captured.err
+    lines = captured.out.splitlines()
+    assert lines[0].lstrip().startswith("cycles")
+    assert any("sample" in line for line in lines)
+    assert any("coherence" in line for line in lines)
+
+
+def test_trace_export_rejects_bad_rate(capsys):
+    with pytest.raises(SystemExit):
+        main(["trace", "export", "--rate", "0"])
+
+
+def test_global_trace_flag_sets_environment(monkeypatch, capsys):
+    import os
+
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    assert main(["--trace", "list"]) == 0
+    assert os.environ["REPRO_TRACE"] == "1"
+    assert "fig8" in capsys.readouterr().out

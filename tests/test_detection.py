@@ -1,6 +1,7 @@
 """Tests for the covert-channel detection subsystem."""
 
 import numpy as np
+import pytest
 
 from repro.channel.config import TABLE_I
 from repro.channel.session import ChannelSession, SessionConfig
@@ -184,6 +185,130 @@ def test_modulation_detector_rejects_poisson():
     detector = ModulationDetector()
     score, _reason = detector.score(monitor, 0, t)
     assert score == 0.0
+
+
+class StubMonitor:
+    """A monitor with one line whose activity is written directly.
+
+    ``window=1e6`` makes rates trivially readable: N events in the
+    window is N per Mcycle.
+    """
+
+    LINE = 0x9000
+
+    def __init__(self):
+        from repro.detection.events import LineActivity
+
+        self.lines = {self.LINE: LineActivity(window=1e6)}
+
+    def fill(self, *, flushes=0, downgrades=0, cores=1, now=1e6):
+        activity = self.lines[self.LINE]
+        for i in range(flushes):
+            activity.flushes.append(now - 1 - i % 1000)
+        for i in range(downgrades):
+            activity.downgrades.append(now - 1 - i % 1000)
+        for i in range(max(cores, 1) * 3):
+            activity.loads.append((now - 1 - i, i % cores))
+        return self
+
+
+def test_flush_storm_score_at_exact_threshold():
+    detector = FlushStormDetector(threshold_per_mcycle=50.0)
+    below = StubMonitor().fill(flushes=49)
+    score, reason = detector.score(below, StubMonitor.LINE, 1e6)
+    assert score == 0.0 and reason is None
+    at = StubMonitor().fill(flushes=50)
+    score, reason = detector.score(at, StubMonitor.LINE, 1e6)
+    assert score == pytest.approx(0.25)
+    assert "flush storm" in reason
+
+
+def test_flush_storm_score_saturates_at_one():
+    detector = FlushStormDetector(threshold_per_mcycle=50.0)
+    at_cap = StubMonitor().fill(flushes=200)
+    score, _ = detector.score(at_cap, StubMonitor.LINE, 1e6)
+    assert score == 1.0
+    past_cap = StubMonitor().fill(flushes=500)
+    score, _ = detector.score(past_cap, StubMonitor.LINE, 1e6)
+    assert score == 1.0
+
+
+def test_ping_pong_boundaries():
+    detector = PingPongDetector(downgrade_threshold=25.0, max_core_set=5)
+    line = StubMonitor.LINE
+    # One downgrade short of the threshold: silent.
+    score, _ = detector.score(
+        StubMonitor().fill(downgrades=24, cores=2), line, 1e6)
+    assert score == 0.0
+    # Exactly at the rate threshold with the max core set: flagged.
+    score, reason = detector.score(
+        StubMonitor().fill(downgrades=25, cores=5), line, 1e6)
+    assert score == pytest.approx(0.25)
+    assert "ping-pong among 5 cores" in reason
+    # One core too many: wide benign sharing, silent.
+    score, _ = detector.score(
+        StubMonitor().fill(downgrades=25, cores=6), line, 1e6)
+    assert score == 0.0
+    # Saturation.
+    score, _ = detector.score(
+        StubMonitor().fill(downgrades=400, cores=3), line, 1e6)
+    assert score == 1.0
+
+
+def lattice_monitor(n_events, off_lattice=0, slot=1200.0):
+    """Downgrades with ``n_events - 1`` gaps, *off_lattice* of them at
+    1.5 slots (half-way between lattice points, always rejected)."""
+    monitor = StubMonitor()
+    gaps = ([slot * 1.5] * off_lattice
+            + [slot] * (n_events - 1 - off_lattice))
+    t = slot
+    downgrades = monitor.lines[StubMonitor.LINE].downgrades
+    downgrades.append(t)
+    for gap in gaps:
+        t += gap
+        downgrades.append(t)
+    return monitor, t
+
+
+def test_modulation_needs_min_events():
+    detector = ModulationDetector(min_events=24)
+    # 23 perfectly quantized events: one short, silent.
+    monitor, now = lattice_monitor(23)
+    score, _ = detector.score(monitor, StubMonitor.LINE, now)
+    assert score == 0.0
+    # 24: scored, and a perfect lattice scores 1.0.
+    monitor, now = lattice_monitor(24)
+    score, reason = detector.score(monitor, StubMonitor.LINE, now)
+    assert score == 1.0
+    assert "modulation" in reason
+
+
+def test_modulation_lattice_fraction_boundary():
+    detector = ModulationDetector(min_events=24, lattice_fraction=0.7)
+    # 23 gaps, 7 off-lattice -> 16/23 ~= 0.696 < 0.7: silent.
+    monitor, now = lattice_monitor(24, off_lattice=7)
+    score, _ = detector.score(monitor, StubMonitor.LINE, now)
+    assert score == 0.0
+    # 6 off-lattice -> 17/23 ~= 0.739 >= 0.7: flagged with the fraction.
+    monitor, now = lattice_monitor(24, off_lattice=6)
+    score, _ = detector.score(monitor, StubMonitor.LINE, now)
+    assert score == pytest.approx(17 / 23)
+
+
+def test_channel_detector_flag_threshold_boundary():
+    # Flush storm alone at saturation contributes exactly 1.0 — equal to
+    # the default flag_threshold, so the line is flagged (>= comparison).
+    monitor = StubMonitor().fill(flushes=200, cores=2)
+    detections = ChannelDetector(monitor).scan(1e6)
+    assert [d.line for d in detections] == [StubMonitor.LINE]
+    assert detections[0].score == pytest.approx(1.0)
+    assert detections[0].flush_rate == pytest.approx(200.0)
+    # A sub-threshold score with a reason attached stays unflagged...
+    weak = StubMonitor().fill(flushes=50, cores=2)
+    assert ChannelDetector(weak).scan(1e6) == []
+    # ...unless the operator lowers the threshold.
+    sensitive = ChannelDetector(weak, flag_threshold=0.25)
+    assert [d.line for d in sensitive.scan(1e6)] == [StubMonitor.LINE]
 
 
 def test_ping_pong_detector_needs_small_core_set(machine):

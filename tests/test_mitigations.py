@@ -101,3 +101,74 @@ def test_obfuscation_leaves_other_cores_untouched():
     session = make_session(scenario=scenario_by_name("LExclc-LSharedb"))
     attach_obfuscator(session.machine, {11})  # some unrelated core
     assert safe_accuracy(session) == 1.0
+
+
+def test_ksm_policy_rate_boundary():
+    """The un-merge fires exactly at the configured flush rate."""
+    session = make_session()
+    policy = KsmTimeoutPolicy()  # check_interval 200k, threshold 50/Mcycle
+    # 9 flushes per 200k cycles -> 45/Mcycle: one flush short, no action.
+    assert policy.evaluate(session.kernel, flushes_delta=9) == 0
+    assert not policy.triggered
+    assert (session.trojan_proc.translate(session.trojan_va)
+            == session.spy_proc.translate(session.spy_va))
+    # 10 -> exactly 50/Mcycle: at the threshold the policy fires.
+    broken = policy.evaluate(session.kernel, flushes_delta=10)
+    assert policy.triggered
+    assert broken >= 1
+    assert policy.unmerged_pages == broken
+    assert (session.trojan_proc.translate(session.trojan_va)
+            != session.spy_proc.translate(session.spy_va))
+
+
+def test_ksm_policy_second_round_finds_nothing_to_unmerge():
+    session = make_session()
+    policy = KsmTimeoutPolicy()
+    first = policy.evaluate(session.kernel, flushes_delta=1_000)
+    assert first >= 1
+    # Everything is already torn apart; a second storm breaks nothing new.
+    assert policy.evaluate(session.kernel, flushes_delta=1_000) == 0
+    assert policy.unmerged_pages == first
+
+
+def test_ksm_policy_interval_scales_the_rate():
+    """The same delta means a different rate under a longer interval."""
+    session = make_session()
+    relaxed = KsmTimeoutPolicy(check_interval=1_000_000.0)
+    # 10 flushes over 1M cycles is only 10/Mcycle: benign.
+    assert relaxed.evaluate(session.kernel, flushes_delta=10) == 0
+    assert not relaxed.triggered
+    # 50 over 1M cycles sits exactly at the threshold again.
+    assert relaxed.evaluate(session.kernel, flushes_delta=50) >= 1
+    assert relaxed.triggered
+
+
+def test_hardened_config_preserves_base_and_does_not_mutate():
+    from repro.mem.hierarchy import MachineConfig
+
+    base = MachineConfig(home_agent=True)
+    hardened = hardened_machine_config(base)
+    assert hardened.llc_direct_e_response
+    assert hardened.home_agent
+    assert not base.llc_direct_e_response  # base untouched
+    assert not MachineConfig().llc_direct_e_response
+
+
+def test_obfuscator_default_bounds_cover_coherence_bands():
+    session = make_session()
+    profile = session.machine.config.latency
+    policy = attach_obfuscator(session.machine, {0, 1})
+    assert session.machine.obfuscation is policy
+    assert policy.lo == profile.local_shared - 10.0
+    assert policy.hi == profile.remote_excl + 20.0
+    assert policy.lo < profile.local_excl < policy.hi
+    assert policy.lo < profile.remote_shared < policy.hi
+
+
+def test_obfuscator_explicit_bounds_and_core_set_copy():
+    session = make_session()
+    cores = {3}
+    policy = attach_obfuscator(session.machine, cores, lo=100.0, hi=200.0)
+    assert (policy.lo, policy.hi) == (100.0, 200.0)
+    cores.add(7)  # caller's set is copied, not aliased
+    assert policy.suspicious_cores == {3}
