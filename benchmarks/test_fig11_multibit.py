@@ -23,7 +23,7 @@ def test_fig11_speedup_over_binary(once):
     def run():
         payload = payload_bits(100)
         binary = ChannelSession(SessionConfig(
-            scenario=scenario_by_name("RExclc-LSharedb"),
+            spec="RExclc-LSharedb",
             params=ProtocolParams().at_rate(1100),
             seed=0,
         )).transmit(payload)

@@ -39,18 +39,18 @@ def main() -> None:
     print(f"Attack: {scenario.name}, {len(PAYLOAD)}-bit secret\n")
 
     session = ChannelSession(SessionConfig(
-        scenario=scenario, seed=3, params=PARAMS))
+        spec=scenario.name, seed=3, params=PARAMS))
     print(f"undefended           : {attempt(session)}")
 
     session = ChannelSession(SessionConfig(
-        scenario=scenario, seed=3, params=PARAMS))
+        spec=scenario.name, seed=3, params=PARAMS))
     paddr = session.spy_proc.translate(session.spy_va)
     deploy_noise_injector(session.kernel, paddr, core_id=4,
                           period=PARAMS.slot_cycles / 4)
     print(f"noise injector       : {attempt(session)}")
 
     session = ChannelSession(SessionConfig(
-        scenario=scenario, seed=3, params=PARAMS))
+        spec=scenario.name, seed=3, params=PARAMS))
     _thread, policy = deploy_ksm_timeout(session.kernel)
     outcome = attempt(session)
     print(f"KSM timeout          : {outcome} "
@@ -59,7 +59,7 @@ def main() -> None:
 
     try:
         session = ChannelSession(SessionConfig(
-            scenario=scenario, seed=3, params=PARAMS,
+            spec=scenario.name, seed=3, params=PARAMS,
             machine=hardened_machine_config()))
         print(f"LLC direct E response: {attempt(session)}")
     except CalibrationError:
@@ -68,7 +68,7 @@ def main() -> None:
 
     try:
         session = ChannelSession(SessionConfig(
-            scenario=scenario, seed=3, params=PARAMS))
+            spec=scenario.name, seed=3, params=PARAMS))
         attach_obfuscator(session.machine, {session.config.spy_core})
         session.bands = session._calibrate()
         print(f"timing obfuscation   : {attempt(session)}")

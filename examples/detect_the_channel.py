@@ -19,7 +19,7 @@ from repro.sim.rng import RngStreams
 
 def watch_attack() -> None:
     scenario = scenario_by_name("RExclc-LSharedb")
-    session = ChannelSession(SessionConfig(scenario=scenario, seed=5))
+    session = ChannelSession(SessionConfig(spec=scenario.name, seed=5))
     monitor = EventMonitor(session.machine)
     monitor.attach()
     session.transmit(payload_bits(48))

@@ -43,7 +43,7 @@ def main() -> None:
 
     # Covert key transfer through the coherence channel.
     scenario = scenario_by_name("RExclc-LSharedb")
-    session = ChannelSession(SessionConfig(scenario=scenario, seed=7))
+    session = ChannelSession(SessionConfig(spec=scenario.name, seed=7))
     print(f"\nTransmitting 128-bit key over {scenario.name} "
           f"({scenario.local_threads} local + {scenario.remote_threads} "
           "remote trojan threads)...")

@@ -25,7 +25,7 @@ def binary_row(scenario_name: str) -> str:
     cells = []
     for rate in RATES:
         session = ChannelSession(SessionConfig(
-            scenario=scenario_by_name(scenario_name),
+            spec=scenario_name,
             params=ProtocolParams().at_rate(rate),
             seed=3,
         ))

@@ -18,7 +18,7 @@ from repro.experiments.common import payload_bits
 def main() -> None:
     scenario = TABLE_I[0]
     session = ChannelSession(SessionConfig(
-        scenario=scenario,
+        spec=scenario.name,
         params=ProtocolParams.for_eviction_flush(),
         seed=13,
         flush_method="evict",

@@ -26,7 +26,7 @@ RATE = 350
 
 def raw_transfer(noise_threads: int) -> None:
     session = ChannelSession(SessionConfig(
-        scenario=SCENARIO,
+        spec=SCENARIO.name,
         params=ProtocolParams().at_rate(RATE),
         seed=11,
         noise_threads=noise_threads,

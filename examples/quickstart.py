@@ -30,7 +30,7 @@ def main() -> None:
     scenario = TABLE_I[0]
     print(f"Scenario: {scenario.name} "
           f"({scenario.total_threads} trojan threads)")
-    session = ChannelSession(SessionConfig(scenario=scenario, seed=42))
+    session = ChannelSession(SessionConfig(spec=scenario.name, seed=42))
     print("Shared page established via KSM dedup: "
           f"trojan VA {session.trojan_va:#x} and spy VA "
           f"{session.spy_va:#x} -> same physical frame")

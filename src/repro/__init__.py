@@ -15,9 +15,15 @@ A from-scratch reproduction of Yao, Doroslovacki and Venkataramani,
 
 Quickstart::
 
-    from repro import TABLE_I, run_transmission
-    result = run_transmission(TABLE_I[0], [1, 0, 1, 1, 0])
+    from repro import run_transmission
+    result = run_transmission("LExclc-LSharedb", [1, 0, 1, 1, 0])
     print(result.received, result.accuracy, result.achieved_rate_kbps)
+
+Beyond the paper's snoop-MESI cells, :data:`repro.channel.SCENARIOS`
+registers the whole (protocol x channel x topology) matrix — e.g.
+``run_transmission("moesi-ostate", ...)`` for the MOESI dirty-sharer
+channel or ``"dir-es"`` for the home-node directory backend; the
+``leaderboard`` driver reports every cell.
 """
 
 from repro.channel import (
@@ -27,13 +33,17 @@ from repro.channel import (
     MultiBitSession,
     ProtocolParams,
     ReliableChannel,
+    SCENARIOS,
     Scenario,
+    ScenarioSpec,
     SessionConfig,
     SymbolParams,
     TransmissionResult,
     calibrate,
+    matrix_cell,
     run_transmission,
     scenario_by_name,
+    scenario_spec_by_name,
 )
 from repro.errors import ReproError
 from repro.kernel import Kernel
@@ -49,9 +59,10 @@ from repro.mem import (
 from repro.obs import RunManifest, TraceRecorder
 from repro.sim import RngStreams, Simulator
 
-# 1.3.0: TransmissionResult grew a RunManifest attachment — the bump
-# salts the result cache so pre-manifest pickles are never resurfaced.
-__version__ = "1.3.0"
+# 1.4.0: the ScenarioSpec registry (protocol x channel x topology), the
+# directory coherence backend and the O-state/LRU channels — the bump
+# salts the result cache because session construction semantics changed.
+__version__ = "1.4.0"
 
 __all__ = [
     "CLOCK_HZ",
@@ -69,7 +80,9 @@ __all__ = [
     "ReproError",
     "RngStreams",
     "RunManifest",
+    "SCENARIOS",
     "Scenario",
+    "ScenarioSpec",
     "SessionConfig",
     "Simulator",
     "SymbolParams",
@@ -78,6 +91,8 @@ __all__ = [
     "TransmissionResult",
     "calibrate",
     "check_machine",
+    "matrix_cell",
     "run_transmission",
     "scenario_by_name",
+    "scenario_spec_by_name",
 ]

@@ -57,7 +57,6 @@ def engine_micro(
     A fresh session is built per repeat (so cache/coherence state never
     leaks between repeats) and only :meth:`transmit` is timed.
     """
-    from repro.channel.config import scenario_by_name
     from repro.channel.session import ChannelSession, SessionConfig
 
     payload = _payload(bits)
@@ -65,7 +64,7 @@ def engine_micro(
     events = 0
     for _ in range(max(1, repeats)):
         session = ChannelSession(SessionConfig(
-            scenario=scenario_by_name("LExclc-LSharedb"),
+            spec="LExclc-LSharedb",
             seed=seed,
             calibration_samples=200,
         ))
@@ -145,14 +144,13 @@ def trace_overhead(
     """
     import os
 
-    from repro.channel.config import scenario_by_name
     from repro.channel.session import ChannelSession, SessionConfig
 
     payload = _payload(bits)
 
     def one(trace: bool | None) -> tuple[float, int]:
         session = ChannelSession(SessionConfig(
-            scenario=scenario_by_name("LExclc-LSharedb"),
+            spec="LExclc-LSharedb",
             seed=seed,
             calibration_samples=200,
             trace=trace,

@@ -4,6 +4,9 @@ Public surface:
 
 * :data:`~repro.channel.config.TABLE_I` and
   :class:`~repro.channel.config.Scenario` — the six attack scenarios.
+* :class:`~repro.channel.scenarios.ScenarioSpec` /
+  :data:`~repro.channel.scenarios.SCENARIOS` — the typed scenario
+  registry spanning (protocol x channel family x topology).
 * :class:`~repro.channel.session.ChannelSession` /
   :func:`~repro.channel.session.run_transmission` — end-to-end binary
   transmission (Algorithms 1 and 2).
@@ -24,7 +27,10 @@ from repro.channel.calibration import (
 )
 from repro.channel.config import (
     ALL_PAIRS,
+    LCOLD,
     LEXCL,
+    LMRU,
+    LOWNED,
     LSHARED,
     REXCL,
     RSHARED,
@@ -35,6 +41,16 @@ from repro.channel.config import (
     Scenario,
     StatePair,
     scenario_by_name,
+)
+from repro.channel.scenarios import (
+    CHANNEL_FAMILIES,
+    MATRIX_COLS,
+    MATRIX_ROWS,
+    SCENARIOS,
+    TOPOLOGIES,
+    ScenarioSpec,
+    matrix_cell,
+    scenario_spec_by_name,
 )
 from repro.channel.decoder import BitDecoder, DecodeReport, Sample
 from repro.channel.eviction import (
@@ -60,6 +76,7 @@ from repro.channel.session import (
     SessionConfig,
     TransmissionResult,
     execute_point,
+    resolve_spec,
     run_transmission,
 )
 from repro.channel.spy import SpyResult, eviction_flusher, spy_program
@@ -97,15 +114,23 @@ __all__ = [
     "LineState",
     "Location",
     "MultiBitSession",
+    "CHANNEL_FAMILIES",
+    "LCOLD",
+    "LMRU",
+    "LOWNED",
+    "MATRIX_COLS",
+    "MATRIX_ROWS",
     "PACKET_DATA_BYTES",
     "ProtocolParams",
     "REXCL",
     "RSHARED",
     "ReliableChannel",
     "ReliableTransferResult",
+    "SCENARIOS",
     "SYMBOL_PAIRS",
     "Sample",
     "Scenario",
+    "ScenarioSpec",
     "SessionBase",
     "SessionConfig",
     "SpyResult",
@@ -116,6 +141,7 @@ __all__ = [
     "SyncParams",
     "SyncResult",
     "TABLE_I",
+    "TOPOLOGIES",
     "TransmissionResult",
     "TrojanControl",
     "WorkerRole",
@@ -127,13 +153,16 @@ __all__ = [
     "controller_program",
     "encode_packet",
     "goodput_kbps",
+    "matrix_cell",
     "measure_dram",
     "measure_pair",
     "raw_bit_accuracy",
+    "resolve_spec",
     "run_synchronization",
     "execute_point",
     "run_transmission",
     "scenario_by_name",
+    "scenario_spec_by_name",
     "spy_program",
     "symbols_to_bits",
     "transmission_rate_kbps",

@@ -81,7 +81,15 @@ class LatencyBands:
     dram: Band | None = None
 
     def band_for(self, pair: StatePair) -> Band:
-        """The band calibrated for *pair* (KeyError if not calibrated)."""
+        """The band calibrated for *pair* (KeyError if not calibrated).
+
+        A COLD pair has no placement of its own — an evicted block
+        reloads from memory — so the DRAM band is its signature.
+        """
+        if pair.state is LineState.COLD:
+            if self.dram is None:
+                raise KeyError(pair)
+            return self.dram
         return self.bands[pair]
 
     def classify(self, latency: float) -> StatePair | str | None:
@@ -126,6 +134,18 @@ def _place_pair(
     impossible burst at a single instant).
     """
     cores = local_cores if pair.location is Location.LOCAL else remote_cores
+    if pair.state is LineState.COLD:
+        # COLD is the absence of placement: leave the line flushed.
+        return 0.0
+    if pair.state is LineState.OWNED:
+        # Dirty the line, then have a second core's read pull the owner
+        # into O (on MOESI; MESI-family machines write back and demote
+        # to S instead, which is exactly the divergence the O-state
+        # channel's calibration detects as an unusable band overlap).
+        store_latency, _p = machine.store(cores[0], paddr, 1, now)
+        elapsed = store_latency
+        _v, latency, _p = machine.load(cores[1], paddr, now + elapsed)
+        return elapsed + latency
     _v, latency, _p = machine.load(cores[0], paddr, now)
     elapsed = latency
     if pair.state is LineState.SHARED:
@@ -211,16 +231,33 @@ def calibrate(
     percentiles: tuple[float, float] = (2.0, 98.0),
     pad: float = BAND_PAD,
     include_dram: bool = True,
+    extra_pairs: tuple[StatePair, ...] = (),
 ) -> tuple[LatencyBands, dict[str, np.ndarray]]:
     """Calibrate every measurable band; returns (bands, raw samples).
 
     The raw sample arrays (keyed by pair notation and ``"dram"``) are what
     Figure 2's CDFs are drawn from.
+
+    *extra_pairs* are non-standard pairs (O-state, MRU) a scenario needs
+    beyond :data:`ALL_PAIRS`.  They are measured strictly *after* the
+    four standard pairs: the RNG draw order of a session with no extras
+    must stay bit-identical to the pre-extras code (golden digests).
     """
     bands = LatencyBands()
     raw: dict[str, np.ndarray] = {}
     multi_socket = machine.config.n_sockets >= 2
     for pair in ALL_PAIRS:
+        if pair.location is Location.REMOTE and not multi_socket:
+            continue
+        machine.interconnect.reset()
+        data = measure_pair(machine, pair, paddr, samples, spy_core)
+        raw[pair.notation] = data
+        lo = float(np.percentile(data, percentiles[0])) - pad
+        hi = float(np.percentile(data, percentiles[1])) + pad
+        bands.bands[pair] = Band(label=pair.notation, lo=lo, hi=hi)
+    for pair in extra_pairs:
+        if pair in bands.bands:
+            continue
         if pair.location is Location.REMOTE and not multi_socket:
             continue
         machine.interconnect.reset()
@@ -279,6 +316,7 @@ def calibrate_memoized(
     paddr: int,
     samples: int,
     spy_core: int,
+    extra_pairs: tuple[StatePair, ...] = (),
 ) -> LatencyBands:
     """Calibrate *machine*, reusing a memoized pass when *key* matches.
 
@@ -305,7 +343,8 @@ def calibrate_memoized(
         machine.rng.restore(states)
         return _clone_bands(bands)
     bands, _raw = calibrate(
-        machine, paddr=paddr, samples=samples, spy_core=spy_core
+        machine, paddr=paddr, samples=samples, spy_core=spy_core,
+        extra_pairs=extra_pairs,
     )
     _MEMO[key] = (_clone_bands(bands), machine.rng.snapshot())
     return bands

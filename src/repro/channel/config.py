@@ -25,10 +25,39 @@ class Location(enum.Enum):
 
 
 class LineState(enum.Enum):
-    """Coherence state the trojan parks the shared block in."""
+    """Coherence (or replacement) state the trojan parks the block in.
+
+    Beyond the paper's E/S pair, three further states open extra
+    channel families:
+
+    * ``OWNED`` — MOESI dirty-sharer: the trojan dirties the block and a
+      second reader pulls it to O, so the owner keeps servicing reads at
+      cache-to-cache (E-band) latency (arXiv 2104.08559);
+    * ``MRU`` / ``COLD`` — true-LRU replacement state: the trojan either
+      keeps the block at the MRU end of its set (survives an eviction
+      sweep -> E-band reload) or leaves it cold (swept -> DRAM reload),
+      encoding bits in replacement metadata (arXiv 1905.08348).
+    """
 
     EXCLUSIVE = "Excl"
     SHARED = "Shared"
+    OWNED = "Owned"
+    MRU = "Mru"
+    COLD = "Cold"
+
+
+#: Trojan reader threads needed to hold a block in each state.  One
+#: thread keeps a block Exclusive; two sharers make it Shared (Section
+#: VI-A).  OWNED needs a dirty writer plus a reader that pulls it to O;
+#: MRU needs one thread re-touching the block; COLD is the *absence* of
+#: touches, so it needs nobody.
+_THREADS_NEEDED = {
+    LineState.EXCLUSIVE: 1,
+    LineState.SHARED: 2,
+    LineState.OWNED: 2,
+    LineState.MRU: 1,
+    LineState.COLD: 0,
+}
 
 
 @dataclass(frozen=True)
@@ -45,21 +74,28 @@ class StatePair:
 
     @property
     def threads_needed(self) -> int:
-        """Trojan reader threads needed to hold the block in this pair.
-
-        One thread keeps a block Exclusive; two sharers make it Shared
-        (Section VI-A).
-        """
-        return 1 if self.state is LineState.EXCLUSIVE else 2
+        """Trojan worker threads needed to hold the block in this pair."""
+        return _THREADS_NEEDED[self.state]
 
     @property
     def expected_path(self) -> AccessPath:
-        """The service path the spy's timed load takes for this pair."""
+        """The service path the spy's timed load takes for this pair.
+
+        An O-state or MRU block is serviced by the owning/holding core's
+        cache, so the spy sees the E (cache-to-cache) band; a COLD block
+        was swept, so the spy's reload comes from DRAM.
+        """
         table = {
             (Location.LOCAL, LineState.EXCLUSIVE): AccessPath.LOCAL_EXCL,
             (Location.LOCAL, LineState.SHARED): AccessPath.LOCAL_SHARED,
             (Location.REMOTE, LineState.EXCLUSIVE): AccessPath.REMOTE_EXCL,
             (Location.REMOTE, LineState.SHARED): AccessPath.REMOTE_SHARED,
+            (Location.LOCAL, LineState.OWNED): AccessPath.LOCAL_EXCL,
+            (Location.REMOTE, LineState.OWNED): AccessPath.REMOTE_EXCL,
+            (Location.LOCAL, LineState.MRU): AccessPath.LOCAL_EXCL,
+            (Location.REMOTE, LineState.MRU): AccessPath.REMOTE_EXCL,
+            (Location.LOCAL, LineState.COLD): AccessPath.DRAM,
+            (Location.REMOTE, LineState.COLD): AccessPath.DRAM,
         }
         return table[(self.location, self.state)]
 
@@ -68,21 +104,60 @@ LEXCL = StatePair(Location.LOCAL, LineState.EXCLUSIVE)
 LSHARED = StatePair(Location.LOCAL, LineState.SHARED)
 REXCL = StatePair(Location.REMOTE, LineState.EXCLUSIVE)
 RSHARED = StatePair(Location.REMOTE, LineState.SHARED)
+LOWNED = StatePair(Location.LOCAL, LineState.OWNED)
+LMRU = StatePair(Location.LOCAL, LineState.MRU)
+LCOLD = StatePair(Location.LOCAL, LineState.COLD)
 
+#: The four standard pairs calibration always measures, in this exact
+#: order — the RNG draw sequence behind the golden digests depends on
+#: it, so extending the channel family must go through
+#: :func:`extra_pairs_for` (measured *after* these), never this tuple.
 ALL_PAIRS = (LSHARED, LEXCL, RSHARED, REXCL)
+
+
+def extra_pairs_for(scenario: "Scenario") -> tuple[StatePair, ...]:
+    """Non-standard pairs of *scenario* that calibration must also place.
+
+    Returns the scenario's csc/csb pairs outside :data:`ALL_PAIRS`,
+    deduplicated in encounter order.  The terminator pair is excluded —
+    it only needs to be *out of band*, never decoded, so no band is
+    built for it.  COLD needs no placement either: its band is the DRAM
+    band, which calibration always measures last.
+    """
+    extras = []
+    for pair in (scenario.csc, scenario.csb):
+        if pair in ALL_PAIRS or pair in extras:
+            continue
+        if pair.state is LineState.COLD:
+            continue
+        extras.append(pair)
+    return tuple(extras)
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One covert-channel scenario: communication + boundary pairs."""
+    """One covert-channel scenario: communication + boundary pairs.
+
+    ``terminator`` is an optional third pair the trojan holds after the
+    final bit boundary so the spy's end-of-transmission run ('x' labels)
+    is observable.  The E/S scenarios do not need one — their quiet
+    channel (flushed block -> DRAM) is already out of band — but the LRU
+    channel encodes with MRU/COLD, whose quiet state *is* the COLD
+    symbol, so a distinct parking state must mark the end.
+    """
 
     csc: StatePair
     csb: StatePair
+    terminator: StatePair | None = None
 
     def __post_init__(self) -> None:
         if self.csc == self.csb:
             raise ConfigError(
                 "communication and boundary state pairs must differ"
+            )
+        if self.terminator in (self.csc, self.csb):
+            raise ConfigError(
+                "the terminator pair must differ from csc and csb"
             )
 
     @property
@@ -90,11 +165,16 @@ class Scenario:
         """Paper notation, e.g. ``"RExclc-LSharedb"``."""
         return f"{self.csc.notation}c-{self.csb.notation}b"
 
+    def _pairs(self) -> tuple[StatePair, ...]:
+        if self.terminator is None:
+            return (self.csc, self.csb)
+        return (self.csc, self.csb, self.terminator)
+
     @property
     def local_threads(self) -> int:
         """Trojan threads needed on the spy's socket."""
         return max(
-            (p.threads_needed for p in (self.csc, self.csb)
+            (p.threads_needed for p in self._pairs()
              if p.location is Location.LOCAL),
             default=0,
         )
@@ -103,7 +183,7 @@ class Scenario:
     def remote_threads(self) -> int:
         """Trojan threads needed on the other socket."""
         return max(
-            (p.threads_needed for p in (self.csc, self.csb)
+            (p.threads_needed for p in self._pairs()
              if p.location is Location.REMOTE),
             default=0,
         )
@@ -135,7 +215,10 @@ def scenario_by_name(name: str) -> Scenario:
     for scenario in TABLE_I:
         if scenario.name == name:
             return scenario
-    raise ConfigError(f"unknown scenario {name!r}; see TABLE_I")
+    choices = ", ".join(s.name for s in TABLE_I)
+    raise ConfigError(
+        f"unknown scenario {name!r}; Table I scenarios: {choices}"
+    )
 
 
 @dataclass(frozen=True)
@@ -248,6 +331,23 @@ class ProtocolParams:
             spy_overhead_cycles=6_200.0,
             adaptive_backoff=True,
             worker_backoff_fraction=0.5,
+        )
+
+    @classmethod
+    def for_lru_probe(cls) -> "ProtocolParams":
+        """Knobs for the LRU-replacement-state channel.
+
+        The spy's probe is an eviction sweep (there is no clflush-based
+        way to query replacement state), so slots are sweep-length as in
+        :meth:`for_eviction_flush` — but adaptive backoff stays *off*:
+        the MRU worker must keep fighting the sweep to hold the block at
+        the MRU end of its set, whereas a backed-off worker would let
+        the sweep win and collapse both symbols onto COLD.
+        """
+        return cls(
+            slot_cycles=13_000.0,
+            spy_overhead_cycles=6_200.0,
+            adaptive_backoff=False,
         )
 
     def at_rate(self, kbps: float) -> "ProtocolParams":

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.channel.config import ProtocolParams, Scenario
 from repro.channel.metrics import goodput_kbps
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
 from repro.errors import ChannelError, ConfigError
 from repro.mem.hierarchy import MachineConfig
 
@@ -162,7 +162,7 @@ class ReliableChannel:
 
     def __init__(
         self,
-        scenario: Scenario,
+        scenario: Scenario | str,
         params: ProtocolParams | None = None,
         seed: int = 0,
         noise_threads: int = 0,
@@ -186,12 +186,13 @@ class ReliableChannel:
         self.retry_backoff_cycles = retry_backoff_cycles
         params = params if params is not None else ProtocolParams()
         machine = machine if machine is not None else MachineConfig()
+        spec = resolve_spec(scenario)
         self.forward = ChannelSession(SessionConfig(
-            scenario=scenario, params=params, seed=seed,
+            spec=spec, params=params, seed=seed,
             noise_threads=noise_threads, machine=machine,
         ))
         self.reverse = ChannelSession(SessionConfig(
-            scenario=scenario, params=params, seed=seed + 7_919,
+            spec=spec, params=params, seed=seed + 7_919,
             noise_threads=noise_threads, machine=machine,
         ))
 

@@ -1,0 +1,289 @@
+"""The scenario matrix: typed specs over (protocol, channel, topology).
+
+The paper's channel family (E/S states under snoop MESI) is one cell of
+a larger space: protocol variants (MESI/MESIF/MOESI), channel families
+(E-S, the MOESI dirty-sharer O-state of arXiv 2104.08559, the LRU
+replacement-state channel of arXiv 1905.08348) and coherence topologies
+(snoop vs home-node directory).  :class:`ScenarioSpec` names one cell
+and carries everything a session needs to stand it up: the low-level
+:class:`~repro.channel.config.Scenario` (state pairs), the machine
+protocol/topology, the flush primitive and the page-sharing mode.
+
+:data:`SCENARIOS` is the registry — the channel-side mirror of
+:data:`repro.mem.protocols.PROTOCOLS` and ``experiments.REGISTRY`` —
+and :func:`matrix_cell` lays the registered specs out as the
+(protocol x channel) grid the ``leaderboard`` driver reports on.
+
+Not every cell exists:
+
+* MESI/MESIF x O-state is *deterministically dead*: those protocols
+  write a dirty owner back and demote it to S when it services a read,
+  so the O-channel's two symbols collapse onto the S band and
+  calibration refuses the overlapping pair (a
+  :class:`~repro.errors.CalibrationError`).  The dead cells are part of
+  the result — they are the paper-style argument that the O channel is
+  a MOESI-specific leak.
+* directory x LRU is undefined: the home directory is not a set-assoc
+  structure, so an eviction sweep cannot probe its replacement state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.config import (
+    LCOLD,
+    LEXCL,
+    LMRU,
+    LOWNED,
+    LSHARED,
+    TABLE_I,
+    ProtocolParams,
+    Scenario,
+)
+from repro.errors import ConfigError
+from repro.mem.hierarchy import MachineConfig
+from repro.mem.protocols import PROTOCOLS
+
+#: Channel families a spec may belong to.
+CHANNEL_FAMILIES = ("es", "ostate", "lru")
+
+#: Coherence topologies (mirrors ``MachineConfig.coherence``).
+TOPOLOGIES = ("snoop", "directory")
+
+#: Machine-config defaults a spec is allowed to override.  A spec only
+#: overlays a field the caller left at its class default; an explicit,
+#: conflicting caller choice is an error, so ablation sweeps that pin
+#: their own protocol can never be silently clobbered.
+_PROTOCOL_DEFAULT = "mesi"
+_COHERENCE_DEFAULT = "snoop"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cell of the scenario matrix.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the ``--scenario`` spelling).
+    scenario:
+        The (csc, csb[, terminator]) state-pair structure.
+    protocol:
+        Coherence protocol the machine must run (a
+        :data:`~repro.mem.protocols.PROTOCOLS` key).
+    channel:
+        Channel family: ``"es"``, ``"ostate"`` or ``"lru"``.
+    topology:
+        ``"snoop"`` or ``"directory"`` (home-node backend).
+    flush_method:
+        Spy flush primitive: ``"clflush"`` or ``"evict"``.
+    sharing:
+        Page-sharing mode the session needs (``"ksm"``, ``"explicit"``
+        or ``"explicit-rw"`` — the O-state channel must be able to
+        dirty the shared block).
+    summary:
+        One-line description for listings.
+    """
+
+    name: str
+    scenario: Scenario
+    protocol: str = "mesi"
+    channel: str = "es"
+    topology: str = "snoop"
+    flush_method: str = "clflush"
+    sharing: str = "ksm"
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; registered "
+                f"protocols: {', '.join(sorted(PROTOCOLS))}"
+            )
+        if self.channel not in CHANNEL_FAMILIES:
+            raise ConfigError(
+                f"unknown channel family {self.channel!r}; expected one "
+                f"of: {', '.join(CHANNEL_FAMILIES)}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(
+                f"unknown topology {self.topology!r}; expected one of: "
+                f"{', '.join(TOPOLOGIES)}"
+            )
+        if self.flush_method not in ("clflush", "evict"):
+            raise ConfigError(
+                f"unknown flush method {self.flush_method!r}"
+            )
+        if self.sharing not in ("ksm", "explicit", "explicit-rw"):
+            raise ConfigError(f"unknown sharing mode {self.sharing!r}")
+
+    @property
+    def coherence(self) -> str:
+        """The ``MachineConfig.coherence`` value this spec requires."""
+        return "directory" if self.topology == "directory" else "snoop"
+
+    def machine_config(self, base: MachineConfig | None = None) -> MachineConfig:
+        """*base* with this spec's protocol/topology overlaid.
+
+        Only fields the caller left at their class defaults are
+        overridden; a base config that already pins a *different*
+        protocol or coherence backend conflicts with the spec and
+        raises, instead of one silently winning.
+        """
+        base = base if base is not None else MachineConfig()
+        updates: dict = {}
+        if base.protocol != self.protocol:
+            if base.protocol != _PROTOCOL_DEFAULT:
+                raise ConfigError(
+                    f"machine pins protocol {base.protocol!r} but spec "
+                    f"{self.name!r} requires {self.protocol!r}"
+                )
+            updates["protocol"] = self.protocol
+        if base.coherence != self.coherence:
+            if base.coherence != _COHERENCE_DEFAULT:
+                raise ConfigError(
+                    f"machine pins coherence {base.coherence!r} but spec "
+                    f"{self.name!r} requires {self.coherence!r}"
+                )
+            updates["coherence"] = self.coherence
+        return base.with_updates(**updates) if updates else base
+
+    def default_params(self) -> ProtocolParams:
+        """Protocol knobs suited to this spec's flush/probe primitive."""
+        if self.channel == "lru":
+            return ProtocolParams.for_lru_probe()
+        if self.flush_method == "evict":
+            return ProtocolParams.for_eviction_flush()
+        return ProtocolParams()
+
+
+def _table_i_specs() -> dict[str, ScenarioSpec]:
+    """The six Table I scenarios, registered under their paper names."""
+    placements = {
+        "LExclc-LSharedb": "same-socket trojan; the paper's fastest channel",
+        "RExclc-RSharedb": "cross-socket trojan, both pairs remote",
+        "RExclc-LExclb": "cross-socket communication, local boundary",
+        "RExclc-LSharedb": "cross-socket communication, shared boundary",
+        "RSharedc-LExclb": "remote-shared communication, exclusive boundary",
+        "RSharedc-LSharedb": "remote-shared communication, shared boundary",
+    }
+    return {
+        s.name: ScenarioSpec(
+            name=s.name,
+            scenario=s,
+            summary=f"Table I: {placements.get(s.name, s.name)}",
+        )
+        for s in TABLE_I
+    }
+
+
+#: Scenario structure shared by every E-S matrix cell (Table I row 1).
+_ES = Scenario(csc=LEXCL, csb=LSHARED)
+#: O-state cells: communicate via the dirty-sharer O state, bound by S.
+_OSTATE = Scenario(csc=LOWNED, csb=LSHARED)
+#: LRU cells: MRU-vs-swept encoding probed by eviction sweeps; the
+#: terminator parks B in S after the last bit so the spy's
+#: end-of-transmission run is observable (COLD is the quiet state).
+_LRU = Scenario(csc=LMRU, csb=LCOLD, terminator=LSHARED)
+
+
+def _matrix_specs() -> dict[str, ScenarioSpec]:
+    specs: dict[str, ScenarioSpec] = {}
+    for protocol in sorted(PROTOCOLS):
+        specs[f"{protocol}-es"] = ScenarioSpec(
+            name=f"{protocol}-es",
+            scenario=_ES,
+            protocol=protocol,
+            channel="es",
+            summary=f"E/S channel on snoop {protocol.upper()}",
+        )
+        specs[f"{protocol}-ostate"] = ScenarioSpec(
+            name=f"{protocol}-ostate",
+            scenario=_OSTATE,
+            protocol=protocol,
+            channel="ostate",
+            sharing="explicit-rw",
+            summary=(
+                f"O-state (dirty-sharer) channel on snoop "
+                f"{protocol.upper()}"
+                + ("" if protocol == "moesi"
+                   else " — expected dead (no O state; bands collapse)")
+            ),
+        )
+        specs[f"{protocol}-lru"] = ScenarioSpec(
+            name=f"{protocol}-lru",
+            scenario=_LRU,
+            protocol=protocol,
+            channel="lru",
+            flush_method="evict",
+            summary=f"LRU replacement-state channel on snoop {protocol.upper()}",
+        )
+    specs["dir-es"] = ScenarioSpec(
+        name="dir-es",
+        scenario=_ES,
+        protocol="mesi",
+        channel="es",
+        topology="directory",
+        summary="E/S channel through the home-node directory backend",
+    )
+    specs["dir-ostate"] = ScenarioSpec(
+        name="dir-ostate",
+        scenario=_OSTATE,
+        protocol="moesi",
+        channel="ostate",
+        topology="directory",
+        sharing="explicit-rw",
+        summary="O-state channel through the home-node directory backend",
+    )
+    return specs
+
+
+#: The scenario registry: name -> spec.  Table I names map to the
+#: paper's six scenarios (snoop MESI, KSM sharing, clflush) so existing
+#: ``--scenario`` spellings resolve unchanged; the matrix names cover
+#: the (protocol x channel) grid plus the directory-topology cells.
+SCENARIOS: dict[str, ScenarioSpec] = {**_table_i_specs(), **_matrix_specs()}
+
+
+def scenario_spec_by_name(name: str) -> ScenarioSpec:
+    """Look up a registered :class:`ScenarioSpec` by name.
+
+    Unknown names raise :class:`ConfigError` listing every registered
+    choice, mirroring :func:`repro.mem.protocols.make_policy`.
+    """
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        )
+    return spec
+
+
+#: Rows and columns of the leaderboard matrix.
+MATRIX_ROWS = ("mesi", "mesif", "moesi", "directory")
+MATRIX_COLS = CHANNEL_FAMILIES
+
+
+def matrix_cell(row: str, channel: str) -> ScenarioSpec | None:
+    """The registered spec for one (protocol-row, channel) cell.
+
+    Rows are the snoop protocols plus ``"directory"`` (the topology
+    row).  Returns ``None`` for undefined cells — currently only
+    directory x lru, where an eviction sweep cannot probe the home
+    directory's (non-set-associative) state.
+    """
+    if row not in MATRIX_ROWS:
+        raise ConfigError(
+            f"unknown matrix row {row!r}; rows: {', '.join(MATRIX_ROWS)}"
+        )
+    if channel not in MATRIX_COLS:
+        raise ConfigError(
+            f"unknown channel family {channel!r}; "
+            f"columns: {', '.join(MATRIX_COLS)}"
+        )
+    name = (
+        f"dir-{channel}" if row == "directory" else f"{row}-{channel}"
+    )
+    return SCENARIOS.get(name)

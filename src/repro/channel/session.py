@@ -15,6 +15,7 @@ mitigation experiments can reuse it.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 
 from repro.channel.calibration import (
@@ -29,8 +30,9 @@ from repro.channel.config import (
     Location,
     ProtocolParams,
     Scenario,
-    scenario_by_name,
+    extra_pairs_for,
 )
+from repro.channel.scenarios import ScenarioSpec, scenario_spec_by_name
 from repro.channel.decoder import (
     BitDecoder,
     DecodeReport,
@@ -61,14 +63,28 @@ from repro.sim.rng import RngStreams
 
 @dataclass
 class SessionConfig:
-    """Everything needed to stand up one covert-channel session."""
+    """Everything needed to stand up one covert-channel session.
 
-    scenario: Scenario
+    The canonical entry point is ``spec`` — a registered
+    :class:`~repro.channel.scenarios.ScenarioSpec` (or its name), which
+    resolves the scenario, overlays the machine's protocol/topology and
+    fills in channel-family defaults (params, flush method, sharing)
+    for every field the caller left at its default.  The legacy
+    ``scenario=<Scenario>`` keyword still works but is deprecated.
+    """
+
+    #: A :class:`~repro.channel.scenarios.ScenarioSpec`, or a registered
+    #: scenario name (``scenario_spec_by_name`` spelling).
+    spec: ScenarioSpec | str | None = None
+    #: Deprecated: the bare state-pair structure.  Use ``spec``.
+    scenario: Scenario | None = None
     params: ProtocolParams = field(default_factory=ProtocolParams)
     seed: int = 0
     #: "ksm" forces page sharing through memory deduplication
     #: (Section IV); "explicit" maps a shared read-only frame directly
-    #: (the shared-library model of prior work).
+    #: (the shared-library model of prior work); "explicit-rw" maps the
+    #: frame writable (MAP_SHARED model — required by channels whose
+    #: trojan dirties the block, e.g. the O-state family).
     sharing: str = "ksm"
     noise_threads: int = 0
     machine: MachineConfig = field(default_factory=MachineConfig)
@@ -115,7 +131,8 @@ class SessionConfig:
     trace: bool | None = None
 
     def __post_init__(self) -> None:
-        if self.sharing not in ("ksm", "explicit"):
+        self._resolve_spec()
+        if self.sharing not in ("ksm", "explicit", "explicit-rw"):
             raise ConfigError(f"unknown sharing mode {self.sharing!r}")
         if self.resync_attempts < 0:
             raise ConfigError("resync_attempts must be >= 0")
@@ -126,6 +143,55 @@ class SessionConfig:
                 raise ConfigError(
                     f"scenario {self.scenario.name} needs two sockets"
                 )
+
+    def _resolve_spec(self) -> None:
+        """Resolve ``spec``/``scenario`` into a concrete configuration.
+
+        A spec overlays only fields the caller left at their defaults
+        (machine protocol/topology, params, flush method, sharing), so
+        explicit caller choices always win — or, for the machine, raise
+        on a genuine conflict (see ``ScenarioSpec.machine_config``).
+        """
+        spec = self.spec
+        if isinstance(spec, str):
+            spec = scenario_spec_by_name(spec)
+            self.spec = spec
+        if isinstance(spec, Scenario):
+            # A bare Scenario slid into the new first positional slot.
+            warnings.warn(
+                "passing a Scenario where SessionConfig expects a "
+                "ScenarioSpec is deprecated; pass spec=<ScenarioSpec or "
+                "registered name> (or the legacy scenario= keyword)",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+            self.scenario = spec
+            self.spec = spec = None
+        if spec is not None:
+            if self.scenario is not None and self.scenario != spec.scenario:
+                raise ConfigError(
+                    "pass either spec= or scenario=, not conflicting both"
+                )
+            self.scenario = spec.scenario
+            self.machine = spec.machine_config(self.machine)
+            if self.params == ProtocolParams():
+                self.params = spec.default_params()
+            if self.flush_method == "clflush":
+                self.flush_method = spec.flush_method
+            if self.sharing == "ksm":
+                self.sharing = spec.sharing
+        elif self.scenario is not None:
+            warnings.warn(
+                "SessionConfig(scenario=...) is deprecated; pass "
+                "spec=<ScenarioSpec or registered scenario name> instead",
+                DeprecationWarning,
+                stacklevel=4,
+            )
+        else:
+            raise ConfigError(
+                "SessionConfig needs spec= (a ScenarioSpec or registered "
+                "scenario name) or the legacy scenario= keyword"
+            )
 
 
 @dataclass
@@ -287,6 +353,11 @@ class SessionBase:
             self.trojan_va, self.spy_va = self.kernel.setup_ksm_shared_page(
                 self.trojan_proc, self.spy_proc, pattern_seed=seed
             )
+        elif self.config.sharing == "explicit-rw":
+            bases = self.kernel.map_shared_writable(
+                [self.trojan_proc, self.spy_proc]
+            )
+            self.trojan_va, self.spy_va = bases[0], bases[1]
         else:
             bases = self.kernel.map_shared_readonly(
                 [self.trojan_proc, self.spy_proc]
@@ -347,7 +418,12 @@ class SessionBase:
             cfg.calibration_samples,
             cfg.spy_core,
             self.spy_proc.translate(self.spy_va),
+            tuple(p.notation for p in self._extra_pairs()),
         )
+
+    def _extra_pairs(self):
+        """Non-standard pairs this session's scenario needs calibrated."""
+        return extra_pairs_for(self.config.scenario)
 
     def _calibration_memo_usable(self) -> bool:
         """Whether this session's calibration is memo-safe.
@@ -368,6 +444,7 @@ class SessionBase:
 
     def _calibrate(self) -> LatencyBands:
         paddr = self.spy_proc.translate(self.spy_va)
+        extra_pairs = self._extra_pairs()
         if self._calibration_memo_usable():
             return calibrate_memoized(
                 self.machine,
@@ -375,12 +452,14 @@ class SessionBase:
                 paddr=paddr,
                 samples=self.config.calibration_samples,
                 spy_core=self.config.spy_core,
+                extra_pairs=extra_pairs,
             )
         bands, _raw = calibrate(
             self.machine,
             paddr=paddr,
             samples=self.config.calibration_samples,
             spy_core=self.config.spy_core,
+            extra_pairs=extra_pairs,
         )
         return bands
 
@@ -591,10 +670,47 @@ class ChannelSession(SessionBase):
         )
 
 
+def resolve_spec(
+    scenario: Scenario | str | None = None,
+    spec: ScenarioSpec | str | None = None,
+    protocol: str | None = None,
+) -> ScenarioSpec:
+    """Resolve grid-point inputs into one concrete :class:`ScenarioSpec`.
+
+    Accepts the modern ``spec`` (object or registry name), the legacy
+    ``scenario`` (Table I name string or bare Scenario object — wrapped
+    into an ad-hoc spec without deprecation noise, since drivers funnel
+    every grid point through here), and an optional ``protocol``
+    override from the uniform ``--protocol`` flag.
+    """
+    from dataclasses import replace
+
+    if spec is not None:
+        if isinstance(spec, str):
+            spec = scenario_spec_by_name(spec)
+        if protocol is not None and protocol != spec.protocol:
+            raise ConfigError(
+                f"spec {spec.name!r} pins protocol {spec.protocol!r}; "
+                f"cannot override with {protocol!r}"
+            )
+        return spec
+    if scenario is None:
+        raise ConfigError("execute_point needs spec= or scenario=")
+    if isinstance(scenario, str):
+        base = scenario_spec_by_name(scenario)
+    else:
+        base = ScenarioSpec(name=scenario.name, scenario=scenario)
+    if protocol is not None and protocol != base.protocol:
+        base = replace(base, protocol=protocol)
+    return base
+
+
 def execute_point(
     *,
-    scenario: Scenario | str,
+    scenario: Scenario | str | None = None,
     payload: list[int],
+    spec: ScenarioSpec | str | None = None,
+    protocol: str | None = None,
     rate_kbps: float | None = None,
     seed: int = 0,
     noise_threads: int = 0,
@@ -624,10 +740,9 @@ def execute_point(
     path and can be disabled with ``REPRO_WARM_WORKERS=0`` /
     ``REPRO_CALIBRATION_MEMO=0``.
     """
-    if isinstance(scenario, str):
-        scenario = scenario_by_name(scenario)
+    resolved = resolve_spec(scenario, spec, protocol)
     if params is None:
-        params = ProtocolParams()
+        params = resolved.default_params()
     if rate_kbps is not None:
         params = params.at_rate(rate_kbps)
     kwargs: dict = {}
@@ -636,7 +751,7 @@ def execute_point(
     if resync_attempts is not None:
         kwargs["resync_attempts"] = resync_attempts
     session = ChannelSession(SessionConfig(
-        scenario=scenario,
+        spec=resolved,
         params=params,
         seed=seed,
         noise_threads=noise_threads,
@@ -652,22 +767,49 @@ def execute_point(
 
 
 def run_transmission(
-    scenario: Scenario,
-    payload: list[int],
+    scenario: Scenario | ScenarioSpec | str | None = None,
+    payload: list[int] | None = None,
     params: ProtocolParams | None = None,
     seed: int = 0,
     noise_threads: int = 0,
-    sharing: str = "ksm",
+    sharing: str | None = None,
     machine: MachineConfig | None = None,
+    *,
+    spec: ScenarioSpec | str | None = None,
 ) -> TransmissionResult:
-    """One-shot convenience: build a session and send one payload."""
+    """One-shot convenience: build a session and send one payload.
+
+    Prefer ``spec=`` (a :class:`~repro.channel.scenarios.ScenarioSpec`
+    or registered name); a spec/name in the first positional slot is
+    accepted too.  Passing a bare :class:`Scenario` object is deprecated
+    — it carries no protocol/topology information.
+    """
+    if payload is None:
+        raise ConfigError("run_transmission needs a payload")
+    if spec is None:
+        if isinstance(scenario, (str, ScenarioSpec)):
+            spec = scenario
+        elif isinstance(scenario, Scenario):
+            warnings.warn(
+                "run_transmission(scenario=<Scenario>) is deprecated; "
+                "pass spec=<ScenarioSpec or registered scenario name>",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = ScenarioSpec(name=scenario.name, scenario=scenario)
+        else:
+            raise ConfigError("run_transmission needs spec= or scenario=")
+    kwargs: dict = {}
+    if params is not None:
+        kwargs["params"] = params
+    if sharing is not None:
+        kwargs["sharing"] = sharing
     config = SessionConfig(
-        scenario=scenario,
-        params=params if params is not None else ProtocolParams(),
+        spec=spec,
         seed=seed,
         noise_threads=noise_threads,
-        sharing=sharing,
         machine=machine if machine is not None else MachineConfig(),
+        **kwargs,
     )
     session = ChannelSession(config)
     return session.transmit(payload)

@@ -16,7 +16,7 @@ from repro.channel.calibration import DEFAULT_CALIBRATION_SAMPLES, DRAM_LABEL
 from repro.channel.config import ALL_PAIRS, ProtocolParams, Scenario, StatePair
 from repro.channel.decoder import Sample, pack_samples, unpack_samples
 from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
-from repro.channel.session import SessionBase, SessionConfig
+from repro.channel.session import SessionBase, SessionConfig, resolve_spec
 from repro.channel.trojan import TrojanControl, worker_roles
 from repro.errors import ConfigError
 from repro.mem.latency import CLOCK_HZ
@@ -318,7 +318,7 @@ class MultiBitSession(SessionBase):
         from repro.mem.hierarchy import MachineConfig
 
         config = SessionConfig(
-            scenario=_PLACEMENT_SCENARIO,
+            spec=resolve_spec(_PLACEMENT_SCENARIO),
             params=self.symbol_params.as_protocol_params(),
             seed=seed,
             sharing=sharing,

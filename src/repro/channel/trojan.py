@@ -17,13 +17,14 @@ from collections.abc import Callable, Generator
 from dataclasses import dataclass, field
 
 from repro.channel.config import (
+    _THREADS_NEEDED,
     LineState,
     Location,
     ProtocolParams,
     Scenario,
     StatePair,
 )
-from repro.sim.events import Delay, Load
+from repro.sim.events import Delay, Load, Store
 from repro.sim.thread import Cpu
 
 
@@ -62,8 +63,7 @@ class TrojanControl:
         pair = self.active_pair
         if pair is None or role.location is not pair.location:
             return False
-        needed = 1 if pair.state is LineState.EXCLUSIVE else 2
-        return role.index < needed
+        return role.index < _THREADS_NEEDED[pair.state]
 
 
 def worker_program(
@@ -77,6 +77,17 @@ def worker_program(
     While active the worker re-loads B every ``params.reload_period``
     cycles, restoring the target coherence state after each spy flush;
     while inactive it polls the control state at the same period.
+
+    For the OWNED pair the rank-0 worker *stores* instead, paced at the
+    reload period: the dirty write gives the block an owner for rank
+    1's read to pull into O.  Store-only pacing matters — every state
+    the block passes through between the spy's flush and the settled O
+    (DRAM-filled E at the reader, M at the writer, O) services reads
+    from an owning cache, so the spy never observes the ownerless
+    shared state that is the O channel's *boundary* symbol.  A
+    load-then-dirty writer would pass through exactly that state (a
+    clean E owner demotes to S when the reader hits it) and leak
+    boundary labels into communication slots.
     """
 
     def program(cpu: Cpu) -> Generator:
@@ -87,6 +98,7 @@ def worker_program(
         # allocation.  The op/result protocol is identical to going
         # through the Cpu helpers.
         load_op = Load(block_va)
+        store_op = Store(block_va, 1)
         idle_op = Delay(params.reload_period)
         backoff_op = Delay(params.worker_backoff_fraction * params.slot_cycles)
         spin_op = Delay(params.worker_spin_cycles)
@@ -94,7 +106,8 @@ def worker_program(
         refill_floor = params.worker_refill_floor
         role_location = role.location
         role_index = role.index
-        excl = LineState.EXCLUSIVE
+        owned = LineState.OWNED
+        needed = _THREADS_NEEDED
         while control.running:
             # Inlined TrojanControl.is_active(role) — one poll per
             # worker wakeup for the whole transmission.
@@ -102,8 +115,16 @@ def worker_program(
             if (
                 pair is not None
                 and role_location is pair.location
-                and role_index < (1 if pair.state is excl else 2)
+                and role_index < needed[pair.state]
             ):
+                if role_index == 0 and pair.state is owned:
+                    # Re-dirty at the idle cadence, not the spin one: an
+                    # O-line store is a full RFO, and spinning RFOs
+                    # congest the ring enough to push the spy's samples
+                    # out of the calibrated owner-service band.
+                    yield store_op
+                    yield idle_op
+                    continue
                 # Spin: re-load as fast as the machine allows, with only a
                 # tiny loop cost between issues, so the target state is
                 # re-established as soon as possible after each spy flush.
@@ -157,6 +178,13 @@ def controller_program(
             control.bits_sent.append(bit)
         # Closing boundary so the final communication run is delimited.
         yield from hold(cpu, scenario.csb, params.cb)
+        if scenario.terminator is not None:
+            # Channels whose quiet state is itself a symbol (the LRU
+            # channel's COLD) park B in a distinct out-of-band pair long
+            # enough for the spy's end-of-transmission run to complete.
+            yield from hold(
+                cpu, scenario.terminator, params.end_run + 2
+            )
         # Go dark: the spy sees out-of-band samples and ends reception.
         control.stop()
         yield from cpu.delay(tail_slots * params.slot_cycles)

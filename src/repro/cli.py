@@ -50,9 +50,19 @@ def cmd_list(_argv: list[str]) -> None:
 
 def cmd_send(argv: list[str]) -> None:
     """Transmit a bit string through a covert-channel session."""
+    from repro.mem.protocols import PROTOCOLS
+
     parser = argparse.ArgumentParser(prog="repro send")
     parser.add_argument("bits", help="payload, e.g. 10110")
-    parser.add_argument("--scenario", default="LExclc-LSharedb")
+    parser.add_argument(
+        "--scenario", default="LExclc-LSharedb",
+        help="registered scenario name (Table I or matrix cell, e.g. "
+             "moesi-ostate, dir-es, mesi-lru)",
+    )
+    parser.add_argument(
+        "--protocol", default=None, choices=sorted(PROTOCOLS),
+        help="coherence protocol override (registered protocols)",
+    )
     parser.add_argument("--rate", type=float, default=None,
                         help="nominal Kbits/s")
     parser.add_argument("--noise", type=int, default=0)
@@ -72,13 +82,17 @@ def cmd_send(argv: list[str]) -> None:
     )
     args = parser.parse_args(argv)
 
-    from repro.channel.config import ProtocolParams, scenario_by_name
-    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
+    from repro.errors import ConfigError
 
     payload = [int(c) for c in args.bits if c in "01"]
     if not payload:
         parser.error("payload must contain 0/1 characters")
-    params = ProtocolParams()
+    try:
+        spec = resolve_spec(args.scenario, protocol=args.protocol)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    params = spec.default_params()
     if args.rate is not None:
         # An explicit 0 (or negative) must error, not be silently
         # ignored the way a falsy check would.
@@ -100,7 +114,7 @@ def cmd_send(argv: list[str]) -> None:
         print(f"injecting {len(faults)} simulation fault(s)",
               file=sys.stderr)
     session = ChannelSession(SessionConfig(
-        scenario=scenario_by_name(args.scenario),
+        spec=spec,
         params=params,
         seed=args.seed,
         noise_threads=args.noise,
@@ -252,6 +266,12 @@ def cmd_trace(argv: list[str]) -> None:
                         help="output file (default: trace.json for "
                              "chrome, stdout for text)")
     parser.add_argument("--scenario", default="RExclc-LSharedb")
+    from repro.mem.protocols import PROTOCOLS
+
+    parser.add_argument(
+        "--protocol", default=None, choices=sorted(PROTOCOLS),
+        help="coherence protocol override (registered protocols)",
+    )
     parser.add_argument("--bits", type=int, default=16,
                         help="payload length (alternating bits)")
     parser.add_argument("--seed", type=int, default=7)
@@ -260,11 +280,15 @@ def cmd_trace(argv: list[str]) -> None:
     parser.add_argument("--calibration-samples", type=int, default=150)
     args = parser.parse_args(argv)
 
-    from repro.channel.config import ProtocolParams, scenario_by_name
-    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
+    from repro.errors import ConfigError
     from repro.obs import text_timeline, write_chrome_trace
 
-    params = ProtocolParams()
+    try:
+        spec = resolve_spec(args.scenario, protocol=args.protocol)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    params = spec.default_params()
     if args.rate is not None:
         if args.rate <= 0:
             parser.error(
@@ -272,7 +296,7 @@ def cmd_trace(argv: list[str]) -> None:
             )
         params = params.at_rate(args.rate)
     session = ChannelSession(SessionConfig(
-        scenario=scenario_by_name(args.scenario),
+        spec=spec,
         params=params,
         seed=args.seed,
         calibration_samples=args.calibration_samples,
@@ -303,17 +327,34 @@ def cmd_trace(argv: list[str]) -> None:
 
 def cmd_bands(argv: list[str]) -> None:
     """Calibrate and print the latency bands (Figure 2's summary)."""
+    from repro.mem.protocols import PROTOCOLS
+
     parser = argparse.ArgumentParser(prog="repro bands")
     parser.add_argument("--samples", type=int, default=500)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--protocol", default="mesi", choices=sorted(PROTOCOLS),
+        help="coherence protocol to calibrate under",
+    )
+    parser.add_argument(
+        "--coherence", default="snoop", choices=("snoop", "directory"),
+        help="coherence topology (snoop bus or home-node directory)",
+    )
     args = parser.parse_args(argv)
 
     from repro.channel.calibration import calibrate
+    from repro.channel.config import LOWNED
     from repro.mem.hierarchy import Machine, MachineConfig
     from repro.sim.rng import RngStreams
 
-    machine = Machine(MachineConfig(), RngStreams(args.seed))
-    bands, _raw = calibrate(machine, samples=args.samples)
+    machine = Machine(
+        MachineConfig(protocol=args.protocol, coherence=args.coherence),
+        RngStreams(args.seed),
+    )
+    # MOESI machines get the owner-service band measured alongside the
+    # paper's four pairs so the O channel's symbol is visible here too.
+    extra = (LOWNED,) if args.protocol == "moesi" else ()
+    bands, _raw = calibrate(machine, samples=args.samples, extra_pairs=extra)
     for pair, band in sorted(bands.bands.items(), key=lambda kv: kv[1].lo):
         print(f"{pair.notation:8s} [{band.lo:6.1f}, {band.hi:6.1f}] cycles")
     if bands.dram:

@@ -40,6 +40,7 @@ __all__ = [
     "fig9_noise",
     "fig10_ecc",
     "fig11_multibit",
+    "leaderboard",
     "mitigations",
     "sync_handshake",
     "table1_scenarios",
@@ -133,6 +134,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
         ExperimentInfo(
             "faults", "fault_sweep",
             "robustness: accuracy vs injected fault rate",
+        ),
+        ExperimentInfo(
+            "leaderboard", "leaderboard",
+            "scenario-matrix leaderboard: every (protocol x channel) cell",
         ),
     )
 }

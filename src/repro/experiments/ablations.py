@@ -19,8 +19,9 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, ProtocolParams, scenario_by_name
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.config import TABLE_I, ProtocolParams
+from repro.channel.scenarios import scenario_spec_by_name
+from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
 from repro.errors import CalibrationError
 from repro.experiments.common import (
     execute_from_args,
@@ -28,13 +29,14 @@ from repro.experiments.common import (
     runner_arguments,
 )
 from repro.mem.hierarchy import MachineConfig
+from repro.mem.protocols import PROTOCOLS as _PROTOCOL_REGISTRY
 from repro.runner import ExperimentSpec, Point, execute
 
 NAME = "ablations"
 SUMMARY = "DESIGN.md design-choice ablations"
 POINT_FN = "repro.experiments.ablations:point"
 
-PROTOCOLS = ("mesi", "mesif", "moesi")
+PROTOCOLS = tuple(sorted(_PROTOCOL_REGISTRY))
 FLUSH_METHODS = ("clflush", "evict")
 
 
@@ -42,16 +44,15 @@ def point(*, group: str, seed: int, **kw):
     """One ablation measurement; ``group`` selects the design knob."""
     if group == "protocol":
         session = ChannelSession(SessionConfig(
-            scenario=TABLE_I[0],
+            spec=resolve_spec(TABLE_I[0].name, protocol=kw["protocol"]),
             seed=seed,
-            machine=MachineConfig(protocol=kw["protocol"]),
         ))
         return session.transmit(payload_bits(kw["bits"])).accuracy
 
     if group == "inclusion":
         try:
             session = ChannelSession(SessionConfig(
-                scenario=TABLE_I[1],  # remote scenario: LLC role matters
+                spec=TABLE_I[1].name,  # remote scenario: LLC role matters
                 seed=seed,
                 machine=MachineConfig(inclusive=kw["inclusive"]),
             ))
@@ -61,9 +62,9 @@ def point(*, group: str, seed: int, **kw):
 
     if group == "flush":
         method = kw["method"]
-        config = SessionConfig(scenario=TABLE_I[0], seed=seed) \
+        config = SessionConfig(spec=TABLE_I[0].name, seed=seed) \
             if method == "clflush" else SessionConfig(
-                scenario=TABLE_I[0], seed=seed,
+                spec=TABLE_I[0].name, seed=seed,
                 params=ProtocolParams.for_eviction_flush(),
                 flush_method="evict",
             )
@@ -93,9 +94,10 @@ def point(*, group: str, seed: int, **kw):
         return out
 
     if group == "band_gap":
-        scenario = scenario_by_name(kw["scenario"])
+        spec = scenario_spec_by_name(kw["scenario"])
+        scenario = spec.scenario
         session = ChannelSession(SessionConfig(
-            scenario=scenario,
+            spec=spec,
             params=ProtocolParams().at_rate(kw["rate"]),
             seed=seed,
         ))

@@ -17,7 +17,7 @@ from repro.analysis.capacity import (
     mutual_information,
 )
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import ProtocolParams, scenario_by_name
+from repro.channel.config import ProtocolParams
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.channel.symbols import MultiBitSession, SymbolParams
 from repro.experiments.common import (
@@ -55,7 +55,7 @@ def point(*, kind: str, rate: float, noise: int, seed: int,
 
 def _binary_point(rate: float, noise: int, seed: int, bits: int) -> dict:
     session = ChannelSession(SessionConfig(
-        scenario=scenario_by_name("RExclc-LSharedb"),
+        spec="RExclc-LSharedb",
         params=ProtocolParams().at_rate(rate),
         seed=seed,
         noise_threads=noise,

@@ -70,6 +70,19 @@ def selected_scenarios(name: str) -> list[Scenario]:
     return [s for s in TABLE_I if s.name == name]
 
 
+def protocol_argument(parser: argparse.ArgumentParser) -> None:
+    """Add the uniform --protocol option (registered protocol names)."""
+    from repro.mem.protocols import PROTOCOLS
+
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOLS),
+        default=None,
+        help="coherence protocol to run the machine under "
+             "(default: the scenario's own, usually mesi)",
+    )
+
+
 def common_arguments(parser: argparse.ArgumentParser) -> None:
     """Options shared by every driver."""
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
@@ -77,6 +90,7 @@ def common_arguments(parser: argparse.ArgumentParser) -> None:
         "--bits", type=int, default=100,
         help="payload length in bits (default matches the paper's 100)",
     )
+    protocol_argument(parser)
 
 
 def runner_arguments(parser: argparse.ArgumentParser) -> None:

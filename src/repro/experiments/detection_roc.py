@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, scenario_by_name
+from repro.channel.config import TABLE_I
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.detection import ChannelDetector, EventMonitor
 from repro.experiments.common import (
@@ -51,7 +51,7 @@ def point(*, workload: str, seed: int, bits: int = 40) -> dict:
 
 def _attack_point(scenario: str, seed: int, bits: int) -> dict:
     session = ChannelSession(SessionConfig(
-        scenario=scenario_by_name(scenario), seed=seed,
+        spec=scenario, seed=seed,
         calibration_samples=200,
     ))
     monitor = EventMonitor(session.machine)

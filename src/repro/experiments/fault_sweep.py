@@ -59,7 +59,7 @@ WINDOW_SLACK_SLOTS = 40
 
 
 def point(*, scenario: str, fault_rate: float, seed: int, rate: float,
-          bits: int) -> dict:
+          bits: int, protocol: str | None = None) -> dict:
     """One (scenario, fault rate, trial): accuracy + resyncs used."""
     window = ProtocolParams().at_rate(rate).slot_cycles * (
         bits + WINDOW_SLACK_SLOTS
@@ -76,6 +76,7 @@ def point(*, scenario: str, fault_rate: float, seed: int, rate: float,
         rate_kbps=rate,
         seed=seed,
         faults=plan.to_json(),
+        protocol=protocol,
     )
     return {
         "accuracy": result.accuracy,
@@ -91,6 +92,7 @@ def build_spec(
     scenarios=None,
     rate_kbps: float = SWEEP_RATE_KBPS,
     trials: int = 2,
+    protocol: str | None = None,
 ) -> ExperimentSpec:
     """The scenario × fault-rate × trial grid."""
     names = [
@@ -98,6 +100,7 @@ def build_spec(
         for s in (scenarios if scenarios is not None else TABLE_I)
     ]
     trials = max(1, trials)
+    extra = {"protocol": protocol} if protocol else {}
     points = tuple(
         Point(
             fn=POINT_FN,
@@ -107,6 +110,7 @@ def build_spec(
                 "seed": seed + 101 * trial,
                 "rate": float(rate_kbps),
                 "bits": bits,
+                **extra,
             },
             label=f"{name} f{fault_rate:g} t{trial}",
         )
@@ -198,6 +202,7 @@ def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         scenarios=selected_scenarios(args.scenario),
         rate_kbps=args.rate,
         trials=args.trials,
+        protocol=args.protocol,
     )
 
 

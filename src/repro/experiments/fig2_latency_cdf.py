@@ -18,6 +18,7 @@ from repro.analysis.reporting import ascii_cdf, ascii_table
 from repro.channel.calibration import calibrate
 from repro.experiments.common import (
     execute_from_args,
+    protocol_argument,
     runner_arguments,
     warn_legacy_run,
 )
@@ -30,12 +31,21 @@ SUMMARY = "Figure 2 + Section V latency reference points"
 POINT_FN = "repro.experiments.fig2_latency_cdf:point"
 
 
-def point(*, samples: int, seed: int) -> dict:
+def point(*, samples: int, seed: int, protocol: str | None = None) -> dict:
     """The whole calibration sweep is one (heavy) grid point."""
-    machine = Machine(MachineConfig(), RngStreams(seed))
-    bands, raw = calibrate(machine, samples=samples)
+    machine = Machine(
+        MachineConfig(protocol=protocol or "mesi"), RngStreams(seed)
+    )
+    # MOESI exposes a fifth band — the dirty-owner service latency the
+    # O-state channel communicates through.
+    extra = ()
+    if protocol == "moesi":
+        from repro.channel.config import LOWNED
+
+        extra = (LOWNED,)
+    bands, raw = calibrate(machine, samples=samples, extra_pairs=extra)
     medians = {k: float(np.median(v)) for k, v in raw.items()}
-    order = ["LShared", "LExcl", "RShared", "RExcl", "dram"]
+    order = ["LShared", "LOwned", "LExcl", "RShared", "RExcl", "dram"]
     separations = {}
     for first, second in zip(order[:-1], order[1:]):
         if first in raw and second in raw:
@@ -50,13 +60,15 @@ def point(*, samples: int, seed: int) -> dict:
     }
 
 
-def build_spec(samples: int = 1000, seed: int = 0) -> ExperimentSpec:
+def build_spec(samples: int = 1000, seed: int = 0,
+               protocol: str | None = None) -> ExperimentSpec:
     """A single-point grid: one full band calibration."""
+    extra = {"protocol": protocol} if protocol else {}
     return ExperimentSpec(
         experiment=NAME,
         points=(Point(
             fn=POINT_FN,
-            params={"samples": samples, "seed": seed},
+            params={"samples": samples, "seed": seed, **extra},
             label=f"calibrate x{samples}",
         ),),
     )
@@ -106,10 +118,12 @@ def render(result: dict) -> str:
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--samples", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=0)
+    protocol_argument(parser)
 
 
 def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
-    return build_spec(samples=args.samples, seed=args.seed)
+    return build_spec(samples=args.samples, seed=args.seed,
+                      protocol=args.protocol)
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -31,23 +31,29 @@ SUMMARY = "Figures 6-7 transmission + reception traces"
 POINT_FN = "repro.experiments.fig7_reception:point"
 
 
-def point(*, scenario: str, seed: int, bits: int):
+def point(*, scenario: str, seed: int, bits: int,
+          protocol: str | None = None):
     """Transmit the Figure 6 pattern on one scenario; keep the trace."""
     return execute_point(
-        scenario=scenario, payload=payload_bits(bits), seed=seed
+        scenario=scenario, payload=payload_bits(bits), seed=seed,
+        protocol=protocol,
     )
 
 
-def build_spec(seed: int = 0, bits: int = 100, scenarios=None) -> ExperimentSpec:
+def build_spec(seed: int = 0, bits: int = 100, scenarios=None,
+               protocol: str | None = None) -> ExperimentSpec:
     """One point (full reception trace) per scenario."""
     names = [
         s if isinstance(s, str) else s.name
         for s in (scenarios if scenarios is not None else TABLE_I)
     ]
+    # Only non-default overrides enter point params, so cache keys for
+    # historical (MESI) runs are unchanged.
+    extra = {"protocol": protocol} if protocol else {}
     points = tuple(
         Point(
             fn=POINT_FN,
-            params={"scenario": name, "seed": seed, "bits": bits},
+            params={"scenario": name, "seed": seed, "bits": bits, **extra},
             label=name,
         )
         for name in names
@@ -122,6 +128,7 @@ def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         seed=args.seed,
         bits=args.bits,
         scenarios=selected_scenarios(args.scenario),
+        protocol=args.protocol,
     )
 
 

@@ -32,13 +32,15 @@ SUMMARY = "Figure 8 accuracy-vs-rate sweep"
 POINT_FN = "repro.experiments.fig8_bandwidth:point"
 
 
-def point(*, scenario: str, rate: float, seed: int, bits: int) -> float:
+def point(*, scenario: str, rate: float, seed: int, bits: int,
+          protocol: str | None = None) -> float:
     """One grid point: decode accuracy of *scenario* at *rate* Kbps."""
     result = execute_point(
         scenario=scenario,
         payload=payload_bits(bits),
         rate_kbps=rate,
         seed=seed,
+        protocol=protocol,
     )
     return result.accuracy
 
@@ -48,17 +50,19 @@ def build_spec(
     bits: int = 100,
     rates=FIG8_RATES,
     scenarios=None,
+    protocol: str | None = None,
 ) -> ExperimentSpec:
     """The scenario × rate grid of Figure 8."""
     names = [
         s if isinstance(s, str) else s.name
         for s in (scenarios if scenarios is not None else TABLE_I)
     ]
+    extra = {"protocol": protocol} if protocol else {}
     points = tuple(
         Point(
             fn=POINT_FN,
             params={"scenario": name, "rate": float(rate),
-                    "seed": seed, "bits": bits},
+                    "seed": seed, "bits": bits, **extra},
             label=f"{name}@{rate:g}K",
         )
         for name in names
@@ -119,6 +123,7 @@ def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         seed=args.seed,
         bits=args.bits,
         scenarios=selected_scenarios(args.scenario),
+        protocol=args.protocol,
     )
 
 

@@ -39,7 +39,7 @@ WARMUP_BITS = 24
 
 
 def point(*, scenario: str, level: int, seed: int, rate: float,
-          bits: int) -> float:
+          bits: int, protocol: str | None = None) -> float:
     """One (scenario, noise level, trial): steady-state accuracy."""
     result = execute_point(
         scenario=scenario,
@@ -48,6 +48,7 @@ def point(*, scenario: str, level: int, seed: int, rate: float,
         seed=seed,
         noise_threads=level,
         warmup_bits=WARMUP_BITS,
+        protocol=protocol,
     )
     return result.accuracy
 
@@ -59,6 +60,7 @@ def build_spec(
     scenarios=None,
     rate_kbps: float = FIG9_RATE_KBPS,
     trials: int = 2,
+    protocol: str | None = None,
 ) -> ExperimentSpec:
     """The scenario × noise-level × trial grid of Figure 9.
 
@@ -70,6 +72,7 @@ def build_spec(
         for s in (scenarios if scenarios is not None else TABLE_I)
     ]
     trials = max(1, trials)
+    extra = {"protocol": protocol} if protocol else {}
     points = tuple(
         Point(
             fn=POINT_FN,
@@ -79,6 +82,7 @@ def build_spec(
                 "seed": seed + 101 * trial,
                 "rate": float(rate_kbps),
                 "bits": bits,
+                **extra,
             },
             label=f"{name} x{level}kbuild t{trial}",
         )
@@ -154,6 +158,7 @@ def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         scenarios=selected_scenarios(args.scenario),
         rate_kbps=args.rate,
         trials=args.trials,
+        protocol=args.protocol,
     )
 
 

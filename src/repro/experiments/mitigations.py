@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, ProtocolParams, scenario_by_name
+from repro.channel.config import TABLE_I, ProtocolParams
 from repro.channel.session import ChannelSession, SessionConfig
 from repro.errors import CalibrationError, ChannelError, SyncTimeoutError
 from repro.experiments.common import (
@@ -50,7 +50,6 @@ def _safe_transmit(session: ChannelSession, payload: list[int]) -> float:
 
 def point(*, defense: str, scenario: str, seed: int, bits: int):
     """Channel quality under one defense, on a fresh session."""
-    scenario_obj = scenario_by_name(scenario)
     payload = payload_bits(bits)
     # Bound reception so defenses that keep the block permanently cached
     # cannot hang the spy.
@@ -58,7 +57,7 @@ def point(*, defense: str, scenario: str, seed: int, bits: int):
 
     def fresh_session(**kwargs) -> ChannelSession:
         return ChannelSession(SessionConfig(
-            scenario=scenario_obj, seed=seed, params=params, **kwargs
+            spec=scenario, seed=seed, params=params, **kwargs
         ))
 
     if defense == "undefended":

@@ -29,7 +29,7 @@ POINT_FN = "repro.experiments.sync_handshake:point"
 
 def point(*, seed: int, params: dict | None = None) -> dict:
     """Run the handshake on a fresh session; returns durations."""
-    session = ChannelSession(SessionConfig(scenario=TABLE_I[0], seed=seed))
+    session = ChannelSession(SessionConfig(spec=TABLE_I[0].name, seed=seed))
     result = run_synchronization(
         session.kernel,
         session.bands,

@@ -12,11 +12,12 @@ import argparse
 from collections import Counter
 
 from repro.analysis.reporting import ascii_table
-from repro.channel.config import TABLE_I, scenario_by_name
-from repro.channel.session import execute_point
+from repro.channel.config import TABLE_I
+from repro.channel.session import execute_point, resolve_spec
 from repro.experiments.common import (
     execute_from_args,
     payload_bits,
+    protocol_argument,
     runner_arguments,
     warn_legacy_run,
 )
@@ -37,11 +38,13 @@ PAPER_TABLE_I = {
 }
 
 
-def point(*, scenario: str, seed: int, bits: int) -> dict:
+def point(*, scenario: str, seed: int, bits: int,
+          protocol: str | None = None) -> dict:
     """Short transmission on one scenario: placement + live accuracy."""
-    obj = scenario_by_name(scenario)
+    spec = resolve_spec(scenario, protocol=protocol)
+    obj = spec.scenario
     result = execute_point(
-        scenario=obj, payload=payload_bits(bits), seed=seed
+        spec=spec, payload=payload_bits(bits), seed=seed
     )
     label_counts = Counter(s.label for s in result.samples)
     return {
@@ -54,12 +57,14 @@ def point(*, scenario: str, seed: int, bits: int) -> dict:
     }
 
 
-def build_spec(seed: int = 0, bits: int = 24) -> ExperimentSpec:
+def build_spec(seed: int = 0, bits: int = 24,
+               protocol: str | None = None) -> ExperimentSpec:
     """One point per Table I scenario."""
+    extra = {"protocol": protocol} if protocol else {}
     points = tuple(
         Point(
             fn=POINT_FN,
-            params={"scenario": s.name, "seed": seed, "bits": bits},
+            params={"scenario": s.name, "seed": seed, "bits": bits, **extra},
             label=s.name,
         )
         for s in TABLE_I
@@ -109,10 +114,12 @@ def render(result: dict) -> str:
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--bits", type=int, default=24)
+    protocol_argument(parser)
 
 
 def spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
-    return build_spec(seed=args.seed, bits=args.bits)
+    return build_spec(seed=args.seed, bits=args.bits,
+                      protocol=args.protocol)
 
 
 def main(argv: list[str] | None = None) -> None:

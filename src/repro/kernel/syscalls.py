@@ -14,7 +14,7 @@ from collections.abc import Callable, Generator
 
 from repro.errors import OutOfMemoryError, ProtectionFaultError
 from repro.kernel.ksm import KsmDaemon
-from repro.kernel.paging import vpn_of
+from repro.kernel.paging import PageTableEntry, vpn_of
 from repro.kernel.process import Process
 from repro.kernel.scheduler import Scheduler
 from repro.mem.cacheline import LINE_SIZE
@@ -175,6 +175,37 @@ class Kernel:
                     base = va
             bases.append(base)
         # map_frame took a ref per process; drop the allocation ref.
+        for frame in frames:
+            self.phys.put_ref(frame.pfn)
+        return bases
+
+    def map_shared_writable(
+        self, processes: list[Process], n_pages: int = 1
+    ) -> list[int]:
+        """Explicit sharing with write access: shared frames, writable PTEs.
+
+        Models a writable shared segment (``mmap MAP_SHARED`` /
+        ``shmget``) — the setup the O-state channel needs, since the
+        trojan must be able to *dirty* the shared block: a KSM-merged
+        page would COW-unmerge on the first write and an explicit
+        read-only mapping would fault.  PTEs are built directly because
+        :meth:`Process.map_frame` hardcodes the COW semantics of
+        read-only library sharing.  Returns one base VA per process.
+        """
+        frames = [self.phys.alloc() for _ in range(n_pages)]
+        bases = []
+        for process in processes:
+            base = None
+            for frame in frames:
+                self.phys.get_ref(frame.pfn)
+                va = process._mmap_cursor
+                process.page_table[vpn_of(va)] = PageTableEntry(
+                    pfn=frame.pfn, writable=True, cow=False
+                )
+                process._mmap_cursor += PAGE_SIZE
+                if base is None:
+                    base = va
+            bases.append(base)
         for frame in frames:
             self.phys.put_ref(frame.pfn)
         return bases
@@ -368,5 +399,4 @@ class Kernel:
         """
         base = pfn * PAGE_SIZE
         for offset in range(0, PAGE_SIZE, LINE_SIZE):
-            for domain in self.machine.sockets:
-                domain.invalidate_line(base + offset)
+            self.machine.drop_line(base + offset)

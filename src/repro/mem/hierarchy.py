@@ -15,6 +15,7 @@ from repro.errors import ConfigError
 from repro.mem.cache import SetAssocCache
 from repro.mem.cacheline import CoherenceState, LlcLine, line_addr
 from repro.mem.coherence import Core, SocketDomain
+from repro.mem.directory import DirectoryEntry, DirectoryState
 from repro.mem.interconnect import Interconnect
 from repro.mem.latency import LatencyProfile, NoiseModel, ObfuscationPolicy
 from repro.mem.protocols import make_policy
@@ -53,6 +54,12 @@ class MachineConfig:
     llc_sets: int = 2048
     llc_assoc: int = 16
     protocol: str = "mesi"
+    #: Coherence backend: "snoop" (per-socket LLC directories resolved by
+    #: walking sockets, the default) or "directory" (a global home-node
+    #: directory of :class:`repro.mem.directory.DirectoryEntry` records —
+    #: every LLC miss consults the address's home socket first, changing
+    #: which service paths exist and therefore the latency-band shape).
+    coherence: str = "snoop"
     inclusive: bool = True
     #: Section VIII-E mitigation: LLC is notified of E->M transitions and
     #: can answer E-state read misses directly, merging the E and S bands.
@@ -79,6 +86,16 @@ class MachineConfig:
             raise ConfigError("need at least one socket")
         if self.cores_per_socket < 1:
             raise ConfigError("need at least one core per socket")
+        if self.coherence not in ("snoop", "directory"):
+            raise ConfigError(
+                f"unknown coherence backend {self.coherence!r}; "
+                "expected 'snoop' or 'directory'"
+            )
+        if self.coherence == "directory" and self.home_agent:
+            raise ConfigError(
+                "home_agent is a snoop-mode refinement; the directory "
+                "backend already routes every miss through the home node"
+            )
 
     @property
     def n_cores(self) -> int:
@@ -174,6 +191,21 @@ class Machine:
             delay_per_excess=self.config.delay_per_excess,
         )
         policy = make_policy(self.config.protocol)
+        self.policy = policy
+        # -- directory (home-node) backend state ------------------------
+        # One global directory keyed by line address; each entry's home
+        # socket is derived from the address (page-interleaved).  In
+        # snoop mode the dict stays empty and the flag short-circuits.
+        self._dir_mode = self.config.coherence == "directory"
+        self.home_directory: dict[int, DirectoryEntry] = {}
+        self._dir_trace = None
+        if self._dir_mode:
+            self._dir_owner_fwd_counter = self.stats.counter_handle(
+                "machine.dir.owner_forward")
+            self._dir_home_counter = self.stats.counter_handle(
+                "machine.dir.home_service")
+            self._dir_fill_counter = self.stats.counter_handle(
+                "machine.dir.memory_fill")
         self.cores: list[Core] = []
         self.sockets: list[SocketDomain] = []
         cfg = self.config
@@ -247,6 +279,8 @@ class Machine:
         for domain in self.sockets:
             domain.data_array.clear()
             domain.directory.clear()
+        self.home_directory.clear()
+        self._dir_trace = None
         self.dram.clear()
         self.obfuscation = None
         self.interconnect.reset()
@@ -277,6 +311,8 @@ class Machine:
         self, core_id: int, paddr: int, now: float = 0.0
     ) -> tuple[int, float, AccessPath]:
         """Service a load; returns (value, latency_cycles, path)."""
+        if self._dir_mode:
+            return self._directory_load(core_id, paddr, now)
         base = paddr & ~63
         home = self._socket_by_core[core_id]
         core = self.cores[core_id]
@@ -380,6 +416,8 @@ class Machine:
         self, core_id: int, paddr: int, value: int, now: float = 0.0
     ) -> tuple[float, AccessPath]:
         """Service a store (read-for-ownership); returns (latency, path)."""
+        if self._dir_mode:
+            return self._directory_store(core_id, paddr, value, now)
         base = paddr & ~63
         home = self._socket_by_core[core_id]
         core = self.cores[core_id]
@@ -455,6 +493,8 @@ class Machine:
 
     def flush(self, core_id: int, paddr: int, now: float = 0.0) -> float:
         """clflush: drop the line from every cache in every socket."""
+        if self._dir_mode:
+            return self._directory_flush(core_id, paddr, now)
         base = paddr & ~63
         profile = self.config.latency
         latest: int | None = None
@@ -471,6 +511,304 @@ class Machine:
             self._mem_register[self._socket_by_core[core_id].socket_id](now, 1.0)
         self._flush_counter.value += 1
         return self._finish(core_id, latency, AccessPath.UNCACHED)
+
+    # ------------------------------------------------------------------
+    # directory (home-node) request path
+    # ------------------------------------------------------------------
+    #
+    # Selected with MachineConfig(coherence="directory").  Every LLC
+    # miss first consults the address's *home* socket (page-interleaved,
+    # like the snoop-mode home_agent refinement) whose DirectoryEntry is
+    # authoritative for the whole machine.  Three service classes fall
+    # out, and they map onto the paper's bands differently than snoop
+    # mode does:
+    #
+    # * owner forward (E/M/O entry with a live owner): home snoops the
+    #   owning core -> LOCAL_EXCL / REMOTE_EXCL by the *owner's* socket;
+    # * home-side service (SHARED entry): the home answers from its
+    #   memory-side copy -> LOCAL_SHARED / REMOTE_SHARED by the *home's*
+    #   socket — so a remote sharer no longer produces a remote band if
+    #   the home is local, a genuinely different leakage surface;
+    # * memory fill (no entry / no copies): DRAM, requester granted E.
+    #
+    # Sharer masks are conservative supersets (silent private evictions
+    # leave stale bits); every path self-heals before trusting a bit.
+
+    def _dir_home_socket(self, base: int) -> int:
+        """Home socket of a line address (page-interleaved)."""
+        return (base >> 12) % self.config.n_sockets
+
+    def _dir_entry_heal(self, entry: DirectoryEntry, core_id: int) -> None:
+        """Drop the requester's stale claim on *entry*, if any.
+
+        A core that just missed privately cannot still hold a copy; if
+        the entry names it owner, ownership lapses and the entry falls
+        back to home-side (SHARED) service.
+        """
+        entry.drop_sharer(core_id)
+        if entry.owner_id == core_id:
+            entry.owner_id = None
+            entry.state = DirectoryState.SHARED
+
+    def _directory_load(
+        self, core_id: int, paddr: int, now: float
+    ) -> tuple[int, float, AccessPath]:
+        base = paddr & ~63
+        domain = self._socket_by_core[core_id]
+        core = self.cores[core_id]
+        line, level = domain.private_lookup(core, base)
+        if line is not None:
+            path = AccessPath.L1_HIT if level == "l1" else AccessPath.L2_HIT
+            base_lat, counter = self._path_info[path]
+            latency = self._finish(core_id, base_lat, path)
+            counter.value += 1
+            return line.value, latency, path
+
+        req_sid = domain.socket_id
+        contention = self._ring_register[req_sid](now, 1.0)
+        home_sid = self._dir_home_socket(base)
+        hop = 0.0
+        if home_sid != req_sid:
+            # The directory consult itself crosses QPI to the home node.
+            contention += self._qpi_register(now, 1.0)
+            hop = self.config.home_hop_cycles
+        entry = self.home_directory.get(base)
+        trace = self._dir_trace
+        if entry is not None:
+            self._dir_entry_heal(entry, core_id)
+            owner = entry.owner()
+            if owner is not None:
+                owner_domain = self._socket_by_core[owner]
+                owner_line = owner_domain.private_line(
+                    self.cores[owner], base)
+                if owner_line is not None and owner_line.state.readable:
+                    # Live owner: home forwards the request; data comes
+                    # cache-to-cache from the owner's socket.
+                    value = owner_line.value
+                    osid = owner_domain.socket_id
+                    contention += self._ring_register[osid](now, 1.0)
+                    if osid != req_sid:
+                        contention += self._qpi_register(now, 1.0)
+                    if owner_line.state.dirty and self.policy.has_owned_state:
+                        # MOESI: the dirty owner keeps servicing in O.
+                        owner_line.state = CoherenceState.OWNED
+                        entry.state = DirectoryState.OWNED
+                        entry.owner_id = owner
+                        entry.dirty = True
+                    else:
+                        if owner_line.state.dirty:
+                            entry.dirty = True
+                        owner_line.state = CoherenceState.SHARED
+                        entry.state = DirectoryState.SHARED
+                        entry.owner_id = None
+                    entry.value = value
+                    entry.add_sharer(owner)
+                    entry.add_sharer(core_id)
+                    domain.private_fill(
+                        core, base, CoherenceState.SHARED, value)
+                    path = (
+                        AccessPath.LOCAL_EXCL
+                        if osid == req_sid
+                        else AccessPath.REMOTE_EXCL
+                    )
+                    if trace is not None:
+                        trace(now, "owner_forward", base, entry)
+                    base_lat, counter = self._path_info[path]
+                    latency = self._finish(
+                        core_id,
+                        base_lat + hop + self._queueing(contention),
+                        path,
+                    )
+                    counter.value += 1
+                    self._dir_owner_fwd_counter.value += 1
+                    return value, latency, path
+                # Stale owner: its copy evicted silently (a dirty victim
+                # already reached DRAM via the L2-victim path).  Heal to
+                # home-side service.
+                entry.drop_sharer(owner)
+                entry.owner_id = None
+                entry.state = DirectoryState.SHARED
+            if entry.sharers:
+                # Home-side (memory-side) service of a shared line: the
+                # band is set by where the *home* is, not the sharers.
+                value = entry.value
+                entry.state = DirectoryState.SHARED
+                entry.owner_id = None
+                entry.add_sharer(core_id)
+                domain.private_fill(core, base, CoherenceState.SHARED, value)
+                path = (
+                    AccessPath.LOCAL_SHARED
+                    if home_sid == req_sid
+                    else AccessPath.REMOTE_SHARED
+                )
+                if trace is not None:
+                    trace(now, "home_service", base, entry)
+                base_lat, counter = self._path_info[path]
+                latency = self._finish(
+                    core_id,
+                    base_lat + hop + self._queueing(contention),
+                    path,
+                )
+                counter.value += 1
+                self._dir_home_counter.value += 1
+                return value, latency, path
+
+        # No entry or no live copies: memory fill, requester granted E.
+        if entry is not None and entry.dirty:
+            value = self.dram.get(base, entry.value)
+        else:
+            value = self.dram.get(base, 0)
+        contention += self._mem_register[home_sid](now, 1.0)
+        if entry is None:
+            entry = DirectoryEntry(addr=base)
+            self.home_directory[base] = entry
+        entry.state = DirectoryState.EXCLUSIVE
+        entry.sharers = 1 << core_id
+        entry.owner_id = None
+        entry.value = value
+        domain.private_fill(core, base, CoherenceState.EXCLUSIVE, value)
+        path = AccessPath.DRAM
+        if trace is not None:
+            trace(now, "memory_fill", base, entry)
+        base_lat, counter = self._path_info[path]
+        latency = self._finish(
+            core_id,
+            base_lat + hop + self._queueing(contention),
+            path,
+        )
+        counter.value += 1
+        self._dir_fill_counter.value += 1
+        return value, latency, path
+
+    def _directory_store(
+        self, core_id: int, paddr: int, value: int, now: float
+    ) -> tuple[float, AccessPath]:
+        base = paddr & ~63
+        domain = self._socket_by_core[core_id]
+        core = self.cores[core_id]
+        profile = self.config.latency
+        line, _level = domain.private_lookup(core, base)
+        if line is not None and line.state.writable:
+            line.value = value
+            latency = self._finish(core_id, profile.l1_hit, AccessPath.L1_HIT)
+            self._store_hit_counter.value += 1
+            return latency, AccessPath.L1_HIT
+
+        req_sid = domain.socket_id
+        self._ring_register[req_sid](now, 1.0)
+        home_sid = self._dir_home_socket(base)
+        if home_sid != req_sid:
+            self._qpi_register(now, 1.0)
+        entry = self.home_directory.get(base)
+        latest: int | None = None
+        source = AccessPath.DRAM
+        if entry is not None:
+            self._dir_entry_heal(entry, core_id)
+            owner = entry.owner()
+            if owner is not None:
+                owner_domain = self._socket_by_core[owner]
+                owner_line = owner_domain.private_line(
+                    self.cores[owner], base)
+                osid = owner_domain.socket_id
+                self._ring_register[osid](now, 1.0)
+                if osid != req_sid:
+                    self._qpi_register(now, 1.0)
+                if owner_line is not None:
+                    latest = owner_line.value
+                    source = (
+                        AccessPath.LOCAL_EXCL
+                        if osid == req_sid
+                        else AccessPath.REMOTE_EXCL
+                    )
+                elif entry.dirty:
+                    latest = entry.value
+            elif entry.sharers:
+                latest = entry.value
+                source = (
+                    AccessPath.LOCAL_SHARED
+                    if home_sid == req_sid
+                    else AccessPath.REMOTE_SHARED
+                )
+            elif entry.dirty:
+                latest = entry.value
+            # Invalidate every (possibly stale) sharer bit.
+            for cid in entry.sharer_ids():
+                if cid == core_id:
+                    continue
+                sharer_domain = self._socket_by_core[cid]
+                invalidated = sharer_domain.private_invalidate(
+                    self.cores[cid], base)
+                if invalidated is not None and invalidated.state.dirty:
+                    latest = invalidated.value
+        if line is not None and line.state.readable:
+            # Upgrade in place (e.g. E -> M, S -> M after invalidations).
+            latest = line.value
+        if latest is None:
+            latest = self.dram.get(base, 0)
+            self._mem_register[home_sid](now, 1.0)
+        if entry is None:
+            entry = DirectoryEntry(addr=base)
+            self.home_directory[base] = entry
+        entry.state = DirectoryState.MODIFIED
+        entry.sharers = 1 << core_id
+        entry.owner_id = None
+        entry.value = value
+        entry.dirty = True
+        domain.private_fill(core, base, CoherenceState.MODIFIED, value)
+        if self._dir_trace is not None:
+            self._dir_trace(now, "rfo", base, entry)
+        latency = self._base_latency[source] + profile.store_upgrade
+        latency = self._finish(core_id, latency, AccessPath.UNCACHED)
+        self._store_rfo_counter.value += 1
+        return latency, source
+
+    def _directory_flush(
+        self, core_id: int, paddr: int, now: float
+    ) -> float:
+        base = paddr & ~63
+        profile = self.config.latency
+        entry = self.home_directory.pop(base, None)
+        latest: int | None = None
+        dirty = False
+        if entry is not None:
+            if entry.dirty:
+                latest = entry.value
+                dirty = True
+            for cid in entry.sharer_ids():
+                sharer_domain = self._socket_by_core[cid]
+                invalidated = sharer_domain.private_invalidate(
+                    self.cores[cid], base)
+                if invalidated is not None:
+                    if latest is None or invalidated.state.dirty:
+                        latest = invalidated.value
+                    dirty = dirty or invalidated.state.dirty
+            if self._dir_trace is not None:
+                self._dir_trace(now, "flush", base, entry)
+        latency = profile.flush
+        if dirty and latest is not None:
+            self.dram[base] = latest
+            latency += profile.flush_writeback
+            self._mem_register[self._socket_by_core[core_id].socket_id](now, 1.0)
+        self._flush_counter.value += 1
+        return self._finish(core_id, latency, AccessPath.UNCACHED)
+
+    def drop_line(self, paddr: int) -> None:
+        """Invalidate a line everywhere without write-back.
+
+        For page remaps (KSM COW unmerge): the physical frame is being
+        replaced, so dirty data is deliberately discarded.  Works under
+        both coherence backends.
+        """
+        base = paddr & ~63
+        if self._dir_mode:
+            entry = self.home_directory.pop(base, None)
+            if entry is not None:
+                for cid in entry.sharer_ids():
+                    self._socket_by_core[cid].private_invalidate(
+                        self.cores[cid], base)
+            return
+        for domain in self.sockets:
+            domain.invalidate_line(base)
 
     # ------------------------------------------------------------------
     # latency assembly
@@ -531,6 +869,10 @@ class Machine:
     def llc_entry(self, socket_id: int, paddr: int) -> LlcLine | None:
         """Directory entry for the line in a socket (None if absent)."""
         return self.sockets[socket_id].directory.get(line_addr(paddr))
+
+    def home_entry(self, paddr: int) -> DirectoryEntry | None:
+        """Home-node directory entry (directory backend; None if absent)."""
+        return self.home_directory.get(line_addr(paddr))
 
     def global_coherence_state(self, paddr: int) -> CoherenceState:
         """The strongest private state any core holds for the line."""

@@ -111,7 +111,12 @@ class MoesiPolicy(ProtocolPolicy):
         super().on_owner_read_service(entry, owner_line)
 
 
-_POLICIES = {
+#: The protocol registry: name -> policy class.  This is the single
+#: dispatch point for protocol selection — the ``--protocol`` CLI flag,
+#: :class:`repro.channel.scenarios.ScenarioSpec` and
+#: :class:`repro.mem.hierarchy.MachineConfig` all validate against it,
+#: mirroring how drivers register in ``repro.experiments.REGISTRY``.
+PROTOCOLS: dict[str, type[ProtocolPolicy]] = {
     "mesi": MesiPolicy,
     "mesif": MesifPolicy,
     "moesi": MoesiPolicy,
@@ -119,12 +124,17 @@ _POLICIES = {
 
 
 def make_policy(name: str) -> ProtocolPolicy:
-    """Instantiate the protocol policy called *name* (case-insensitive)."""
+    """Instantiate the registered protocol policy called *name*.
+
+    Case-insensitive.  Unknown names raise :class:`ConfigError` listing
+    the registered choices.
+    """
     try:
-        policy_cls = _POLICIES[name.lower()]
+        policy_cls = PROTOCOLS[name.lower()]
     except KeyError:
         raise ConfigError(
-            f"unknown protocol {name!r}; expected one of {sorted(_POLICIES)}"
+            f"unknown protocol {name!r}; registered protocols: "
+            f"{', '.join(sorted(PROTOCOLS))}"
         ) from None
     policy = policy_cls()
     policy.validate()

@@ -44,6 +44,8 @@ class MachineTap:
         self._orig_ring = None
         self._orig_qpi = None
         self._orig_mem = None
+        self._orig_dir_trace = None
+        self._dir_wrapper = None
         self._wrappers: dict[str, object] = {}
 
     # -- state snapshots ------------------------------------------------
@@ -156,6 +158,28 @@ class MachineTap:
             hop_wrapper(f"mem{i}", reg)
             for i, reg in enumerate(self._orig_mem)
         ]
+
+        # Directory-backend machines expose a home-agent hook: each
+        # serviced request reports which path the home chose
+        # (owner_forward / home_service / memory_fill / rfo / flush)
+        # along with the post-op entry.  Chain rather than replace so a
+        # pre-installed hook keeps firing.
+        self._orig_dir_trace = machine._dir_trace
+        orig_dir_trace = self._orig_dir_trace
+
+        def dir_trace(now: float, kind: str, base: int, entry) -> None:
+            if orig_dir_trace is not None:
+                orig_dir_trace(now, kind, base, entry)
+            recorder.emit(now, "directory", kind, {
+                "line": base,
+                "state": entry.state.value,
+                "sharers": entry.sharers,
+                "owner": entry.owner(),
+                "dirty": entry.dirty,
+            })
+
+        machine._dir_trace = dir_trace
+        self._dir_wrapper = dir_trace
         machine._trace_tap = self
 
     def detach(self) -> None:
@@ -178,6 +202,9 @@ class MachineTap:
         machine._ring_register = self._orig_ring
         machine._qpi_register = self._orig_qpi
         machine._mem_register = self._orig_mem
+        if machine._dir_trace is self._dir_wrapper:
+            machine._dir_trace = self._orig_dir_trace
+        self._dir_wrapper = None
         if getattr(machine, "_trace_tap", None) is self:
             machine._trace_tap = None
 

@@ -10,7 +10,7 @@ from repro.channel.config import (
     Scenario,
     scenario_by_name,
 )
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
 from repro.channel.symbols import MultiBitSession, SymbolParams
 from repro.experiments.common import payload_bits
 
@@ -34,7 +34,7 @@ def test_every_unordered_scenario_pair_works():
     swapped = Scenario(csc=LEXCL, csb=RSHARED)   # its role-swapped twin
     for sc in (scenario, swapped):
         session = ChannelSession(SessionConfig(
-            scenario=sc, seed=3, calibration_samples=200,
+            spec=resolve_spec(sc), seed=3, calibration_samples=200,
         ))
         assert session.transmit(PAYLOAD[:16]).accuracy == 1.0
 
@@ -43,7 +43,7 @@ def test_every_unordered_scenario_pair_works():
 def test_alternate_symbol_structures(c1, c0, cb):
     params = ProtocolParams(c1=c1, c0=c0, cb=cb)
     session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[0], seed=3, params=params,
+        spec=TABLE_I[0].name, seed=3, params=params,
         calibration_samples=200,
     ))
     assert session.transmit(PAYLOAD[:16]).accuracy == 1.0
@@ -52,7 +52,7 @@ def test_alternate_symbol_structures(c1, c0, cb):
 def test_spy_sharing_core_with_heavy_thread():
     """Oversubscribing the spy's core injects outliers, not hangs."""
     session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[0], seed=3, calibration_samples=200,
+        spec=TABLE_I[0].name, seed=3, calibration_samples=200,
         params=ProtocolParams(max_reception_slots=3_000),
     ))
     squatter_proc = session.kernel.create_process("squatter")
@@ -72,7 +72,7 @@ def test_spy_sharing_core_with_heavy_thread():
 
 def test_shared_page_survives_many_transmissions():
     session = ChannelSession(SessionConfig(
-        scenario=scenario_by_name("RExclc-LExclb"), seed=3,
+        spec="RExclc-LExclb", seed=3,
         calibration_samples=200,
     ))
     for i in range(5):

@@ -61,7 +61,7 @@ def test_payload_validation(session_factory):
 def test_remote_scenario_requires_two_sockets():
     with pytest.raises(ConfigError):
         SessionConfig(
-            scenario=scenario_by_name("RExclc-RSharedb"),
+            spec="RExclc-RSharedb",
             machine=MachineConfig(n_sockets=1),
         )
 
@@ -77,11 +77,11 @@ def test_local_scenario_on_single_socket(session_factory):
 
 def test_invalid_sharing_mode():
     with pytest.raises(ConfigError):
-        SessionConfig(scenario=TABLE_I[0], sharing="telepathy")
+        SessionConfig(spec=TABLE_I[0].name, sharing="telepathy")
 
 
 def test_run_transmission_oneshot():
-    result = run_transmission(TABLE_I[0], [1, 0, 1])
+    result = run_transmission(TABLE_I[0].name, [1, 0, 1])
     assert result.received == [1, 0, 1]
     assert result.scenario_name == "LExclc-LSharedb"
 

@@ -9,7 +9,7 @@ from repro.channel.sync import SyncParams, run_synchronization
 
 def make_session(seed=2):
     return ChannelSession(SessionConfig(
-        scenario=TABLE_I[0], seed=seed, calibration_samples=200,
+        spec=TABLE_I[0].name, seed=seed, calibration_samples=200,
     ))
 
 

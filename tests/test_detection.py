@@ -18,7 +18,7 @@ from repro.mem.cacheline import LINE_SIZE
 
 def session_with_monitor(seed=21, **kwargs):
     session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[0], seed=seed, calibration_samples=200, **kwargs
+        spec=TABLE_I[0].name, seed=seed, calibration_samples=200, **kwargs
     ))
     monitor = EventMonitor(session.machine)
     monitor.attach()

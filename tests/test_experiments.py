@@ -159,3 +159,34 @@ def test_ablation_home_agent_split():
     outcome = ablations.run_home_agent(seed=1)
     assert outcome["split_cycles"] > 20
     assert outcome["home-remote"] > outcome["home-local"]
+
+
+def test_leaderboard_scores_the_whole_matrix():
+    from repro.experiments import leaderboard
+
+    result = leaderboard.run(seed=1, bits=16, noise=False)
+    cells = result["cells"]
+    live = {n for n, row in cells.items() if row["status"] == "ok"}
+    dead = {n for n, row in cells.items() if row["status"] == "dead"}
+    # 9 live cells, the two protocol-impossible cells dead, dir-lru absent
+    assert len(live) == 9
+    assert dead == {"mesi-ostate", "mesif-ostate"}
+    assert "dir-lru" not in cells
+    for name in live:
+        assert cells[name]["accuracy"] >= 0.9, name
+        assert cells[name]["capacity_kbps"] > 0, name
+    # the LRU family pays the eviction-sweep slot cost
+    assert (cells["mesi-lru"]["rate_kbps"]
+            < cells["mesi-es"]["rate_kbps"] / 3)
+
+
+def test_leaderboard_render_marks_every_cell_kind():
+    from repro.experiments import leaderboard
+
+    result = leaderboard.run(seed=1, bits=16, noise=False)
+    text = leaderboard.render(result)
+    assert "9 live cells" in text
+    assert "dead" in text
+    assert "n/a" in text        # the undefined directory x lru cell
+    for row in ("mesi", "mesif", "moesi", "directory"):
+        assert row in text

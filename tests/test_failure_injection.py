@@ -24,7 +24,7 @@ def make_session(seed=31, **kwargs):
     params = kwargs.pop("params", ProtocolParams(max_poll_slots=300,
                                                  max_reception_slots=2_000))
     return ChannelSession(SessionConfig(
-        scenario=kwargs.pop("scenario", TABLE_I[0]),
+        spec=kwargs.pop("scenario", TABLE_I[0]).name,
         seed=seed, calibration_samples=200, params=params, **kwargs,
     ))
 

@@ -8,10 +8,11 @@ keep all three constant.  If a digest moves for an *intended* semantic
 change, regenerate the constants with :func:`transmission_digest` and
 say so in the commit message; an unintended move is a regression.
 
-The three configurations cover the distinct protocol paths: the default
+The configurations cover the distinct protocol paths: the default
 MESI machine, the E-state LLC direct-response variant (collapses the
-local/remote E bands onto S), and the two-socket home-agent directory
-hop (extends the remote bands).
+local/remote E bands onto S), the two-socket home-agent directory
+hop (extends the remote bands), the full home-node directory backend
+(``coherence="directory"``) and the MOESI O-state channel.
 """
 
 import hashlib
@@ -20,7 +21,7 @@ import struct
 import pytest
 
 from repro.channel.config import scenario_by_name
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
 from repro.mem.hierarchy import MachineConfig
 
 PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
@@ -32,17 +33,24 @@ GOLDEN = {
         "8b29a4846b8db422c11a3975b3b245194ac07fce5132dced484da1b6aa591e23",
     "home_agent":
         "abbc2d1884d46ed9a1d2ddf472917ef06f1522de7391e22423e0d1fec2040ccd",
+    "directory_backend":
+        "d880e5521f27a2ff0f80efd0989574b70de23409229f0444bbf96d3b4bebff7a",
+    "moesi_ostate":
+        "b934a6ca3dd5a540fa09f225a6138b08c42fb9af3ccce1479cdad77a502ba9e5",
 }
 
 #: config name -> (MachineConfig kwargs, scenario) — scenarios are chosen
 #: so the variant's distinctive path is actually exercised (remote-S for
-#: the direct-response machine, remote-E for the home agent).
+#: the direct-response machine, remote-E for the home agent).  Registered
+#: ScenarioSpec cells (a string entry) carry their own machine config.
 CONFIGS = {
     "mesi_default": ({}, "LExclc-LSharedb"),
     "llc_direct_e_response": (
         {"llc_direct_e_response": True}, "RSharedc-LSharedb"
     ),
     "home_agent": ({"home_agent": True}, "RExclc-LSharedb"),
+    "directory_backend": "dir-es",
+    "moesi_ostate": "moesi-ostate",
 }
 
 
@@ -60,13 +68,19 @@ def transmission_digest(result) -> str:
 
 
 def run_config(name: str) -> str:
-    machine_kwargs, scenario = CONFIGS[name]
-    session = ChannelSession(SessionConfig(
-        scenario=scenario_by_name(scenario),
-        seed=7,
-        calibration_samples=150,
-        machine=MachineConfig(**machine_kwargs),
-    ))
+    config = CONFIGS[name]
+    if isinstance(config, str):
+        session = ChannelSession(SessionConfig(
+            spec=config, seed=7, calibration_samples=150,
+        ))
+    else:
+        machine_kwargs, scenario = config
+        session = ChannelSession(SessionConfig(
+            spec=resolve_spec(scenario_by_name(scenario)),
+            seed=7,
+            calibration_samples=150,
+            machine=MachineConfig(**machine_kwargs),
+        ))
     return transmission_digest(session.transmit(list(PAYLOAD)))
 
 

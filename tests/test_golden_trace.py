@@ -32,7 +32,7 @@ GOLDEN_TRACE = (
 
 def make_session(trace) -> ChannelSession:
     return ChannelSession(SessionConfig(
-        scenario=scenario_by_name("LExclc-LSharedb"),
+        spec="LExclc-LSharedb",
         seed=7,
         calibration_samples=150,
         calibration_memo=False,

@@ -62,7 +62,7 @@ def test_quad_socket_flush_is_global(rng):
 def test_channel_works_on_quad_socket():
     """The attack generalizes to any socket count (paper Sec VIII-E)."""
     session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[1],  # RExclc-RSharedb: fully remote
+        spec=TABLE_I[1].name,  # RExclc-RSharedb: fully remote
         seed=5,
         machine=MachineConfig(n_sockets=4, cores_per_socket=4),
         calibration_samples=200,
@@ -75,7 +75,7 @@ def test_single_core_socket_rejected_for_local_scenario():
     # one core per socket cannot host spy + two local trojan threads
     with pytest.raises(ConfigError):
         ChannelSession(SessionConfig(
-            scenario=TABLE_I[0],
+            spec=TABLE_I[0].name,
             machine=MachineConfig(n_sockets=2, cores_per_socket=1),
             calibration_samples=50,
         ))
@@ -121,7 +121,7 @@ def test_home_agent_local_hits_unaffected(rng):
 
 def test_home_agent_channel_still_works():
     session = ChannelSession(SessionConfig(
-        scenario=TABLE_I[0],
+        spec=TABLE_I[0].name,
         seed=5,
         machine=MachineConfig(home_agent=True),
         calibration_samples=300,

@@ -18,7 +18,7 @@ def make_session(scenario=TABLE_I[0], seed=9, **kwargs):
 
     params = kwargs.pop("params", ProtocolParams(max_reception_slots=2_000))
     return ChannelSession(SessionConfig(
-        scenario=scenario, seed=seed, calibration_samples=200,
+        spec=scenario.name, seed=seed, calibration_samples=200,
         params=params, **kwargs
     ))
 

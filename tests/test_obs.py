@@ -242,6 +242,40 @@ def test_tap_detach_restores_bindings():
     tap.detach()
 
 
+def test_tap_records_directory_events():
+    machine = Machine(quiet_config(coherence="directory"), RngStreams(0))
+    rec = TraceRecorder()
+    tap = MachineTap(machine, rec)
+    tap.attach()
+    addr = 64 * 1024
+    machine.load(0, addr, now=10.0)    # memory fill, E grant
+    machine.load(4, addr, now=20.0)    # home forwards to the live owner
+    machine.load(5, addr, now=30.0)    # memory-side (home) service
+    machine.store(0, addr, 9, now=40.0)
+    machine.flush(0, addr, now=50.0)
+    kinds = [e.name for e in rec.select("directory")]
+    assert kinds == [
+        "memory_fill", "owner_forward", "home_service", "rfo", "flush",
+    ]
+    fill = rec.select("directory")[0]
+    assert fill.data["state"] == "E"
+    assert fill.data["owner"] == 0
+    tap.detach()
+    assert machine._dir_trace is None
+
+
+def test_tap_chains_preexisting_dir_trace():
+    machine = Machine(quiet_config(coherence="directory"), RngStreams(0))
+    seen = []
+    machine._dir_trace = lambda now, kind, base, entry: seen.append(kind)
+    tap = MachineTap(machine, TraceRecorder())
+    tap.attach()
+    machine.load(0, 64 * 1024, now=1.0)
+    assert seen == ["memory_fill"]     # the original hook still fires
+    tap.detach()
+    assert machine._dir_trace is not None  # restored, not cleared
+
+
 def test_machine_reset_detaches_tap():
     machine = Machine(MachineConfig(), RngStreams(0))
     orig_qpi = machine._qpi_register
@@ -359,7 +393,7 @@ def test_text_timeline_max_rows():
 
 def make_session(**kwargs) -> ChannelSession:
     return ChannelSession(SessionConfig(
-        scenario=scenario_by_name("LExclc-LSharedb"),
+        spec="LExclc-LSharedb",
         seed=7,
         calibration_samples=150,
         **kwargs,

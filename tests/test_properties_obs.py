@@ -83,7 +83,7 @@ def test_recorded_transitions_replay_clean(ops):
 def test_labeled_samples_match_their_band_path(seed, payload):
     scenario = scenario_by_name("LExclc-LSharedb")
     session = ChannelSession(SessionConfig(
-        scenario=scenario,
+        spec=scenario.name,
         seed=seed,
         calibration_samples=120,
         machine=MachineConfig(noise=NoiseModel(enabled=False)),

@@ -70,7 +70,7 @@ def test_end_to_end_transmission_bit_deterministic():
 
     def run():
         session = ChannelSession(SessionConfig(
-            scenario=TABLE_I[2], seed=77, calibration_samples=150,
+            spec=TABLE_I[2].name, seed=77, calibration_samples=150,
         ))
         result = session.transmit([1, 0, 1, 1, 0, 0])
         return (
