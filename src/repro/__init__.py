@@ -59,10 +59,11 @@ from repro.mem import (
 from repro.obs import RunManifest, TraceRecorder
 from repro.sim import RngStreams, Simulator
 
-# 1.4.0: the ScenarioSpec registry (protocol x channel x topology), the
-# directory coherence backend and the O-state/LRU channels — the bump
-# salts the result cache because session construction semantics changed.
-__version__ = "1.4.0"
+# 1.5.0: deterministic checkpoint/restore and segmented crash-resumable
+# execution (repro.checkpoint) — the bump salts the result cache (and
+# the segment identities riding in it) because spawn-time ProgramSpec
+# attachment changed session construction.
+__version__ = "1.5.0"
 
 __all__ = [
     "CLOCK_HZ",

@@ -19,7 +19,11 @@ emits a machine-readable ``BENCH_<date>.json`` report:
 * ``trace_overhead`` — the wall-time cost of structured tracing
   (:mod:`repro.obs`): disabled-mode overhead is gated (< 2%, since the
   disabled path is the unmodified hot code), enabled-mode cost is
-  reported for information.
+  reported for information;
+* ``segment_overhead`` — the wall-time cost of arming segmented
+  checkpointing (:mod:`repro.checkpoint`) with a boundary the run never
+  reaches, gated (< 5%) so the crash-resume machinery stays cheap
+  enough to enable on any long run.
 
 Every benchmark is deterministic (fixed seeds) so wall time is the only
 thing that varies between runs; each is repeated and the best (minimum)
@@ -28,6 +32,7 @@ for how to run and read the reports, and how CI gates on them.
 """
 
 from repro.bench.harness import (
+    SEGMENT_OVERHEAD_LIMIT,
     TRACE_OVERHEAD_LIMIT,
     check_regression,
     default_report_name,
@@ -37,11 +42,13 @@ from repro.bench.harness import (
     load_report,
     noise_point,
     run_all,
+    segment_overhead,
     trace_overhead,
     write_report,
 )
 
 __all__ = [
+    "SEGMENT_OVERHEAD_LIMIT",
     "TRACE_OVERHEAD_LIMIT",
     "check_regression",
     "default_report_name",
@@ -51,6 +58,7 @@ __all__ = [
     "load_report",
     "noise_point",
     "run_all",
+    "segment_overhead",
     "trace_overhead",
     "write_report",
 ]

@@ -34,7 +34,8 @@ _PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
 #: v2 added the ``grid_sweep`` benchmark (points/s per execution mode,
 #: bit-identity flag, transport byte counts).
 #: v3 added ``trace_overhead`` (disabled/enabled tracing cost).
-SCHEMA = 3
+#: v4 added ``segment_overhead`` (armed-but-idle segmentation cost).
+SCHEMA = 4
 
 #: Allowed wall-time overhead of *disabled* tracing vs the baseline.
 #: Disabled tracing attaches nothing to the machine — the hot path is
@@ -42,6 +43,14 @@ SCHEMA = 3
 #: work and the gate bounds measurement noise plus any accidental
 #: reintroduction of per-event checks.
 TRACE_OVERHEAD_LIMIT = 0.02
+
+#: Allowed wall-time overhead of segmentation armed with a boundary the
+#: run never reaches.  This isolates the per-event bookkeeping the
+#: checkpoint plane adds (replay-log appends, mark truncation, the
+#: pause-boundary comparison) from the cost of actually storing
+#: segments, which is proportional to segment count and priced in
+#: EXPERIMENTS.md instead.
+SEGMENT_OVERHEAD_LIMIT = 0.05
 
 
 def _payload(bits: int) -> list[int]:
@@ -186,6 +195,74 @@ def trace_overhead(
         "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
         "enabled_overhead": best["enabled"] / best["baseline"] - 1.0,
         "traced_events": traced_events,
+    }
+
+
+def segment_overhead(
+    seed: int = 0, bits: int = 24, repeats: int = 3
+) -> dict[str, Any]:
+    """Cost of segmentation that is armed but never fires.
+
+    Two session variants transmit the same fixed payload:
+
+    * ``baseline`` — segmentation off (today's default path);
+    * ``armed`` — ``REPRO_SEGMENT_CYCLES`` set to a boundary far beyond
+      the run's end and a :class:`~repro.checkpoint.SegmentStore`
+      attached, so every per-event checkpoint cost is paid (replay logs
+      on all spec-bearing threads, cursor marks, the pause check) but no
+      segment is ever captured or stored.
+
+    ``overhead`` is gated at :data:`SEGMENT_OVERHEAD_LIMIT` by
+    :func:`check_regression`: an unsegmented point must stay within 5%
+    of itself with the machinery armed, or segmentation is too expensive
+    to leave available by default.
+    """
+    import os
+    import tempfile
+
+    from repro.channel.session import ChannelSession, SessionConfig
+
+    payload = _payload(bits)
+    scratch = tempfile.mkdtemp(prefix="repro-bench-seg-")
+
+    def one(armed: bool) -> float:
+        saved = os.environ.pop("REPRO_SEGMENT_CYCLES", None)
+        if armed:
+            os.environ["REPRO_SEGMENT_CYCLES"] = "1e15"
+        try:
+            session = ChannelSession(SessionConfig(
+                spec="LExclc-LSharedb",
+                seed=seed,
+                calibration_samples=200,
+            ))
+            if armed:
+                from repro.checkpoint.segments import SegmentStore
+                from repro.runner.cache import ResultCache
+
+                session.segments = SegmentStore(
+                    "bench-segment-overhead",
+                    cache=ResultCache(scratch),
+                    cycles=1e15,
+                )
+            t0 = time.perf_counter()
+            session.transmit(payload)
+            return time.perf_counter() - t0
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_SEGMENT_CYCLES", None)
+            else:
+                os.environ["REPRO_SEGMENT_CYCLES"] = saved
+
+    best = {"baseline": float("inf"), "armed": float("inf")}
+    for _ in range(max(1, repeats)):
+        # Interleaved so host drift hits both variants equally.
+        best["baseline"] = min(best["baseline"], one(False))
+        best["armed"] = min(best["armed"], one(True))
+    return {
+        "bits": bits,
+        "baseline_wall_s": best["baseline"],
+        "armed_wall_s": best["armed"],
+        "overhead": best["armed"] / best["baseline"] - 1.0,
     }
 
 
@@ -374,6 +451,9 @@ def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "trace_overhead": trace_overhead(
                 bits=noise_bits, repeats=repeats
             ),
+            "segment_overhead": segment_overhead(
+                bits=noise_bits, repeats=repeats
+            ),
         },
     }
 
@@ -402,15 +482,17 @@ def check_regression(
 ) -> list[str]:
     """Compare two reports; return a list of human-readable failures.
 
-    Two quantities gate:
-
-    Three quantities gate:
+    Four quantities gate:
 
     * engine events/second — the current run must reach at least
       ``(1 - max_regression)`` of the baseline's throughput;
     * disabled-mode tracing — ``trace_overhead.disabled_overhead`` must
       stay under :data:`TRACE_OVERHEAD_LIMIT` (an absolute bound, not
       baseline-relative: disabled tracing is contractually free);
+    * armed-but-idle segmentation — ``segment_overhead.overhead`` must
+      stay under :data:`SEGMENT_OVERHEAD_LIMIT` (also absolute: the
+      checkpoint plane's per-event bookkeeping must stay cheap enough
+      to arm on any long run);
     * grid throughput — ``grid_sweep`` must report ``bit_identical``
       (an optimized mode producing different results is a correctness
       regression, whatever its speed), and when the baseline also
@@ -442,6 +524,15 @@ def check_regression(
                 f"trace_overhead: disabled-mode tracing costs "
                 f"{overhead:.1%} >= {TRACE_OVERHEAD_LIMIT:.0%} "
                 f"(must be free when off)"
+            )
+    segment = current["benchmarks"].get("segment_overhead")
+    if segment is not None:
+        overhead = segment.get("overhead", 0.0)
+        if overhead >= SEGMENT_OVERHEAD_LIMIT:
+            problems.append(
+                f"segment_overhead: armed-but-idle segmentation costs "
+                f"{overhead:.1%} >= {SEGMENT_OVERHEAD_LIMIT:.0%} on an "
+                f"unsegmented point"
             )
     grid = current["benchmarks"].get("grid_sweep")
     if grid is not None:

@@ -41,7 +41,7 @@ from repro.channel.decoder import (
     unpack_samples,
 )
 from repro.channel.metrics import Alignment, align_bits, transmission_rate_kbps
-from repro.channel.spy import SpyResult, eviction_flusher, spy_program
+from repro.channel.spy import SpyResult, spy_program
 from repro.channel.sync import resync_backoff_cycles
 from repro.channel.trojan import (
     TrojanControl,
@@ -50,6 +50,8 @@ from repro.channel.trojan import (
     worker_program,
     worker_roles,
 )
+from repro.checkpoint.spec import ProgramSpec, TransmitContext
+from repro.checkpoint.segments import SegmentStore, segments_enabled
 from repro.errors import ConfigError, SyncTimeoutError
 from repro.faults.plan import FaultPlan
 from repro.kernel.process import Process
@@ -310,6 +312,14 @@ class SessionBase:
             self.tap = MachineTap(self.machine, self.recorder)
             self.tap.attach()
         self.sim = Simulator(self.machine.stats)
+        # Decided before the first spawn: replay logs must cover every
+        # spec-bearing thread from its first op or a checkpoint cannot
+        # re-drive it.
+        self.sim.checkpointing = segments_enabled()
+        #: Optional :class:`repro.checkpoint.SegmentStore` — when set,
+        #: transmissions pause at segment boundaries and store resumable
+        #: checkpoints (see :meth:`_run_transmission`).
+        self.segments: SegmentStore | None = None
         self.kernel = Kernel(self.machine, self.sim, self.rng)
         self.trojan_proc: Process = self.kernel.create_process("trojan")
         self.spy_proc: Process = self.kernel.create_process("spy")
@@ -479,9 +489,13 @@ class SessionBase:
                 worker_program(control, role, self.trojan_va, self.config.params),
                 core_id=pool[role.index],
                 daemon=True,
+                spec=ProgramSpec(
+                    "repro.channel.trojan:worker_program",
+                    (control, role, self.trojan_va, self.config.params),
+                ),
             )
 
-    def spawn_controller(self, program, tag: int):
+    def spawn_controller(self, program, tag: int, spec: ProgramSpec | None = None):
         """Spawn the trojan's orchestration thread.
 
         The controller only flushes at transitions and waits out slots;
@@ -495,6 +509,7 @@ class SessionBase:
             executor=self.kernel._execute,
             daemon=False,
             process=self.trojan_proc,
+            spec=spec,
         )
 
     def next_tag(self) -> int:
@@ -560,6 +575,44 @@ class SessionBase:
         )
         self.sim.run()
 
+    # -- segmented execution --------------------------------------------
+
+    def _segmentable(self) -> bool:
+        """Whether the in-flight transmission may be checkpointed.
+
+        Tracing sessions and obfuscated machines are excluded (recorder
+        buffers and wrapped caches do not snapshot), and every live
+        thread must carry a :class:`~repro.checkpoint.ProgramSpec` —
+        simulation-plane fault injectors are spec-less by design, so a
+        fault-disturbed transmission silently falls back to the
+        unsegmented path rather than checkpointing unrestorable state.
+        """
+        if self.recorder is not None or self.machine.obfuscation is not None:
+            return False
+        return all(
+            thread.program_spec is not None
+            for thread in self.sim.live_run_order()
+        )
+
+    def _run_transmission(self, ctx: TransmitContext) -> None:
+        """Drive one attempt's engine run, segmenting when configured.
+
+        Unsegmented (no store, or :meth:`_segmentable` says no): one
+        plain ``sim.run()`` — byte-for-byte today's behavior.  Segmented:
+        run to each segment boundary, store a resumable checkpoint, and
+        continue; the pauses are invisible to the simulation.
+        """
+        store = self.segments
+        if store is None or not self._segmentable():
+            self.sim.run()
+            return
+        while True:
+            boundary = store.next_boundary(self.sim.global_clock)
+            paused = self.sim.run(pause_at=boundary)
+            if not paused:
+                return
+            store.record_segment(self, ctx)
+
 
 class ChannelSession(SessionBase):
     """One binary trojan/spy channel on one simulated machine.
@@ -568,7 +621,12 @@ class ChannelSession(SessionBase):
     advancing on the same machine and shared page.
     """
 
-    def transmit(self, payload: list[int]) -> TransmissionResult:
+    def transmit(
+        self,
+        payload: list[int],
+        _resume: TransmitContext | None = None,
+        _label: str = "main",
+    ) -> TransmissionResult:
         """Send *payload* from the trojan to the spy; decode and score.
 
         If the spy times out waiting for the transmission start (a lost
@@ -577,16 +635,31 @@ class ChannelSession(SessionBase):
         backoff, and the whole handshake replays, up to
         ``config.resync_attempts`` retries.  Only then does
         :class:`~repro.errors.SyncTimeoutError` propagate.
+
+        ``_resume``/``_label`` are the checkpoint plane's hooks
+        (:func:`repro.checkpoint.restore` / :func:`execute_point`): a
+        restored :class:`~repro.checkpoint.TransmitContext` re-enters
+        the attempt loop mid-attempt — same tag, same live thread
+        cohort, no backoff — and a failed resumed attempt retries
+        exactly as the uninterrupted run would have.
         """
         cfg = self.config
         if any(bit not in (0, 1) for bit in payload):
             raise ConfigError("payload must be a list of 0/1 ints")
         self.install_faults()
+        first_attempt = _resume.attempt if _resume is not None else 0
+        resume = _resume
 
         self._phase("transmit", "B", bits=len(payload))
         try:
-            for attempt in range(cfg.resync_attempts + 1):
-                if attempt:
+            for attempt in range(first_attempt, cfg.resync_attempts + 1):
+                # A resumed attempt is consumed exactly once; if it
+                # fails, the next iteration retries cold — with the same
+                # tag sequence as an uninterrupted run, because the
+                # restored ``_transmissions`` counter already advanced
+                # past the resumed tag.
+                resume, resuming = None, resume
+                if attempt and resuming is None:
                     # Back off long enough for the disturbance that broke
                     # the handshake to clear, then resynchronize from
                     # scratch with a fresh thread cohort.
@@ -595,10 +668,13 @@ class ChannelSession(SessionBase):
                         attempt, base=cfg.resync_backoff_cycles
                     ))
                     self._phase("resync", "E")
-                tag = self.next_tag()
+                tag = resuming.tag if resuming is not None else self.next_tag()
                 self._phase("attempt", "B", tag=tag)
                 try:
-                    result = self._transmit_once(payload, tag)
+                    result = self._transmit_once(
+                        payload, tag, attempt=attempt, label=_label,
+                        _resume=resuming,
+                    )
                 except SyncTimeoutError:
                     self._phase("attempt", "E", outcome="sync-timeout")
                     self._reap_attempt(tag)
@@ -623,35 +699,74 @@ class ChannelSession(SessionBase):
         finally:
             self._phase("transmit", "E")
 
-    def _transmit_once(self, payload: list[int], tag: int) -> TransmissionResult:
-        """One handshake + payload attempt (no retry logic)."""
-        cfg = self.config
-        control = TrojanControl()
-        decoder = BitDecoder(self.bands, cfg.scenario, cfg.params)
-        spy_result = SpyResult()
+    def _transmit_once(
+        self,
+        payload: list[int],
+        tag: int,
+        attempt: int = 0,
+        label: str = "main",
+        _resume: TransmitContext | None = None,
+    ) -> TransmissionResult:
+        """One handshake + payload attempt (no retry logic).
 
-        self.spawn_workers(worker_roles(cfg.scenario), control, tag)
-        controller_thread = self.spawn_controller(
-            controller_program(
-                control, cfg.scenario, cfg.params, self.trojan_va, list(payload)
-            ),
-            tag,
-        )
-        flusher = (
-            eviction_flusher(self.eviction_set)
-            if cfg.flush_method == "evict"
-            else None
-        )
-        self.kernel.spawn(
-            self.spy_proc,
-            f"spy-{tag}",
-            spy_program(spy_result, decoder, cfg.params, self.spy_va,
-                        flusher=flusher),
-            core_id=cfg.spy_core,
-            daemon=False,
-        )
-        self.sim.run()
-        if controller_thread.failure is not None:  # pragma: no cover
+        With ``_resume``, the attempt's thread cohort already lives in
+        the (restored) simulator — spawn nothing, pick the shared
+        control/decoder/spy-result objects out of the context, and just
+        drive the engine to completion.
+        """
+        cfg = self.config
+        if _resume is not None:
+            ctx = _resume
+            control = ctx.control
+            decoder = ctx.decoder
+            spy_result = ctx.spy_result
+            controller_thread = self.sim._by_name.get(f"trojan-ctl-{tag}")
+        else:
+            control = TrojanControl()
+            decoder = BitDecoder(self.bands, cfg.scenario, cfg.params)
+            spy_result = SpyResult()
+            bits = list(payload)
+            ctx = TransmitContext(
+                payload=bits,
+                tag=tag,
+                attempt=attempt,
+                label=label,
+                control=control,
+                decoder=decoder,
+                spy_result=spy_result,
+            )
+            self.spawn_workers(worker_roles(cfg.scenario), control, tag)
+            controller_thread = self.spawn_controller(
+                controller_program(
+                    control, cfg.scenario, cfg.params, self.trojan_va, bits
+                ),
+                tag,
+                spec=ProgramSpec(
+                    "repro.channel.trojan:controller_program",
+                    (control, cfg.scenario, cfg.params, self.trojan_va, bits),
+                ),
+            )
+            eviction = (
+                self.eviction_set if cfg.flush_method == "evict" else None
+            )
+            self.kernel.spawn(
+                self.spy_proc,
+                f"spy-{tag}",
+                spy_program(spy_result, decoder, cfg.params, self.spy_va,
+                            eviction_set=eviction),
+                core_id=cfg.spy_core,
+                daemon=False,
+                spec=ProgramSpec(
+                    "repro.channel.spy:spy_program",
+                    (spy_result, decoder, cfg.params, self.spy_va),
+                    {"eviction_set": eviction},
+                ),
+            )
+        self._run_transmission(ctx)
+        if (
+            controller_thread is not None
+            and controller_thread.failure is not None
+        ):  # pragma: no cover
             raise controller_thread.failure
 
         self._phase("decode", "B", samples=len(spy_result.samples))
@@ -739,12 +854,43 @@ def execute_point(
     pool) and the calibration memo; both are bit-identical to the cold
     path and can be disabled with ``REPRO_WARM_WORKERS=0`` /
     ``REPRO_CALIBRATION_MEMO=0``.
+
+    With segmented execution on (``REPRO_SEGMENT_CYCLES``), the session
+    stores resumable checkpoints at segment boundaries under this
+    point's content identity; a re-invocation of the same point (the
+    runner's crash-retry path, a re-run CLI) resumes from the newest
+    stored segment and produces a bit-identical result.
     """
+    point_kwargs = {
+        "scenario": scenario, "payload": payload, "spec": spec,
+        "protocol": protocol, "rate_kbps": rate_kbps, "seed": seed,
+        "noise_threads": noise_threads, "warmup_bits": warmup_bits,
+        "calibration_samples": calibration_samples, "params": params,
+        "machine": machine, "flush_method": flush_method,
+        "faults": faults, "resync_attempts": resync_attempts,
+    }
     resolved = resolve_spec(scenario, spec, protocol)
     if params is None:
         params = resolved.default_params()
     if rate_kbps is not None:
         params = params.at_rate(rate_kbps)
+    store = SegmentStore.for_point(point_kwargs)
+    if store is not None:
+        blob = store.latest()
+        if blob is not None:
+            from repro.checkpoint.core import restore
+
+            session, ctx = restore(blob)
+            session.segments = store
+            result = session.transmit(
+                ctx.payload, _resume=ctx, _label=ctx.label
+            )
+            if ctx.label == "warmup":
+                # The checkpoint fell inside the warmup prefix; finish
+                # it (result discarded, as in the cold path) and run the
+                # main transmission from the recovered state.
+                return session.transmit(payload)
+            return result
     kwargs: dict = {}
     if calibration_samples is not None:
         kwargs["calibration_samples"] = calibration_samples
@@ -761,8 +907,9 @@ def execute_point(
         reuse_machine=True,
         **kwargs,
     ))
+    session.segments = store
     if warmup_bits:
-        session.transmit(payload[:warmup_bits])
+        session.transmit(payload[:warmup_bits], _label="warmup")
     return session.transmit(payload)
 
 

@@ -59,6 +59,8 @@ def spy_program(
     params: ProtocolParams,
     block_va: int,
     flusher: Callable[[Cpu], Generator] | None = None,
+    eviction_set: list[int] | None = None,
+    cursor: tuple | None = None,
 ) -> Callable[[Cpu], Generator]:
     """Build the spy's thread program.
 
@@ -68,8 +70,18 @@ def spy_program(
     Tc and Tb — the trojan going dark (Algorithm 2's N).
 
     ``flusher`` replaces the default clflush with an alternative flush
-    primitive (see :func:`eviction_flusher`).
+    primitive (see :func:`eviction_flusher`); ``eviction_set`` does the
+    same from plain data (the flusher closure is built here), which is
+    the form a checkpointed spy records — closures don't pickle,
+    address lists do.
+
+    ``cursor`` resumes a checkpointed spy: ``(phase, polls, quiet,
+    next_slot)`` is the whole inter-slot state, so a re-driven program
+    re-enters the parked slot with the pacing grid and the phase
+    counters exactly where they were.
     """
+    if flusher is None and eviction_set is not None:
+        flusher = eviction_flusher(list(eviction_set))
 
     # Slot pacing state: the spy anchors its sampling grid on absolute
     # deadlines so its period equals the agreed slot duration regardless
@@ -118,15 +130,21 @@ def spy_program(
         )
 
     def program(cpu: Cpu) -> Generator:
+        mark = cpu.mark
+        phase, polls, quiet = 1, 0, 0
+        if cursor is not None:
+            phase, polls, quiet, next_slot = cursor
+            pacing["next_slot"] = next_slot
         # Phase 1: poll for the start of transmission.
-        polls = 0
-        while True:
+        while phase == 1:
+            mark((1, polls, quiet, pacing["next_slot"]))
             sample = yield from sample_once(cpu)
             result.poll_samples.append(sample)
             if sample.label == "b":
                 result.started_at = sample.timestamp
                 result.samples.append(sample)
-                break
+                phase = 2
+                continue
             polls += 1
             if polls >= params.max_poll_slots:
                 result.timed_out = True
@@ -134,8 +152,8 @@ def spy_program(
                     f"spy saw no transmission start in {polls} slots"
                 )
         # Phase 2: reception.
-        quiet = 0
         while quiet < params.end_run:
+            mark((2, polls, quiet, pacing["next_slot"]))
             sample = yield from sample_once(cpu)
             result.samples.append(sample)
             quiet = quiet + 1 if sample.label == "x" else 0

@@ -58,6 +58,27 @@ class TrojanControl:
         self.running = False
         self.active_pair = None
 
+    def snapshot(self) -> tuple:
+        """Checkpoint cursor payload: every field a re-drive re-mutates.
+
+        Taken by the controller *before* each step's ``set_pair``; on
+        restore the re-driven controller re-applies the step's mutations
+        on top of this state, landing exactly on the parked values.
+        """
+        return (
+            self.active_pair, self.running, self.generation,
+            self.transitions, len(self.bits_sent),
+        )
+
+    def restore(self, snap: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (truncating ``bits_sent``)."""
+        pair, running, generation, transitions, n_bits = snap
+        self.active_pair = pair
+        self.running = running
+        self.generation = generation
+        self.transitions = transitions
+        del self.bits_sent[n_bits:]
+
     def is_active(self, role: WorkerRole) -> bool:
         """Whether a worker with *role* should be re-loading B now."""
         pair = self.active_pair
@@ -71,6 +92,7 @@ def worker_program(
     role: WorkerRole,
     block_va: int,
     params: ProtocolParams,
+    cursor: tuple | None = None,
 ) -> Callable[[Cpu], Generator]:
     """A trojan reader thread: keep B cached while my role is active.
 
@@ -108,10 +130,22 @@ def worker_program(
         role_index = role.index
         owned = LineState.OWNED
         needed = _THREADS_NEEDED
-        while control.running:
-            # Inlined TrojanControl.is_active(role) — one poll per
-            # worker wakeup for the whole transmission.
-            pair = control.active_pair
+        mark = cpu.mark
+        resume = cursor
+        while True:
+            if resume is not None:
+                # Re-drive: replay the parked iteration's poll verbatim
+                # instead of re-polling the live control object (whose
+                # state may have moved past the park point).
+                running, pair = resume
+                resume = None
+            else:
+                # Inlined TrojanControl.is_active(role) — one poll per
+                # worker wakeup for the whole transmission.
+                running, pair = control.running, control.active_pair
+            mark((running, pair))
+            if not running:
+                break
             if (
                 pair is not None
                 and role_location is pair.location
@@ -151,6 +185,7 @@ def controller_program(
     payload: list[int],
     lead_in_slots: int = 4,
     tail_slots: int = 4,
+    cursor: tuple | None = None,
 ) -> Callable[[Cpu], Generator]:
     """Algorithm 1: modulate B's coherence state to send *payload*.
 
@@ -159,33 +194,49 @@ def controller_program(
     ``c1`` (bit 1) or ``c0`` (bit 0) slots.  Transitions flush B from
     all caches so the workers rebuild the new placement immediately;
     the spy's own flush-per-slot keeps the placement fresh afterwards.
+
+    The hold sequence is flattened into an indexed step list so the
+    program's position is one integer — the checkpoint ``cursor``
+    carries ``(step index, control snapshot)``; a re-driven controller
+    rewinds the shared control object and replays the parked step's
+    mutations on top, landing exactly on the park-time state.
     """
 
-    def hold(cpu: Cpu, pair: StatePair, slots: int) -> Generator:
-        control.set_pair(pair)
-        yield from cpu.flush(block_va)
-        yield from cpu.delay(slots * params.slot_cycles)
+    # One (pair, slots, bit-to-record) tuple per hold, in emission
+    # order.  The lead-in parks B in the communication state so the
+    # spy's start-of-transmission poll locks on when the first boundary
+    # arrives (Algorithm 2 waits for a Tb observation); the closing
+    # boundary delimits the final communication run; channels whose
+    # quiet state is itself a symbol (the LRU channel's COLD) park B in
+    # a distinct out-of-band terminator pair long enough for the spy's
+    # end-of-transmission run to complete.
+    steps: list[tuple[StatePair, int, int | None]] = [
+        (scenario.csc, lead_in_slots, None)
+    ]
+    for bit in payload:
+        steps.append((scenario.csb, params.cb, None))
+        steps.append((scenario.csc, params.c1 if bit else params.c0, bit))
+    steps.append((scenario.csb, params.cb, None))
+    if scenario.terminator is not None:
+        steps.append((scenario.terminator, params.end_run + 2, None))
+    n_steps = len(steps)
 
     def program(cpu: Cpu) -> Generator:
-        # Lead-in: park B in the communication state so the spy's
-        # start-of-transmission poll locks on when the first boundary
-        # arrives (Algorithm 2 waits for a Tb observation).
-        yield from hold(cpu, scenario.csc, lead_in_slots)
-        for bit in payload:
-            yield from hold(cpu, scenario.csb, params.cb)
-            slots = params.c1 if bit else params.c0
-            yield from hold(cpu, scenario.csc, slots)
-            control.bits_sent.append(bit)
-        # Closing boundary so the final communication run is delimited.
-        yield from hold(cpu, scenario.csb, params.cb)
-        if scenario.terminator is not None:
-            # Channels whose quiet state is itself a symbol (the LRU
-            # channel's COLD) park B in a distinct out-of-band pair long
-            # enough for the spy's end-of-transmission run to complete.
-            yield from hold(
-                cpu, scenario.terminator, params.end_run + 2
-            )
+        start = 0
+        if cursor is not None:
+            start, snap = cursor
+            control.restore(snap)
+        mark = cpu.mark
+        for index in range(start, n_steps):
+            pair, slots, bit = steps[index]
+            mark((index, control.snapshot()))
+            control.set_pair(pair)
+            yield from cpu.flush(block_va)
+            yield from cpu.delay(slots * params.slot_cycles)
+            if bit is not None:
+                control.bits_sent.append(bit)
         # Go dark: the spy sees out-of-band samples and ends reception.
+        mark((n_steps, control.snapshot()))
         control.stop()
         yield from cpu.delay(tail_slots * params.slot_cycles)
 

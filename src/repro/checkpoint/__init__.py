@@ -1,0 +1,55 @@
+"""Deterministic checkpoint/restore for running sessions.
+
+Public surface:
+
+* :class:`ProgramSpec` / :class:`RngRef` — plain-data thread rebuild
+  descriptions (import-light; the kernel and channel layers use them at
+  module scope).
+* :func:`capture` / :func:`restore` / :class:`Checkpoint` — whole-session
+  snapshot and resume (:mod:`repro.checkpoint.core`).
+* :class:`SegmentStore` / :func:`segment` — segment-granular caching of
+  long transmissions through the result cache
+  (:mod:`repro.checkpoint.segments`).
+
+The heavyweight modules import the session/kernel layers, which in turn
+import :mod:`repro.checkpoint.spec`; loading them lazily here keeps the
+package cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.spec import ProgramSpec, RngRef, TransmitContext
+
+__all__ = [
+    "ProgramSpec",
+    "RngRef",
+    "TransmitContext",
+    "Checkpoint",
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
+    "capture",
+    "restore",
+    "inspect_blob",
+    "SegmentStore",
+    "segment",
+    "segments_enabled",
+    "segment_cycles",
+]
+
+_CORE = (
+    "Checkpoint", "CheckpointError", "CHECKPOINT_VERSION",
+    "capture", "restore", "inspect_blob",
+)
+_SEGMENTS = ("SegmentStore", "segment", "segments_enabled", "segment_cycles")
+
+
+def __getattr__(name: str):
+    if name in _CORE:
+        from repro.checkpoint import core
+
+        return getattr(core, name)
+    if name in _SEGMENTS:
+        from repro.checkpoint import segments
+
+        return getattr(segments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -186,6 +186,10 @@ def cmd_bench(argv: list[str]) -> None:
         print(f"trace_overhead  disabled {trace['disabled_overhead']:+.1%}  "
               f"enabled {trace['enabled_overhead']:+.1%} "
               f"({trace['traced_events']} events)")
+    segment = bench.get("segment_overhead")
+    if segment:
+        print(f"segment_overhead  armed-idle {segment['overhead']:+.1%} "
+              f"(baseline {segment['baseline_wall_s']:.3f} s)")
     if not args.no_write:
         out = write_report(report, args.output or default_report_name())
         print(f"wrote {out}")
@@ -201,6 +205,26 @@ def cmd_bench(argv: list[str]) -> None:
         base_eps = baseline["benchmarks"]["engine_micro"]["events_per_sec"]
         print(f"no regression vs {args.baseline} "
               f"({micro['events_per_sec'] / base_eps:.2f}x baseline)")
+
+
+def _parse_age(text: str) -> float:
+    """Parse a ``--max-age`` value: seconds, or ``45m``/``12h``/``7d``."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw and raw[-1] in units:
+        scale = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r}; use seconds or a s/m/h/d suffix "
+            "(e.g. 3600, 45m, 12h, 7d)"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"age must be >= 0, got {text!r}")
+    return value
 
 
 def cmd_cache(argv: list[str]) -> None:
@@ -219,12 +243,20 @@ def cmd_cache(argv: list[str]) -> None:
         help="cache root (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro/results)",
     )
+    parser.add_argument(
+        "--max-age", type=_parse_age, default=None, metavar="AGE",
+        help="with gc: also reap entries older than AGE — current "
+             "generation included (checkpoint segments especially); "
+             "seconds or s/m/h/d suffix (e.g. 12h, 7d)",
+    )
     args = parser.parse_args(argv)
 
     from repro.runner.cache import ResultCache
 
     cache = ResultCache(args.cache_dir)
     if args.action == "stats":
+        if args.max_age is not None:
+            parser.error("--max-age only applies to gc")
         stats = cache.stats()
         print(f"cache root  {stats['root']}")
         print(f"active salt {stats['salt']}")
@@ -241,9 +273,39 @@ def cmd_cache(argv: list[str]) -> None:
             print(f"  {name:24s} {info['entries']:6d} entries  "
                   f"{info['bytes'] / 1024:9.1f} KiB  [{schemas}]{mark}")
         return
-    removed, freed = cache.gc()
+    removed, freed = cache.gc(max_age_seconds=args.max_age)
     print(f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
           f"({freed / 1024:.1f} KiB) from {cache.root}")
+
+
+def cmd_checkpoint(argv: list[str]) -> None:
+    """Inspect an exported checkpoint blob (manifest only)."""
+    parser = argparse.ArgumentParser(
+        prog="repro checkpoint",
+        description="inspect a checkpoint blob written via "
+                    "REPRO_CHECKPOINT_EXPORT (manifest only; the session "
+                    "state is never unpickled)",
+    )
+    parser.add_argument(
+        "action", choices=("inspect",),
+        help="inspect: print the blob's manifest, size and digest",
+    )
+    parser.add_argument("path", help="checkpoint blob file")
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.checkpoint import inspect_blob
+    from repro.errors import CheckpointError
+
+    try:
+        manifest = inspect_blob(Path(args.path).read_bytes())
+    except (OSError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    width = max(len(key) for key in manifest)
+    for key in sorted(manifest):
+        print(f"{key:<{width}}  {manifest[key]}")
 
 
 def cmd_trace(argv: list[str]) -> None:
@@ -368,6 +430,7 @@ UTILITIES: dict[str, tuple[str, Callable[[list[str]], None]]] = {
     "bands": ("print the calibrated latency bands", cmd_bands),
     "bench": ("run the performance harness (BENCH_<date>.json)", cmd_bench),
     "cache": ("inspect or prune the on-disk result cache", cmd_cache),
+    "checkpoint": ("inspect an exported checkpoint blob", cmd_checkpoint),
     "trace": ("run a traced transmission and export the events", cmd_trace),
 }
 

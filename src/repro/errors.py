@@ -134,6 +134,10 @@ class InjectedFaultError(FaultError):
     """
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be captured, validated, or restored."""
+
+
 class ChannelError(ReproError):
     """Base class for covert-channel layer errors."""
 

@@ -154,6 +154,14 @@ def runner_arguments(parser: argparse.ArgumentParser) -> None:
              "session and the runner (sets REPRO_TRACE=1 so worker "
              "processes inherit it; cache keys are unaffected)",
     )
+    group.add_argument(
+        "--segment-cycles", type=float, default=None, metavar="CYCLES",
+        help="segmented execution: checkpoint each transmission every "
+             "CYCLES simulated cycles so killed/timed-out points resume "
+             "from their last segment instead of recomputing (sets "
+             "REPRO_SEGMENT_CYCLES so worker processes inherit it; "
+             "cache keys are unaffected; REPRO_SEGMENTS=0 disables)",
+    )
 
 
 def execute_from_args(spec, args: argparse.Namespace) -> list:
@@ -180,8 +188,23 @@ def execute_from_args(spec, args: argparse.Namespace) -> list:
         # the variable on fork/spawn.
         os.environ["REPRO_TRACE"] = "1"
         spec.meta.setdefault("trace", True)
+    segment_cycles = getattr(args, "segment_cycles", None)
+    if segment_cycles is not None:
+        if segment_cycles <= 0:
+            raise SystemExit("--segment-cycles must be a positive cycle count")
+        # Same propagation rationale as --trace: segmentation changes
+        # how a point executes, never what it computes, so it rides the
+        # environment instead of the cache key.
+        os.environ["REPRO_SEGMENT_CYCLES"] = repr(float(segment_cycles))
+        spec.meta.setdefault("segment_cycles", float(segment_cycles))
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        # Checkpoint segments build their own ResultCache inside worker
+        # processes from $REPRO_CACHE_DIR; an explicit --cache-dir must
+        # reach them too, not just the parent's results cache.
+        os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
     cache = None if getattr(args, "no_cache", False) else ResultCache(
-        getattr(args, "cache_dir", None)
+        cache_dir
     )
     progress = None if getattr(args, "no_progress", False) else StderrProgress(
         spec.experiment

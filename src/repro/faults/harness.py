@@ -15,7 +15,11 @@ Fault kinds and where they bite:
   which trips a configured per-point timeout;
 * ``worker_kill`` — the pool worker hard-exits (``os._exit``) mid-point,
   producing a genuine ``BrokenProcessPool`` in the parent; in serial
-  mode it degrades to a transient error (there is no worker to kill);
+  mode it degrades to a transient error (there is no worker to kill).
+  With a positive ``magnitude`` and segmented execution enabled, the
+  kill is deferred: the worker SIGKILLs itself only after storing that
+  many checkpoint segments, so the retry proves crash-*resume* (see
+  :mod:`repro.checkpoint.segments`), not just crash-retry;
 * ``torn_cache`` — after the point's value is stored, its cache entry is
   overwritten with garbage, exercising the cache's corrupt-entry
   recovery on the next run.
@@ -44,6 +48,21 @@ def apply_worker_fault(event_json: Mapping[str, Any]) -> None:
     """
     kind = event_json.get("kind")
     if kind == "worker_kill":
+        magnitude = float(event_json.get("magnitude", 0.0))
+        if magnitude > 0:
+            from repro.checkpoint.segments import (
+                arm_kill_after,
+                segments_enabled,
+            )
+
+            if segments_enabled():
+                # Deferred kill: SIGKILL this worker after it has stored
+                # ``magnitude`` checkpoint segments — the mid-run death
+                # the crash-resume machinery (repro.checkpoint.segments)
+                # exists to survive.  Without segmented execution there
+                # is no segment to count, so the kill stays immediate.
+                arm_kill_after(int(magnitude))
+                return
         # A hard kill: no exception, no cleanup — the parent observes
         # BrokenProcessPool exactly as with a real OOM-killed worker.
         os._exit(WORKER_KILL_EXIT_STATUS)

@@ -11,7 +11,9 @@ channel if the trojan ever wrote to the shared page.
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
+from typing import Any
 
+from repro.checkpoint.spec import ProgramSpec
 from repro.errors import OutOfMemoryError, ProtectionFaultError
 from repro.kernel.ksm import KsmDaemon
 from repro.kernel.paging import PageTableEntry, vpn_of
@@ -113,8 +115,13 @@ class Kernel:
         core_id: int,
         daemon: bool = False,
         start_time: float | None = None,
+        spec: Any = None,
     ) -> SimThread:
-        """Spawn a thread of *process* pinned to *core_id*."""
+        """Spawn a thread of *process* pinned to *core_id*.
+
+        ``spec`` (a :class:`repro.checkpoint.ProgramSpec`) makes the
+        thread checkpointable; it is passed through to the engine.
+        """
         thread = self.sim.spawn(
             name=name,
             program=program,
@@ -123,6 +130,7 @@ class Kernel:
             start_time=start_time,
             daemon=daemon,
             process=process,
+            spec=spec,
         )
         self.scheduler.assign(thread.tid, core_id)
         thread.on_exit = lambda t: self.scheduler.release(t.tid)
@@ -134,6 +142,7 @@ class Kernel:
         program: Callable[[Cpu], Generator],
         core_id: int = 0,
         daemon: bool = True,
+        spec: Any = None,
     ) -> SimThread:
         """Spawn a kernel-context thread (e.g. the KSM daemon).
 
@@ -147,11 +156,17 @@ class Kernel:
             executor=self._execute,
             daemon=daemon,
             process=None,
+            spec=spec,
         )
 
     def start_ksm_daemon(self) -> SimThread:
         """Run the KSM scanner as a periodic simulated kernel thread."""
-        return self.spawn_kernel_thread("ksmd", self.ksm.run, core_id=0)
+        return self.spawn_kernel_thread(
+            "ksmd",
+            self.ksm.run,
+            core_id=0,
+            spec=ProgramSpec("repro.kernel.ksm:ksm_program", (self.ksm,)),
+        )
 
     # ------------------------------------------------------------------
     # shared-memory setup (Section IV)

@@ -16,6 +16,7 @@ from collections.abc import Callable, Generator
 
 import numpy as np
 
+from repro.checkpoint.spec import ProgramSpec, RngRef
 from repro.kernel.process import Process
 from repro.kernel.syscalls import Kernel
 from repro.mem.cacheline import LINE_SIZE
@@ -37,18 +38,33 @@ def kernel_build_program(
     write_ratio: float = 0.3,
     think_time: tuple[float, float] = (500.0, 2_000.0),
     mlp: float = 4.0,
+    cursor: tuple | None = None,
 ) -> Callable[[Cpu], Generator]:
     """A compile-like worker: bursts of strided accesses + think time.
 
     ``mlp`` models the memory-level parallelism of an out-of-order core
     streaming a compile working set.  Runs forever; spawn as a daemon.
+
+    Both per-iteration RNG draws happen together at the top of the loop
+    (same stream order as drawing them at their use sites) so the
+    checkpoint ``cursor`` can carry them: a re-driven program consumes
+    the parked iteration's draws from the cursor instead of re-drawing,
+    and the restored RNG stream state picks up at the next iteration.
     """
     region_bytes = region_pages * PAGE_SIZE
     max_start = region_bytes - BURST_LINES * LINE_SIZE
 
     def program(cpu: Cpu) -> Generator:
+        mark = cpu.mark
+        resume = cursor
         while True:
-            start = int(rng.integers(0, max_start)) & ~(LINE_SIZE - 1)
+            if resume is not None:
+                start, think = resume
+                resume = None
+            else:
+                start = int(rng.integers(0, max_start)) & ~(LINE_SIZE - 1)
+                think = float(rng.uniform(*think_time))
+            mark((start, think))
             yield from cpu.burst(
                 region_base + start,
                 count=BURST_LINES,
@@ -56,7 +72,7 @@ def kernel_build_program(
                 write_ratio=write_ratio,
                 mlp=mlp,
             )
-            yield from cpu.delay(float(rng.uniform(*think_time)))
+            yield from cpu.delay(think)
 
     return program
 
@@ -99,11 +115,17 @@ def spawn_kernel_build(
         core = min(preferred, key=lambda c: (kernel.scheduler.load(c),
                                              preferred.index(c)))
         region = process.mmap(KERNEL_BUILD_PAGES)
-        rng = kernel.rng.get(f"workload.{name_prefix}.{i}")
+        stream = f"workload.{name_prefix}.{i}"
+        rng = kernel.rng.get(stream)
         program = kernel_build_program(region, KERNEL_BUILD_PAGES, rng)
+        spec = ProgramSpec(
+            "repro.kernel.workloads:kernel_build_program",
+            (region, KERNEL_BUILD_PAGES, RngRef(stream)),
+        )
         threads.append(
             kernel.spawn(
-                process, f"{name_prefix}-{i}", program, core, daemon=True
+                process, f"{name_prefix}-{i}", program, core, daemon=True,
+                spec=spec,
             )
         )
     return threads

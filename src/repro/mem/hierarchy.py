@@ -290,6 +290,115 @@ class Machine:
         self._jitter_rng = self.rng.get("machine.jitter")
 
     # ------------------------------------------------------------------
+    # checkpoint support (see repro.checkpoint)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Every piece of mutable machine state, as plain containers.
+
+        The returned dict references the *live* line records (pickling
+        the checkpoint immediately serializes their current state, and a
+        single pickle graph preserves the identity sharing between L1/L2
+        — inclusive by object sharing — and between each socket's
+        directory dict and LLC data array).  Cache sets are captured as
+        (addr, line) pair lists in insertion order, which *is* the LRU
+        order; interconnect resources keep their whole sliding-window
+        index so contention delays resume bit-identically.
+
+        Only valid on an uninstrumented machine: obfuscation policies and
+        trace taps interpose unpicklable closures, so sessions running
+        either fall back to unsegmented execution.
+        """
+        if self.obfuscation is not None:
+            raise ConfigError(
+                "cannot snapshot a machine with an obfuscation policy "
+                "installed (live policy state is not checkpointable)"
+            )
+        cores = [
+            (
+                [list(bucket.items()) for bucket in core.l1._sets],
+                [list(bucket.items()) for bucket in core.l2._sets],
+            )
+            for core in self.cores
+        ]
+        sockets = [
+            (
+                [list(bucket.items()) for bucket in d.data_array._sets],
+                dict(d.directory),
+            )
+            for d in self.sockets
+        ]
+        ic = self.interconnect
+        resources = {}
+        for res in (*ic.rings, ic.qpi, *ic.mems):
+            resources[res.name] = (
+                list(res._events),
+                None if res._times is None else list(res._times),
+                res._tpos,
+                res._weight,
+                res._uniform,
+                res.total_traffic,
+            )
+        return {
+            "dram": dict(self.dram),
+            "cores": cores,
+            "sockets": sockets,
+            "home_directory": dict(self.home_directory),
+            "resources": resources,
+            "counters": self.stats.counters(),
+            "histograms": {
+                name: list(h.samples)
+                for name, h in self.stats._histograms.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite all mutable state with a :meth:`snapshot_state`.
+
+        Everything is restored *in place* (the containers themselves
+        survive, like :meth:`reset`), so bound counter handles, the
+        sockets' shared reference to ``dram`` and the bound interconnect
+        register methods all stay valid.  RNG streams are restored
+        separately through :class:`~repro.sim.rng.RngStreams` — the
+        jitter binding keeps pointing at the same generator object.
+        """
+        self.dram.clear()
+        self.dram.update(state["dram"])
+        for core, (l1_sets, l2_sets) in zip(self.cores, state["cores"]):
+            for bucket, entries in zip(core.l1._sets, l1_sets):
+                bucket.clear()
+                bucket.update(entries)
+            for bucket, entries in zip(core.l2._sets, l2_sets):
+                bucket.clear()
+                bucket.update(entries)
+        for domain, (llc_sets, directory) in zip(self.sockets, state["sockets"]):
+            for bucket, entries in zip(domain.data_array._sets, llc_sets):
+                bucket.clear()
+                bucket.update(entries)
+            domain.directory.clear()
+            domain.directory.update(directory)
+        self.home_directory.clear()
+        self.home_directory.update(state["home_directory"])
+        ic = self.interconnect
+        for res in (*ic.rings, ic.qpi, *ic.mems):
+            events, times, tpos, weight, uniform, total = (
+                state["resources"][res.name]
+            )
+            res._events.clear()
+            res._events.extend(events)
+            res._times = None if times is None else list(times)
+            res._tpos = tpos
+            res._weight = weight
+            res._uniform = uniform
+            res.total_traffic = total
+        self.stats.reset()
+        for name, value in state["counters"].items():
+            self.stats.counter_handle(name).value = value
+        for name, samples in state["histograms"].items():
+            hist = self.stats.histogram(name)
+            hist.samples.extend(samples)
+
+    # ------------------------------------------------------------------
     # topology helpers
     # ------------------------------------------------------------------
 

@@ -40,6 +40,13 @@ class RunManifest:
     #: Trace accounting (zero when tracing was disabled).
     traced_events: int = 0
     dropped_events: int = 0
+    #: Segmented-execution accounting (see :mod:`repro.checkpoint`):
+    #: the configured segment length (0.0 = unsegmented), segments this
+    #: session stored, and the segment index the run resumed from
+    #: (``None`` for a run that started cold).
+    segment_cycles: float = 0.0
+    segments_stored: int = 0
+    resumed_from: int | None = None
 
     def to_json(self) -> dict:
         """Plain-dict form (JSON-safe; inverse of :meth:`from_json`)."""
@@ -59,6 +66,7 @@ class RunManifest:
         cfg = session.config
         plan = FaultPlan.from_json(cfg.faults)
         recorder = getattr(session, "recorder", None)
+        store = getattr(session, "segments", None)
         return cls(
             repro_version=repro.__version__,
             python_version=platform.python_version(),
@@ -74,6 +82,9 @@ class RunManifest:
             stats=session.machine.stats.counters(),
             traced_events=recorder.emitted if recorder is not None else 0,
             dropped_events=recorder.dropped if recorder is not None else 0,
+            segment_cycles=store.cycles if store is not None else 0.0,
+            segments_stored=store.segments_stored if store is not None else 0,
+            resumed_from=store.resumed_from if store is not None else None,
         )
 
 

@@ -286,21 +286,39 @@ class ResultCache:
             out["bytes"] += info["bytes"]
         return out
 
-    def gc(self) -> tuple[int, int]:
+    def gc(self, max_age_seconds: float | None = None) -> tuple[int, int]:
         """Prune every stale generation; returns (entries, bytes) freed.
 
         Removes entries keyed under other version salts and the legacy
         flat layout — both unreachable by this cache's lookups — along
         with their emptied directories.  The current generation is never
-        touched.
+        touched by default; with ``max_age_seconds``, entries of *any*
+        generation (the current one included) whose mtime is older than
+        the cutoff are reaped too — the knob that keeps long-lived
+        caches (checkpoint segments especially, which are superseded but
+        never overwritten once a run completes) from growing without
+        bound.
         """
         current = _salt_dirname(self.salt)
+        cutoff = None
+        if max_age_seconds is not None:
+            if max_age_seconds < 0:
+                raise ValueError(
+                    f"max_age_seconds must be >= 0, got {max_age_seconds}"
+                )
+            cutoff = time.time() - float(max_age_seconds)
         removed = 0
         freed = 0
         for name, files in self._generations().items():
-            if name == current:
-                continue
             for path in files:
+                if name == current:
+                    if cutoff is None:
+                        continue
+                    try:
+                        if path.stat().st_mtime >= cutoff:
+                            continue
+                    except OSError:
+                        continue
                 try:
                     size = path.stat().st_size
                     path.unlink()

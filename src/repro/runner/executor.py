@@ -50,6 +50,7 @@ import os
 import signal
 import threading
 import time
+import warnings
 from collections.abc import Callable, Mapping
 from concurrent.futures import CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
@@ -185,37 +186,78 @@ class RunReport:
         return sum(o.seconds for o in self.outcomes)
 
 
+def _async_exc_injector():
+    """CPython's cross-thread exception hook, or ``None`` elsewhere."""
+    try:
+        import ctypes
+
+        return ctypes.pythonapi.PyThreadState_SetAsyncExc, ctypes
+    except (ImportError, AttributeError):  # pragma: no cover - non-CPython
+        return None
+
+
 @contextmanager
 def _deadline(seconds: float | None):
     """Raise :class:`PointTimeoutError` if the body runs past *seconds*.
 
-    Uses ``SIGALRM``, which only works on the main thread of a POSIX
-    process — exactly where pool workers and the serial runner execute
-    points.  Anywhere else (Windows, embedded interpreters) it degrades
-    to a no-op rather than breaking execution.
+    Preferred mechanism is ``SIGALRM``, which only works on the main
+    thread of a POSIX process — exactly where pool workers and the
+    serial runner execute points.  Anywhere else (Windows, a point
+    driven from a helper thread), a portable watchdog takes over: a
+    ``threading.Timer`` that injects :class:`PointTimeoutError` into the
+    executing thread via CPython's async-exception hook.  The watchdog
+    fires at the next bytecode boundary, so it interrupts a wedged
+    *simulation* (pure Python) but not a blocking C call — the same
+    practical coverage the alarm gives.  If neither mechanism exists
+    (a non-CPython embedder), a warning marks the point as effectively
+    deadline-less instead of silently dropping the limit.
     """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    if (
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    ):
+        def _alarm(signum, frame):
+            raise PointTimeoutError(
+                f"point exceeded its {seconds:g}s wall-clock limit"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(seconds))
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+
+    hook = _async_exc_injector()
+    if hook is None:  # pragma: no cover - non-CPython
+        warnings.warn(
+            f"point timeout of {seconds:g}s requested, but neither SIGALRM "
+            "(non-main thread) nor the CPython async-exception watchdog is "
+            "available; the point runs without a wall-clock limit",
+            RuntimeWarning,
+            stacklevel=3,
+        )
         yield
         return
 
-    def _alarm(signum, frame):
-        raise PointTimeoutError(
-            f"point exceeded its {seconds:g}s wall-clock limit"
-        )
+    set_async_exc, ctypes = hook
+    ident = threading.get_ident()
 
-    previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    def _fire():
+        set_async_exc(ctypes.c_ulong(ident), ctypes.py_object(PointTimeoutError))
+
+    timer = threading.Timer(float(seconds), _fire)
+    timer.daemon = True
+    timer.start()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        timer.cancel()
 
 
 def _timed_point(

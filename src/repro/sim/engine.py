@@ -55,6 +55,10 @@ class Simulator:
         self._live_count = 0
         self._by_name: dict[str, SimThread] = {}
         self._events_counter = self.stats.counter_handle("engine.events")
+        #: When True, every thread spawned gets a replay log so its
+        #: position can be checkpointed (see :mod:`repro.checkpoint`).
+        #: Off by default: the log costs one list append per event.
+        self.checkpointing = False
 
     def spawn(
         self,
@@ -65,6 +69,7 @@ class Simulator:
         start_time: float | None = None,
         daemon: bool = False,
         process: Any = None,
+        spec: Any = None,
     ) -> SimThread:
         """Create a thread and schedule its first step.
 
@@ -89,6 +94,11 @@ class Simulator:
             once every non-daemon thread has finished.
         process:
             Optional owning process object (used by the kernel layer).
+        spec:
+            Optional :class:`repro.checkpoint.ProgramSpec` describing
+            how to rebuild *program* from plain data; threads without
+            one cannot be checkpointed (a session falls back to an
+            unsegmented run when any live thread lacks a spec).
         """
         existing = self._by_name.get(name)
         if existing is not None and existing.state is _READY:
@@ -107,6 +117,13 @@ class Simulator:
         thread.daemon = daemon
         thread.clock = self.global_clock if start_time is None else float(start_time)
         thread._engine_exit = self._thread_exited
+        thread.program_spec = spec
+        if self.checkpointing and spec is not None:
+            # Only spec-bearing threads get a replay log: a thread with
+            # no ProgramSpec cannot be restored anyway, and some
+            # spec-less programs (fault injectors) loop without calling
+            # Cpu.mark, which would grow an untruncated log unboundedly.
+            thread.replay_log = []
         self.threads.append(thread)
         self._by_name[name] = thread
         if not daemon:
@@ -132,8 +149,12 @@ class Simulator:
         max_events: int | None = 50_000_000,
         stop_when: Callable[["Simulator"], bool] | None = None,
         kill_daemons: bool = False,
-    ) -> None:
+        pause_at: float | None = None,
+    ) -> bool:
         """Run until every non-daemon thread finishes.
+
+        Returns True if the run *paused* at ``pause_at`` with work still
+        outstanding, False if it ran to completion.
 
         Parameters
         ----------
@@ -149,8 +170,15 @@ class Simulator:
             Kill surviving daemon threads on return.  Leave False when
             daemons (noise workloads, the KSM scanner) must persist
             across multiple :meth:`run` calls on the same simulator.
+        pause_at:
+            Pause (without error) once the global clock reaches this
+            cycle: every thread is parked between ops, which is the
+            state :func:`repro.checkpoint.capture` snapshots.  Resuming
+            is just calling :meth:`run` again — the pause is invisible
+            to the simulation.
         """
         events = 0
+        paused = False
         # Hoisted hot-loop state: bound methods, the heap list and the
         # sequence counter are locals so each event pays zero repeated
         # attribute lookups.  The body of SimThread.step()/complete() is
@@ -167,6 +195,7 @@ class Simulator:
         valid_ops = SimThread._VALID_OPS
         event_limit = float("inf") if max_events is None else max_events
         cycle_limit = float("inf") if max_cycles is None else max_cycles
+        pause_limit = float("inf") if pause_at is None else pause_at
         try:
             while heap:
                 if self._live_count == 0:
@@ -182,8 +211,16 @@ class Simulator:
                 # -- inlined SimThread.step() --------------------------
                 # send(None) on a fresh generator is next(), so one send
                 # covers both the first and every later resume.
+                pending = thread._pending_result
+                log = thread.replay_log
+                if log is not None and pending is not None:
+                    # Checkpoint support: record the result being
+                    # delivered *before* the send, so (cursor, log,
+                    # pending) always re-drive a fresh generator to the
+                    # thread's exact position (Cpu.mark truncates).
+                    log.append(pending)
                 try:
-                    op = thread._generator.send(thread._pending_result)
+                    op = thread._generator.send(pending)
                 except StopIteration as stop:
                     thread.state = _DONE
                     thread.result = stop.value
@@ -223,6 +260,9 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_cycles={max_cycles}"
                     )
+                if global_clock >= pause_limit:
+                    paused = True
+                    break
                 if stop_when is not None and stop_when(self):
                     break
             else:
@@ -234,12 +274,41 @@ class Simulator:
             self._events_counter.value += events
         if kill_daemons:
             self.kill_daemons()
+        return paused
 
     def kill_daemons(self) -> None:
         """Kill every surviving daemon thread (final cleanup)."""
         for thread in self.threads:
             if thread.daemon and not thread.done:
                 thread.kill()
+
+    def live_run_order(self) -> list[SimThread]:
+        """Live threads in the order the event loop would pop them next.
+
+        Checkpoint support: a restored simulator respawns threads in
+        exactly this order with ``start_time=thread.clock``, so the
+        fresh heap's FIFO tie-breaking (its sequence counter) reproduces
+        the original pop order bit-for-bit.  Simulates the run loop's
+        pop-and-reinsert handling of stale entries on a copy of the
+        heap; ``self._heap`` is not mutated.
+        """
+        heap = list(self._heap)
+        heapq.heapify(heap)
+        seen: set[int] = set()
+        order: list[SimThread] = []
+        seq_next = self._seq.__next__
+        while heap:
+            clock, _seq, thread = heapq.heappop(heap)
+            if thread.state is not _READY or thread.tid in seen:
+                continue
+            if clock < thread.clock:
+                # Stale entry: the run loop would reinsert it with a
+                # fresh (largest) sequence number; mirror that exactly.
+                heapq.heappush(heap, (thread.clock, seq_next(), thread))
+                continue
+            seen.add(thread.tid)
+            order.append(thread)
+        return order
 
     def thread_by_name(self, name: str) -> SimThread:
         """Look up a thread by its (unique) name."""

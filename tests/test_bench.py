@@ -23,7 +23,7 @@ def test_run_all_shape(quick_report):
     bench = quick_report["benchmarks"]
     assert set(bench) == {
         "engine_micro", "fig8_point", "noise_point", "grid_sweep",
-        "trace_overhead",
+        "trace_overhead", "segment_overhead",
     }
     micro = bench["engine_micro"]
     assert micro["events"] > 0
@@ -53,6 +53,12 @@ def test_run_all_shape(quick_report):
     assert trace["traced_events"] > 0
     assert trace["disabled_overhead"] == pytest.approx(
         trace["disabled_wall_s"] / trace["baseline_wall_s"] - 1.0
+    )
+    segment = bench["segment_overhead"]
+    assert segment["baseline_wall_s"] > 0
+    assert segment["armed_wall_s"] > 0
+    assert segment["overhead"] == pytest.approx(
+        segment["armed_wall_s"] / segment["baseline_wall_s"] - 1.0
     )
 
 
@@ -98,6 +104,18 @@ def test_check_regression_trace_overhead_gate():
     # Negative overhead (disabled faster than baseline: pure noise) passes.
     current["benchmarks"]["trace_overhead"] = {"disabled_overhead": -0.01}
     assert check_regression(current, _report(100_000.0)) == []
+
+
+def test_check_regression_segment_overhead_gate():
+    current = _report(100_000.0)
+    current["benchmarks"]["segment_overhead"] = {"overhead": 0.08}
+    problems = check_regression(current, _report(100_000.0))
+    assert len(problems) == 1
+    assert "segment_overhead" in problems[0]
+    # Under the cap — or negative (armed faster: host noise) — passes.
+    for overhead in (0.02, -0.01):
+        current["benchmarks"]["segment_overhead"] = {"overhead": overhead}
+        assert check_regression(current, _report(100_000.0)) == []
 
 
 def test_check_regression_malformed_baseline():

@@ -91,7 +91,80 @@ def test_trace_export_rejects_bad_rate(capsys):
 def test_global_trace_flag_sets_environment(monkeypatch, capsys):
     import os
 
-    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    # main() writes REPRO_TRACE straight into os.environ; claim the key
+    # through monkeypatch first so teardown removes whatever main set
+    # instead of leaking tracing into every later test's sessions.
+    monkeypatch.setenv("REPRO_TRACE", "")
+    monkeypatch.delenv("REPRO_TRACE")
     assert main(["--trace", "list"]) == 0
     assert os.environ["REPRO_TRACE"] == "1"
     assert "fig8" in capsys.readouterr().out
+
+
+def test_parse_age_units_and_errors():
+    import argparse
+
+    from repro.cli import _parse_age
+
+    assert _parse_age("90") == 90.0
+    assert _parse_age("45m") == 2700.0
+    assert _parse_age("12h") == 43200.0
+    assert _parse_age("7d") == 604800.0
+    with pytest.raises(argparse.ArgumentTypeError, match="invalid age"):
+        _parse_age("soon")
+    with pytest.raises(argparse.ArgumentTypeError, match=">= 0"):
+        _parse_age("-5m")
+
+
+def test_cache_gc_max_age_cli(tmp_path, capsys):
+    import os
+    import time
+
+    from repro.runner import Point, ResultCache
+
+    cache = ResultCache(tmp_path)
+    stale = Point(fn="tests.runner_points:square", params={"x": 1})
+    fresh = Point(fn="tests.runner_points:square", params={"x": 2})
+    cache.store(stale, 1)
+    cache.store(fresh, 4)
+    past = time.time() - 7200
+    os.utime(cache.path_for(stale), (past, past))
+
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-age", "1h"]) == 0
+    assert "pruned 1" in capsys.readouterr().out
+    assert cache.lookup(stale) == (False, None)
+    assert cache.lookup(fresh) == (True, 4)
+
+
+def test_cache_stats_rejects_max_age(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["cache", "stats", "--cache-dir", str(tmp_path),
+              "--max-age", "1h"])
+    assert "only applies to gc" in capsys.readouterr().err
+
+
+def test_checkpoint_inspect_prints_manifest(tmp_path, capsys):
+    import pickle
+
+    from repro.checkpoint import Checkpoint
+
+    blob = Checkpoint(
+        manifest={"seed": 3, "label": "main", "segment": 2},
+        state=pickle.dumps({"x": 1}),
+    ).to_bytes()
+    path = tmp_path / "ckpt.bin"
+    path.write_bytes(blob)
+    assert main(["checkpoint", "inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    for key in ("seed", "label", "segment", "digest", "state_bytes",
+                "version"):
+        assert key in out
+
+
+def test_checkpoint_inspect_rejects_garbage(tmp_path, capsys):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"definitely not a checkpoint blob")
+    with pytest.raises(SystemExit):
+        main(["checkpoint", "inspect", str(path)])
+    assert "error" in capsys.readouterr().err

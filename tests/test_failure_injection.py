@@ -101,6 +101,30 @@ def test_controller_stops_early_spy_gets_prefix():
     assert report.bits == PAYLOAD[:6]
 
 
+def test_resync_exhaustion_is_typed_with_doubling_backoff(monkeypatch):
+    """Every re-synchronization retry is consumed: the typed
+    SyncTimeoutError propagates, and the inter-attempt idle doubled
+    per attempt (Section VII-A exponential backoff)."""
+    session = make_session()
+    cfg = session.config
+    assert cfg.resync_attempts == 2
+
+    idles = []
+    monkeypatch.setattr(session, "idle", lambda cycles: idles.append(cycles))
+
+    def always_desynced(self, *args, **kwargs):
+        raise SyncTimeoutError("handshake never converged (forced)")
+
+    monkeypatch.setattr(ChannelSession, "_transmit_once", always_desynced)
+    with pytest.raises(SyncTimeoutError):
+        session.transmit(list(PAYLOAD[:4]))
+    # every retry was spent...
+    assert session.resyncs == cfg.resync_attempts
+    # ...and each backoff doubled the previous one
+    base = cfg.resync_backoff_cycles
+    assert idles == [base, 2 * base]
+
+
 def test_third_party_flusher_disrupts_but_terminates():
     """An unrelated process flushing the same line injects chaos only."""
     session = make_session()

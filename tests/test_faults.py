@@ -13,6 +13,8 @@ Covers, per plane:
 """
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -239,6 +241,61 @@ def test_per_point_timeout_parallel_keep_going():
     assert report.padded_values() == [25, None]
     (error,) = report.errors
     assert "PointTimeoutError" in str(error.error)
+
+
+# -- the portable deadline guard -------------------------------------------
+
+
+def test_deadline_watchdog_fires_from_helper_thread():
+    """SIGALRM only works on the main thread; elsewhere the watchdog
+    injects PointTimeoutError at the next bytecode boundary."""
+    from repro.runner import executor
+
+    outcome = []
+
+    def body():
+        try:
+            with executor._deadline(0.2):
+                stop = time.time() + 10.0
+                while time.time() < stop:
+                    pass
+            outcome.append("finished")
+        except PointTimeoutError:
+            outcome.append("timed-out")
+
+    worker = threading.Thread(target=body)
+    worker.start()
+    worker.join(timeout=10.0)
+    assert outcome == ["timed-out"]
+
+
+def test_deadline_watchdog_cancelled_when_body_finishes():
+    from repro.runner import executor
+
+    outcome = []
+
+    def body():
+        with executor._deadline(0.1):
+            outcome.append("ran")
+        time.sleep(0.3)  # a leaked timer would misfire in this window
+        outcome.append("alive")
+
+    worker = threading.Thread(target=body)
+    worker.start()
+    worker.join(timeout=10.0)
+    assert outcome == ["ran", "alive"]
+
+
+def test_deadline_warns_when_no_mechanism_available(monkeypatch):
+    from repro.runner import executor
+
+    monkeypatch.delattr(executor.signal, "SIGALRM")
+    monkeypatch.setattr(executor, "_async_exc_injector", lambda: None)
+    ran = []
+    with pytest.warns(RuntimeWarning, match="wall-clock limit"):
+        with executor._deadline(0.05):
+            ran.append(1)
+    assert ran == [1]
 
 
 # -- keep_going and report alignment --------------------------------------

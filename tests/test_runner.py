@@ -7,7 +7,9 @@ the CLI validation fixes that shipped with the runner.
 """
 
 import io
+import os
 import pickle
+import time
 
 import pytest
 
@@ -199,6 +201,57 @@ def test_cache_hit_skips_recompute(tmp_path):
     third = Runner(jobs=1, cache=ResultCache(tmp_path / "c", salt="t")).run(spec)
     assert third.cache_misses == 3
     assert log.read_text().splitlines() == ["0", "1", "2", "0", "1", "2"]
+
+
+def test_gc_max_age_reaps_stale_current_entries(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    stale = Point(fn=SQUARE, params={"x": 1})
+    fresh = Point(fn=SQUARE, params={"x": 2})
+    cache.store(stale, 1)
+    cache.store(fresh, 4)
+    past = time.time() - 7200
+    os.utime(cache.path_for(stale), (past, past))
+
+    removed, freed = cache.gc(max_age_seconds=3600)
+    assert removed == 1 and freed > 0
+    assert cache.lookup(stale) == (False, None)
+    assert cache.lookup(fresh) == (True, 4)
+
+
+def test_gc_without_max_age_keeps_current_generation(tmp_path):
+    cache = ResultCache(tmp_path, salt="s")
+    point = Point(fn=SQUARE, params={"x": 1})
+    cache.store(point, 1)
+    past = time.time() - 7200
+    os.utime(cache.path_for(point), (past, past))
+    assert cache.gc() == (0, 0)
+    assert cache.lookup(point) == (True, 1)
+
+
+def test_gc_rejects_negative_max_age(tmp_path):
+    with pytest.raises(ValueError, match=">= 0"):
+        ResultCache(tmp_path, salt="s").gc(max_age_seconds=-1)
+
+
+def test_orphaned_tmp_files_swept_on_construction(tmp_path):
+    """Regression: temps leaked by killed writers are reaped, in-flight
+    temps inside the grace window are left alone."""
+    cache = ResultCache(tmp_path, salt="s")
+    point = Point(fn=SQUARE, params={"x": 1})
+    cache.store(point, 1)
+    shard = cache.path_for(point).parent
+    orphan = shard / "dead.pkl.tmp"
+    orphan.write_bytes(b"partial write from a killed worker")
+    past = time.time() - 120  # beyond STALE_TMP_SECONDS
+    os.utime(orphan, (past, past))
+    young = shard / "live.pkl.tmp"
+    young.write_bytes(b"concurrent writer, still in flight")
+
+    swept = ResultCache(tmp_path, salt="s")
+    assert swept.swept_tmp == 1
+    assert not orphan.exists()
+    assert young.exists()
+    assert swept.lookup(point) == (True, 1)
 
 
 def test_parallel_run_matches_serial(tmp_path):

@@ -165,3 +165,41 @@ def test_run_transmission_with_bare_scenario_warns():
     with pytest.warns(DeprecationWarning, match="deprecated"):
         result = run_transmission(TABLE_I[0], [1, 0, 1], seed=3)
     assert result.accuracy == 1.0
+
+
+def test_legacy_shims_land_on_the_resolved_configuration():
+    """The deprecated entry forms warn AND end up exactly where the
+    modern resolve_spec path lands."""
+    modern = SessionConfig(spec=resolve_spec(TABLE_I[0].name))
+    with pytest.warns(DeprecationWarning, match="scenario=.*deprecated"):
+        legacy = SessionConfig(scenario=TABLE_I[0])
+    with pytest.warns(DeprecationWarning, match="expects a.*ScenarioSpec"):
+        bare = SessionConfig(spec=TABLE_I[0])
+    assert legacy.scenario == modern.scenario == bare.scenario
+
+    # resolve_spec wraps bare legacy inputs into ad-hoc specs itself
+    wrapped = resolve_spec(TABLE_I[0])
+    assert isinstance(wrapped, ScenarioSpec)
+    assert wrapped.scenario == TABLE_I[0]
+
+
+def test_execute_point_legacy_scenario_routes_through_resolve_spec(
+    monkeypatch,
+):
+    import repro.channel.session as session_mod
+
+    seen = []
+    real = session_mod.resolve_spec
+
+    def spy(*args, **kwargs):
+        spec = real(*args, **kwargs)
+        seen.append(spec.name)
+        return spec
+
+    monkeypatch.setattr(session_mod, "resolve_spec", spy)
+    result = session_mod.execute_point(
+        scenario=TABLE_I[0].name, payload=[1, 0, 1], seed=3,
+        calibration_samples=120,
+    )
+    assert seen == [TABLE_I[0].name]
+    assert result.scenario_name == TABLE_I[0].name
