@@ -13,9 +13,12 @@ emits a machine-readable ``BENCH_<date>.json`` report:
   workload threads, the contention-heavy configuration;
 * ``grid_sweep`` — grid throughput (points/second) on a fig8-shaped
   64-point grid, comparing the pre-optimization reference path against
-  warm-worker serial, per-point pool, and chunked pool dispatch, with a
-  bit-identity check across all modes and the schema-v2 vs legacy cache
-  entry sizes;
+  warm-worker serial, per-point pool, chunked pool, and lane-backend
+  dispatch, with a bit-identity check across all modes and the
+  schema-v2 vs legacy cache entry sizes;
+* ``lane_sweep`` — the lane backend (:mod:`repro.sim.lanes`) against
+  the chunked pool on the same grid, serial and pool-composed, gated
+  on bit-identity and a minimum speedup floor;
 * ``trace_overhead`` — the wall-time cost of structured tracing
   (:mod:`repro.obs`): disabled-mode overhead is gated (< 2%, since the
   disabled path is the unmodified hot code), enabled-mode cost is
@@ -32,6 +35,7 @@ for how to run and read the reports, and how CI gates on them.
 """
 
 from repro.bench.harness import (
+    LANE_MIN_SPEEDUP,
     SEGMENT_OVERHEAD_LIMIT,
     TRACE_OVERHEAD_LIMIT,
     check_regression,
@@ -39,6 +43,7 @@ from repro.bench.harness import (
     engine_micro,
     fig8_point,
     grid_sweep,
+    lane_sweep,
     load_report,
     noise_point,
     run_all,
@@ -48,6 +53,7 @@ from repro.bench.harness import (
 )
 
 __all__ = [
+    "LANE_MIN_SPEEDUP",
     "SEGMENT_OVERHEAD_LIMIT",
     "TRACE_OVERHEAD_LIMIT",
     "check_regression",
@@ -55,6 +61,7 @@ __all__ = [
     "engine_micro",
     "fig8_point",
     "grid_sweep",
+    "lane_sweep",
     "load_report",
     "noise_point",
     "run_all",

@@ -1,0 +1,1404 @@
+"""The lane backend: drive channel threads without generator dispatch.
+
+The reference engine (:class:`repro.sim.engine.Simulator`) pays a fixed
+per-event Python toll — a generator resume, an executor call, an
+``OpResult`` allocation and a heap push — for every executed op.  For
+the covert-channel workloads that toll dominates: the trojan workers,
+the spy and the controller issue millions of ops per transmission from
+three small, fully-known programs.
+
+:class:`LaneSimulator` removes the toll for exactly those threads.  At
+spawn time it recognizes the three channel programs by their
+:class:`~repro.checkpoint.spec.ProgramSpec` factory path and attaches a
+*driver* — a flat state machine that issues the same op sequence the
+generator would, against the same machine model, drawing the same RNG
+streams in the same order.  The run loop then advances a driven thread
+with an **inline run**: when the thread pops off the event heap, its
+driver keeps executing ops while each completion time stays strictly
+below the next heap entry's clock, and the thread is pushed back once.
+Because the elided intermediate heap pushes would all have been strict
+minima popped straight back (and the fresh-sequence tie-break at the
+boundary resolves the ``==`` case the same way), the global interleaving
+of machine mutations, RNG draws, event counts and clock updates is
+**bit-identical** to the reference loop — the golden digests and the
+randomized equivalence suite in ``tests/test_lanes.py`` pin this.
+
+Divergent workloads fall out of the lane into the unchanged reference
+path, the same bypass pattern ``calibrate_memoized`` uses:
+
+* at session build: tracing sessions, segmented (checkpointing) runs
+  and simulation-plane fault plans never get a :class:`LaneSimulator`
+  (:func:`session_bypass_reason`);
+* at run entry: an installed obfuscation policy or a detection tap that
+  interposed on ``machine.load/store/flush`` stands the lane down
+  (:meth:`LaneSimulator.lane_stand_down`) — partially-driven worker
+  threads are re-materialized as ordinary generators at their exact
+  park position, and the reference loop takes over;
+* mid-session: a resync (lost handshake) stands the lane down for the
+  session's remainder.
+
+Every fall-out is recorded via :func:`note_bypass` so sweeps can audit
+their vectorization coverage (the runner emits these as ``lane_bypass``
+events, see :mod:`repro.runner.executor`).
+
+``REPRO_LANES=0`` is the kill switch: it forces the reference path
+everywhere regardless of CLI flags or runner configuration.  Any other
+non-empty value enables lanes (and doubles as the lane-batch width for
+the runner); unset defers to the process-local :func:`lane_scope`
+context the runner's lane dispatch installs in pool workers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from contextlib import contextmanager
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError, SyncTimeoutError
+from repro.sim.engine import Simulator
+from repro.sim.events import AccessPath, OpResult
+from repro.sim.thread import SimThread, ThreadState
+
+_READY = ThreadState.READY
+_DONE = ThreadState.DONE
+_FAILED = ThreadState.FAILED
+_INF = float("inf")
+_L1_HIT = AccessPath.L1_HIT
+
+__all__ = [
+    "LaneSimulator",
+    "LaneState",
+    "consume_bypass_notes",
+    "lane_fingerprint",
+    "lane_scope",
+    "lane_width",
+    "lanes_enabled",
+    "note_bypass",
+    "session_bypass_reason",
+]
+
+
+# ----------------------------------------------------------------------
+# gating: environment kill switch + process-local context
+# ----------------------------------------------------------------------
+
+class _LaneContext:
+    """Process-local default used when ``REPRO_LANES`` is unset."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_context = _LaneContext()
+
+#: Default lane-batch width when ``REPRO_LANES`` does not carry one.
+DEFAULT_LANE_WIDTH = 8
+
+
+def lanes_enabled() -> bool:
+    """Whether sessions built now should use the lane backend.
+
+    ``REPRO_LANES=0`` always wins (kill switch); any other non-empty
+    value forces lanes on; unset defers to :func:`lane_scope`.
+    """
+    raw = os.environ.get("REPRO_LANES")
+    if raw:
+        return raw != "0"
+    return _context.enabled
+
+
+def lane_width(default: int = DEFAULT_LANE_WIDTH) -> int:
+    """Lane-batch width carried by ``REPRO_LANES`` (or *default*)."""
+    raw = os.environ.get("REPRO_LANES")
+    try:
+        value = int(raw) if raw else 0
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+@contextmanager
+def lane_scope(enabled: bool = True):
+    """Enable (or disable) the lane backend for sessions built inside.
+
+    The runner's lane dispatch wraps each lane-batch point execution in
+    ``lane_scope(True)`` so cache keys and point params stay untouched —
+    lanes ride the environment/context, never the point identity,
+    exactly like ``REPRO_TRACE`` and ``REPRO_SEGMENT_CYCLES``.
+    """
+    previous = _context.enabled
+    _context.enabled = enabled
+    try:
+        yield
+    finally:
+        _context.enabled = previous
+
+
+# ----------------------------------------------------------------------
+# bypass audit trail
+# ----------------------------------------------------------------------
+
+_bypass_notes: list[dict[str, Any]] = []
+
+
+def note_bypass(reason: str, **detail: Any) -> None:
+    """Record one lane fall-out (session bypass or mid-flight stand-down)."""
+    note = {"reason": reason}
+    if detail:
+        note.update(detail)
+    _bypass_notes.append(note)
+
+
+def consume_bypass_notes() -> list[dict[str, Any]]:
+    """Drain and return the bypass notes recorded since the last call."""
+    notes = _bypass_notes[:]
+    del _bypass_notes[:]
+    return notes
+
+
+def session_bypass_reason(config: Any, traced: bool = False) -> str | None:
+    """Why a session about to be built cannot use the lane backend.
+
+    Returns ``None`` when the lane backend is safe, else one of
+    ``"trace"`` (recorder sessions interpose on the machine),
+    ``"segments"`` (checkpointing needs replay logs the drivers do not
+    write) or ``"faults"`` (simulation-plane fault plans perturb thread
+    programs in ways the drivers do not model).
+    """
+    if traced:
+        return "trace"
+    from repro.checkpoint.segments import segments_enabled
+
+    if segments_enabled():
+        return "segments"
+    faults = getattr(config, "faults", None)
+    if faults:
+        from repro.faults.plan import FaultPlan
+
+        if FaultPlan.from_json(faults).simulation_events:
+            return "faults"
+    return None
+
+
+# ----------------------------------------------------------------------
+# lane-batch compatibility fingerprint (runner grouping)
+# ----------------------------------------------------------------------
+
+#: Point parameters that vectorize across lanes: points differing only
+#: in these still share a lane batch (same scenario cell, same machine
+#: shape, different seed/payload/operating point).
+_LANE_VARIANT_KEYS = frozenset({
+    "seed", "rate", "rate_kbps", "bits", "payload", "n_bits", "index",
+})
+
+
+def lane_fingerprint(point: Any) -> str:
+    """Compatibility key grouping cache-miss points into lane batches.
+
+    Two points are lane-compatible when they run the same point
+    function with the same non-vectorizing parameters — the same
+    ``ScenarioSpec`` cell, machine fingerprint, sharing mode and flush
+    method — differing only in seed/payload/rate, which vectorize.
+    """
+    from repro.runner.spec import canonical_json
+
+    params = {
+        key: value
+        for key, value in dict(point.params).items()
+        if key not in _LANE_VARIANT_KEYS
+    }
+    return canonical_json({"fn": point.fn, "params": params})
+
+
+def point_bypass_reason(point: Any) -> str | None:
+    """Why a grid point must skip lane dispatch entirely (or ``None``).
+
+    Fault-injected points diverge mid-flight by design; keeping them on
+    the reference dispatch path avoids a guaranteed stand-down.
+    """
+    params = point.params
+    if params.get("faults") or params.get("fault_rate"):
+        return "faults"
+    return None
+
+
+# ----------------------------------------------------------------------
+# struct-of-arrays batch bookkeeping
+# ----------------------------------------------------------------------
+
+class LaneState:
+    """Struct-of-arrays bookkeeping for one lane batch.
+
+    One row per lane (grid point).  The runner's lane dispatch fills
+    the arrays as points complete: per-lane clocks, executed-event
+    counts, the live/bypassed masks, and the per-path base-latency
+    table broadcast per lane (every lane shares a machine fingerprint,
+    so the broadcast is exact).  The arrays make batch-level audits —
+    total events, slowest lane, vectorization coverage — single numpy
+    reductions instead of per-point dict walks.
+    """
+
+    __slots__ = (
+        "width", "clocks", "events", "active", "bypassed", "base_latency",
+        "paths",
+    )
+
+    def __init__(self, width: int, base_latency: dict | None = None):
+        self.width = width
+        self.clocks = np.zeros(width, dtype=np.float64)
+        self.events = np.zeros(width, dtype=np.int64)
+        self.active = np.ones(width, dtype=bool)
+        self.bypassed = np.zeros(width, dtype=bool)
+        if base_latency:
+            self.paths = sorted(base_latency, key=lambda p: p.value)
+            row = np.array(
+                [float(base_latency[p]) for p in self.paths], dtype=np.float64
+            )
+            self.base_latency = np.broadcast_to(
+                row, (width, len(row))
+            ).copy()
+        else:
+            self.paths = []
+            self.base_latency = np.zeros((width, 0), dtype=np.float64)
+
+    def record(self, lane: int, clock: float, events: int) -> None:
+        """Record a completed lane's final clock and event count."""
+        self.clocks[lane] = clock
+        self.events[lane] = events
+        self.active[lane] = False
+
+    def drop(self, lane: int) -> None:
+        """Mark a lane as having fallen out to the reference path."""
+        self.active[lane] = False
+        self.bypassed[lane] = True
+
+    def summary(self) -> dict[str, Any]:
+        """Batch-level aggregates for audit events and benchmarks."""
+        return {
+            "width": int(self.width),
+            "events": int(self.events.sum()),
+            "max_clock": float(self.clocks.max()) if self.width else 0.0,
+            "bypassed": int(self.bypassed.sum()),
+        }
+
+
+# ----------------------------------------------------------------------
+# the drivers
+# ----------------------------------------------------------------------
+
+class _LaneIneligible(Exception):
+    """A driver constructor refusing a thread it cannot drive exactly."""
+
+
+class _Runtime:
+    """Hot-loop accounting shared between the run loop and a driver.
+
+    The run loop hoists ``events``/``global_clock`` into locals exactly
+    like the reference; around each driver advance they are spilled
+    into this object so an exception mid-advance (a spy sync timeout,
+    the ``max_events`` guard) leaves the counts exact.
+    """
+
+    __slots__ = (
+        "events", "global_clock", "event_limit", "cycle_limit",
+        "max_events", "max_cycles",
+    )
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.global_clock = 0.0
+        self.event_limit = _INF
+        self.cycle_limit = _INF
+        self.max_events: int | None = None
+        self.max_cycles: float | None = None
+
+
+def _kernel_of(executor: Any) -> Any | None:
+    """The owning Kernel of a bound ``Kernel._execute`` (else None)."""
+    kernel = getattr(executor, "__self__", None)
+    if kernel is None or not hasattr(kernel, "_sched_thread_core"):
+        return None
+    return kernel
+
+
+#: Lazily-resolved channel-layer constants (import layering: sim must
+#: not import channel at module load).  Resolved once per process, at
+#: the first driver construction.
+_channel_consts_cache: tuple | None = None
+
+
+def _channel_consts() -> tuple:
+    """(``_THREADS_NEEDED``, ``LineState.OWNED``, ``Sample``)."""
+    global _channel_consts_cache
+    if _channel_consts_cache is None:
+        from repro.channel.config import _THREADS_NEEDED, LineState
+        from repro.channel.decoder import Sample
+
+        _channel_consts_cache = (_THREADS_NEEDED, LineState.OWNED, Sample)
+    return _channel_consts_cache
+
+
+class _WorkerDriver:
+    """Drives ``repro.channel.trojan:worker_program`` threads.
+
+    Replicates the worker loop exactly: one control poll per wakeup,
+    the OWNED rank-0 store path, the load with the adaptive
+    backoff/spin decision, and the idle poll cadence — including the
+    inline L1-hit fast path that skips the full ``machine.load`` call
+    (probing only the L1 bucket, so a miss leaves the caches untouched
+    for the real lookup; valid in both snoop and directory mode, whose
+    private-hit paths are identical).
+    """
+
+    __slots__ = (
+        "sim", "thread", "kernel", "control", "role", "block_va", "params",
+        "started", "state", "load_latency", "poll", "parked", "_hoist",
+    )
+
+    def __init__(self, sim: "LaneSimulator", thread: SimThread, kernel: Any,
+                 spec: Any):
+        if len(spec.args) != 4 or spec.kwargs:
+            raise _LaneIneligible("unexpected worker_program spec shape")
+        self.sim = sim
+        self.thread = thread
+        self.kernel = kernel
+        self.control, self.role, self.block_va, self.params = spec.args
+        self.started = False
+        #: 0 = loop top (poll next), 1 = after the OWNED store (idle
+        #: next), 2 = after the load (backoff/spin decision next).
+        self.state = 0
+        self.load_latency = 0.0
+        #: The (running, pair) the current iteration's poll observed —
+        #: the worker_program checkpoint cursor, used by rebuild().
+        self.poll: tuple | None = None
+        #: (latency, clock, value, path) of the op the thread parked
+        #: on; materialized into an OpResult only if rebuild() needs it.
+        self.parked: tuple | None = None
+
+        params = self.params
+        machine = kernel.machine
+        l1 = machine.cores[thread.core_id].l1
+        noise = machine._noise
+        rng = machine._jitter_rng
+        hit_base, hit_counter = machine._path_info[_L1_HIT]
+        reload_period = float(params.reload_period)
+        if reload_period < 0.0:
+            reload_period = 0.0
+        spin = float(params.worker_spin_cycles)
+        if spin < 0.0:
+            spin = 0.0
+        backoff = float(params.worker_backoff_fraction * params.slot_cycles)
+        if backoff < 0.0:
+            backoff = 0.0
+        needed, owned, _ = _channel_consts()
+        # Everything frozen at spawn time, unpacked in one sequence per
+        # advance().  Anything that can change between spawn and run —
+        # obfuscation, machine interposition — stands the whole lane
+        # down at run entry, before any advance happens; translations
+        # are deliberately NOT hoisted (KSM merges and our own COW-
+        # breaking store can remap the page mid-run).
+        # pair -> poll action (0 idle, 1 store, 2 probe), keyed by id:
+        # a scenario holds at most four distinct StatePairs and the
+        # values list pins them, so the ids stay valid.
+        pair_actions: dict[int, int] = {}
+        pair_refs: list[Any] = []
+        self._hoist = (
+            l1._sets, l1._set_mask, hit_base, hit_counter,
+            noise.enabled, noise.sigma, noise.tail_probability,
+            noise.tail_scale, rng.normal, rng.random, rng.exponential,
+            machine.load, kernel._do_store, reload_period, spin, backoff,
+            params.adaptive_backoff, params.worker_refill_floor,
+            self.role.location, self.role.index, owned, needed,
+            kernel._timeshare, kernel._sched_rng, thread.tid,
+            thread.process, thread.core_id, self.block_va,
+            pair_actions, pair_refs,
+        )
+
+    def advance(self, bound: float, rt: _Runtime) -> None:
+        thread = self.thread
+        kernel = self.kernel
+        control = self.control
+        self.started = True
+
+        (buckets, set_mask, hit_base, hit_counter, noise_on, sigma,
+         tail_p, tail_s, normal, random, exponential, mload, do_store,
+         reload_period, spin, backoff, adaptive, refill_floor,
+         role_location, role_index, owned, needed, timeshare, sched_rng,
+         tid, process, core_id, va, pair_actions, pair_refs) = self._hoist
+
+        core = kernel._sched_thread_core.get(tid)
+        # Static during one advance: assignments only change when
+        # another thread exits, and no other thread runs while this
+        # driver advances.
+        shared = (
+            core is not None and len(kernel._sched_assignments[core]) > 1
+        )
+
+        clock = thread.clock
+        events = rt.events
+        global_clock = rt.global_clock
+        event_limit = rt.event_limit
+        cycle_limit = rt.cycle_limit
+        state = self.state
+        ops = 0
+        value = 0
+        path = None
+        latency = 0.0
+        try:
+            while True:
+                is_delay = False
+                if state == 0:
+                    running = control.running
+                    pair = control.active_pair
+                    if not running:
+                        # The program would break and StopIteration:
+                        # no op, no event, thread exits.
+                        thread.state = _DONE
+                        thread.result = None
+                        thread._fire_exit()
+                        return
+                    action = pair_actions.get(id(pair))
+                    if action is None:
+                        # First sighting of this pair: classify once
+                        # (0 idle, 1 store, 2 probe) and pin the pair so
+                        # its id stays valid for the cache's lifetime.
+                        if (
+                            pair is not None
+                            and role_location is pair.location
+                            and role_index < needed[pair.state]
+                        ):
+                            action = (
+                                1 if role_index == 0
+                                and pair.state is owned else 2
+                            )
+                        else:
+                            action = 0
+                        pair_actions[id(pair)] = action
+                        pair_refs.append(pair)
+                    if action == 2:
+                        self.poll = (running, pair)
+                        # Translated per probe: our own COW-breaking
+                        # stores and ksmd merges can remap the page
+                        # between ops.
+                        paddr = (
+                            va if process is None
+                            else process.translate(va)
+                        )
+                        base = paddr & ~63
+                        bucket = buckets[(base >> 6) & set_mask]
+                        line = bucket.get(base)
+                        if line is not None:
+                            # Inline L1 hit: LRU touch + the exact
+                            # _finish draw sequence (obfuscation is
+                            # None by the run-entry check).
+                            bucket.move_to_end(base)
+                            if noise_on:
+                                sample = hit_base + normal(0.0, sigma)
+                                if random() < tail_p:
+                                    sample += exponential(tail_s)
+                                latency = (
+                                    sample if sample > 1.0 else 1.0
+                                )
+                            else:
+                                latency = (
+                                    hit_base if hit_base > 1.0 else 1.0
+                                )
+                            hit_counter.value += 1
+                            value = line.value
+                            path = _L1_HIT
+                        else:
+                            value, latency, path = mload(
+                                core_id, paddr, clock
+                            )
+                        self.load_latency = latency
+                        state = 2
+                    elif action == 1:
+                        self.poll = (running, pair)
+                        latency = do_store(thread, va, 1, clock)
+                        value = 0
+                        path = None
+                        state = 1
+                    elif not shared:
+                        # Idle stretch on a private core: every poll has
+                        # constant latency, draws no RNG, and the
+                        # control state cannot change while this driver
+                        # runs — so step straight to the bound in a
+                        # tight loop.  The iterative += accumulation
+                        # reproduces the reference's per-op float math
+                        # bit-for-bit (a closed form would not).
+                        latency = reload_period
+                        value = 0
+                        path = None
+                        while True:
+                            clock += reload_period
+                            ops += 1
+                            events += 1
+                            if clock > global_clock:
+                                global_clock = clock
+                            if events >= event_limit:
+                                thread.clock = clock
+                                thread.ops_executed += ops
+                                self.parked = (
+                                    latency, clock, value, path
+                                )
+                                ops = 0
+                                self.sim._push(thread)
+                                raise SimulationError(
+                                    f"exceeded max_events={rt.max_events} "
+                                    f"(global clock {global_clock:.0f})"
+                                )
+                            if global_clock > cycle_limit:
+                                thread.clock = clock
+                                thread.ops_executed += ops
+                                self.parked = (
+                                    latency, clock, value, path
+                                )
+                                ops = 0
+                                self.sim._push(thread)
+                                raise SimulationError(
+                                    f"exceeded max_cycles={rt.max_cycles}"
+                                )
+                            if clock >= bound:
+                                thread.clock = clock
+                                thread.ops_executed += ops
+                                self.parked = (
+                                    latency, clock, value, path
+                                )
+                                ops = 0
+                                return
+                    else:
+                        latency = reload_period
+                        is_delay = True
+                        value = 0
+                        path = None
+                        # state stays 0: idle poll, back to loop top.
+                elif state == 2:
+                    if adaptive and self.load_latency >= refill_floor:
+                        latency = backoff
+                    else:
+                        latency = spin
+                    is_delay = True
+                    value = 0
+                    path = None
+                    state = 0
+                else:  # state == 1: after the OWNED store
+                    latency = reload_period
+                    is_delay = True
+                    value = 0
+                    path = None
+                    state = 0
+
+                if shared:
+                    factor, penalty = timeshare(tid, sched_rng)
+                    if is_delay:
+                        latency = latency * factor
+                    latency += penalty
+                clock += latency
+                ops += 1
+                events += 1
+                if clock > global_clock:
+                    global_clock = clock
+                if events >= event_limit:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    self.sim._push(thread)
+                    raise SimulationError(
+                        f"exceeded max_events={rt.max_events} "
+                        f"(global clock {global_clock:.0f})"
+                    )
+                if global_clock > cycle_limit:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    self.sim._push(thread)
+                    raise SimulationError(
+                        f"exceeded max_cycles={rt.max_cycles}"
+                    )
+                if clock >= bound:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    return
+        finally:
+            rt.events = events
+            rt.global_clock = global_clock
+            self.state = state
+            if ops:
+                thread.clock = clock
+                thread.ops_executed += ops
+
+    def _park(self, clock: float, latency: float, value: int,
+              path: Any, ops: int) -> None:
+        thread = self.thread
+        thread.clock = clock
+        thread.ops_executed += ops
+        self.parked = (latency, clock, value, path)
+
+    def rebuild(self) -> None:
+        """Re-materialize the thread's generator at the parked position.
+
+        Used by lane stand-down: the thread's real generator was never
+        advanced (the driver executed its ops), so a fresh one is built
+        with the worker's checkpoint ``cursor`` — the iteration's poll
+        — and fast-forwarded past the ops the driver already executed.
+        The result of the op the thread parked on (deferred as a plain
+        tuple at park time) is re-delivered by the reference loop
+        exactly as it would have been.
+        """
+        from repro.channel.trojan import worker_program
+
+        thread = self.thread
+        thread._generator.close()
+        state = self.state
+        cursor = None if state == 0 else self.poll
+        program = worker_program(
+            self.control, self.role, self.block_va, self.params,
+            cursor=cursor,
+        )
+        thread._generator = program(thread.cpu)
+        if state == 0:
+            # Loop top: the program re-polls live on the next resume
+            # and ignores the delivered result of a delay/store op, so
+            # a fresh send(None) is exact.
+            thread._pending_result = None
+        else:
+            # Mid-iteration: replay the poll via the cursor, advance to
+            # the first op's yield (already executed by the driver) and
+            # let the loop deliver its parked result.
+            latency, clock, value, path = self.parked
+            thread._pending_result = OpResult(latency, clock, value, path)
+            next(thread._generator)
+
+
+class _SpyDriver:
+    """Drives ``repro.channel.spy:spy_program`` threads.
+
+    One state per primitive of the spy's slot — rdtsc, pacing delay,
+    flush (clflush or the eviction-load sweep), the post-flush wait,
+    and the fence-bracketed measured load — plus a no-op processing
+    state that applies Algorithm 2's phase logic between slots.  The
+    flush and load primitives are real machine calls; only the fixed
+    delays and fences are computed inline.
+    """
+
+    __slots__ = (
+        "sim", "thread", "kernel", "result", "decoder", "params",
+        "block_va", "eviction_set", "started", "state", "phase", "polls",
+        "quiet", "next_slot", "evict_index", "evict_paddrs",
+        "load_latency", "load_timestamp", "load_path", "_hoist",
+    )
+
+    # FSM states: which primitive executes next.
+    PROCESS, RDTSC, PACE, FLUSH, EVICT, WAIT, FENCE1, LOAD, FENCE2 = range(9)
+
+    def __init__(self, sim: "LaneSimulator", thread: SimThread, kernel: Any,
+                 spec: Any):
+        if len(spec.args) != 4:
+            raise _LaneIneligible("unexpected spy_program spec shape")
+        kwargs = dict(spec.kwargs)
+        eviction = kwargs.pop("eviction_set", None)
+        if kwargs:
+            raise _LaneIneligible("unexpected spy_program kwargs")
+        self.sim = sim
+        self.thread = thread
+        self.kernel = kernel
+        self.result, self.decoder, self.params, self.block_va = spec.args
+        self.eviction_set = list(eviction) if eviction is not None else None
+        self.started = False
+        self.state = self.RDTSC
+        self.phase = 1
+        self.polls = 0
+        self.quiet = 0
+        self.next_slot: float | None = None
+        self.evict_index = 0
+        self.evict_paddrs: list[int] | None = None
+        self.load_latency = 0.0
+        self.load_timestamp = 0.0
+        self.load_path: Any = None
+
+        params = self.params
+        machine = kernel.machine
+        _, _, sample_cls = _channel_consts()
+        wait_cycles = float(params.spy_wait_cycles)
+        if wait_cycles < 0.0:
+            wait_cycles = 0.0
+        # Frozen at spawn time (see _WorkerDriver._hoist).  The probed
+        # block's translation stays per-advance: in KSM mode the shared
+        # page can be remapped by a merge mid-run.
+        self._hoist = (
+            machine.load, machine.flush, kernel._fence_cost,
+            params.slot_cycles, wait_cycles, params.end_run,
+            params.max_poll_slots, params.max_reception_slots,
+            self.decoder.label, sample_cls, self.result,
+            self.result.samples, self.result.poll_samples,
+            kernel._timeshare, kernel._sched_rng, thread.tid,
+            thread.process, thread.core_id, self.block_va,
+        )
+
+    def advance(self, bound: float, rt: _Runtime) -> None:
+        thread = self.thread
+        kernel = self.kernel
+        self.started = True
+
+        (mload, mflush, fence_cost, slot_cycles, wait_cycles, end_run,
+         max_poll, max_recv, label, Sample, spy_result, samples,
+         poll_samples, timeshare, sched_rng, tid, process, core_id,
+         va) = self._hoist
+
+        evict = None
+        if self.eviction_set is not None:
+            evict = self.evict_paddrs
+            if evict is None:
+                # Spy-private, never-mergeable pages: translations are
+                # stable for the session's lifetime.
+                evict = self.evict_paddrs = [
+                    va if process is None else process.translate(va)
+                    for va in self.eviction_set
+                ]
+        n_evict = len(evict) if evict is not None else 0
+
+        core = kernel._sched_thread_core.get(tid)
+        shared = (
+            core is not None and len(kernel._sched_assignments[core]) > 1
+        )
+
+        PROCESS = self.PROCESS
+        RDTSC = self.RDTSC
+        PACE = self.PACE
+        FLUSH = self.FLUSH
+        EVICT = self.EVICT
+        WAIT = self.WAIT
+        FENCE1 = self.FENCE1
+        LOAD = self.LOAD
+        FENCE2 = self.FENCE2
+
+        clock = thread.clock
+        events = rt.events
+        global_clock = rt.global_clock
+        event_limit = rt.event_limit
+        cycle_limit = rt.cycle_limit
+        state = self.state
+        phase = self.phase
+        polls = self.polls
+        quiet = self.quiet
+        next_slot = self.next_slot
+        ops = 0
+        value = 0
+        path = None
+        latency = 0.0
+        try:
+            while True:
+                is_delay = False
+                is_load = False
+                if state == PROCESS:
+                    # Between-slot bookkeeping: build the Sample from
+                    # the fence-bracketed load and apply Algorithm 2's
+                    # phase logic.  No op executes in this state.
+                    lat = self.load_latency
+                    sample = Sample(
+                        timestamp=self.load_timestamp,
+                        latency=lat,
+                        label=label(lat),
+                        path=self.load_path,
+                    )
+                    if phase == 1:
+                        poll_samples.append(sample)
+                        if sample.label == "b":
+                            spy_result.started_at = sample.timestamp
+                            samples.append(sample)
+                            phase = 2
+                        else:
+                            polls += 1
+                            if polls >= max_poll:
+                                spy_result.timed_out = True
+                                thread.state = _FAILED
+                                thread._fire_exit()
+                                raise SyncTimeoutError(
+                                    f"spy saw no transmission start in "
+                                    f"{polls} slots"
+                                )
+                    else:
+                        samples.append(sample)
+                        quiet = quiet + 1 if sample.label == "x" else 0
+                        if len(samples) >= max_recv:
+                            spy_result.timed_out = True
+                            spy_result.finished_at = sample.timestamp
+                            thread.state = _DONE
+                            thread.result = None
+                            thread._fire_exit()
+                            return
+                        if quiet >= end_run:
+                            del samples[-end_run:]
+                            spy_result.finished_at = (
+                                samples[-1].timestamp if samples else None
+                            )
+                            thread.state = _DONE
+                            thread.result = None
+                            thread._fire_exit()
+                            return
+                    state = RDTSC
+
+                if state == RDTSC:
+                    latency = 0.0
+                    value = 0
+                    path = None
+                    state = PACE
+                elif state == PACE:
+                    # After rdtsc, ``now`` is the rdtsc completion time
+                    # — exactly ``clock`` here.
+                    target = next_slot
+                    if target is not None and target > clock:
+                        next_slot = target + slot_cycles
+                        latency = target - clock
+                        is_delay = True
+                        value = 0
+                        path = None
+                        state = FLUSH
+                        # fall through to accounting: this is an op.
+                    else:
+                        # Overrun (or the first slot): re-anchor, no
+                        # pacing op — the flush executes immediately.
+                        next_slot = clock + slot_cycles
+                        state = FLUSH
+                        continue
+                elif state == FLUSH:
+                    if evict is None:
+                        # Translated per op: in KSM mode a merge can
+                        # remap the shared block between slots.
+                        paddr = (
+                            va if process is None
+                            else process.translate(va)
+                        )
+                        latency = mflush(core_id, paddr, clock)
+                        value = 0
+                        path = None
+                        state = WAIT
+                    else:
+                        value, latency, path = mload(
+                            core_id, evict[0], clock
+                        )
+                        self.evict_index = 1
+                        state = WAIT if n_evict == 1 else EVICT
+                elif state == EVICT:
+                    index = self.evict_index
+                    value, latency, path = mload(
+                        core_id, evict[index], clock
+                    )
+                    index += 1
+                    self.evict_index = index
+                    if index >= n_evict:
+                        state = WAIT
+                elif state == WAIT:
+                    latency = wait_cycles
+                    is_delay = True
+                    value = 0
+                    path = None
+                    state = FENCE1
+                elif state == FENCE1:
+                    latency = fence_cost
+                    value = 0
+                    path = None
+                    state = LOAD
+                elif state == LOAD:
+                    paddr = (
+                        va if process is None
+                        else process.translate(va)
+                    )
+                    value, latency, path = mload(core_id, paddr, clock)
+                    is_load = True
+                    state = FENCE2
+                else:  # FENCE2
+                    latency = fence_cost
+                    value = 0
+                    path = None
+                    state = PROCESS
+
+                if shared:
+                    factor, penalty = timeshare(tid, sched_rng)
+                    if is_delay:
+                        latency = latency * factor
+                    latency += penalty
+                clock += latency
+                if is_load:
+                    # The measurement the decoder labels: latency and
+                    # timestamp as the program's OpResult carries them
+                    # (timeshare penalty included).
+                    self.load_latency = latency
+                    self.load_timestamp = clock
+                    self.load_path = path
+                ops += 1
+                events += 1
+                if clock > global_clock:
+                    global_clock = clock
+                if events >= event_limit:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    self.sim._push(thread)
+                    raise SimulationError(
+                        f"exceeded max_events={rt.max_events} "
+                        f"(global clock {global_clock:.0f})"
+                    )
+                if global_clock > cycle_limit:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    self.sim._push(thread)
+                    raise SimulationError(
+                        f"exceeded max_cycles={rt.max_cycles}"
+                    )
+                if clock >= bound:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    return
+        finally:
+            rt.events = events
+            rt.global_clock = global_clock
+            self.state = state
+            self.phase = phase
+            self.polls = polls
+            self.quiet = quiet
+            self.next_slot = next_slot
+            if ops:
+                thread.clock = clock
+                thread.ops_executed += ops
+
+    def _park(self, clock: float, latency: float, value: int,
+              path: Any, ops: int) -> None:
+        # No pending result: rebuild() below raises, so nothing ever
+        # resumes this thread's generator with one.
+        thread = self.thread
+        thread.clock = clock
+        thread.ops_executed += ops
+
+    def rebuild(self) -> None:
+        # Unreachable by construction: the spy is a non-daemon, so a
+        # run only returns once it is DONE/FAILED, and the resync
+        # stand-down happens after the attempt reap killed it.  A spy
+        # parked mid-slot holds its fence-bracketed measurement in
+        # driver state that no generator cursor can reproduce.
+        raise SimulationError(
+            f"lane stand-down cannot rebuild partially-driven spy "
+            f"thread {self.thread.name!r}"
+        )
+
+
+class _ControllerDriver:
+    """Drives ``repro.channel.trojan:controller_program`` threads.
+
+    The hold sequence is flattened into the same indexed step list the
+    program builds; each step is one flush op and one delay op, with
+    the shared-control mutations (``set_pair``, the sent-bit appends,
+    ``stop``) applied at exactly the pop times the generator would
+    apply them.
+    """
+
+    __slots__ = (
+        "sim", "thread", "kernel", "control", "scenario", "params",
+        "block_va", "steps", "started", "state", "index", "pending_bit",
+    )
+
+    # FSM states.
+    STEP_FLUSH, STEP_DELAY, TAIL, EXIT = range(4)
+
+    #: Defaults of controller_program's keyword-only knobs; sessions
+    #: spawn the controller with a 5-tuple spec, leaving these alone.
+    LEAD_IN_SLOTS = 4
+    TAIL_SLOTS = 4
+
+    def __init__(self, sim: "LaneSimulator", thread: SimThread, kernel: Any,
+                 spec: Any):
+        if len(spec.args) != 5 or spec.kwargs:
+            raise _LaneIneligible("unexpected controller_program spec shape")
+        self.sim = sim
+        self.thread = thread
+        self.kernel = kernel
+        (self.control, self.scenario, self.params, self.block_va,
+         payload) = spec.args
+        scenario = self.scenario
+        params = self.params
+        steps: list[tuple[Any, int, int | None]] = [
+            (scenario.csc, self.LEAD_IN_SLOTS, None)
+        ]
+        for bit in payload:
+            steps.append((scenario.csb, params.cb, None))
+            steps.append(
+                (scenario.csc, params.c1 if bit else params.c0, bit)
+            )
+        steps.append((scenario.csb, params.cb, None))
+        if scenario.terminator is not None:
+            steps.append((scenario.terminator, params.end_run + 2, None))
+        self.steps = steps
+        self.started = False
+        self.state = self.STEP_FLUSH
+        self.index = 0
+        self.pending_bit: int | None = None
+
+    def advance(self, bound: float, rt: _Runtime) -> None:
+        thread = self.thread
+        kernel = self.kernel
+        machine = kernel.machine
+        control = self.control
+        slot_cycles = self.params.slot_cycles
+        steps = self.steps
+        n_steps = len(steps)
+        self.started = True
+
+        process = thread.process
+        va = self.block_va
+        paddr = va if process is None else process.translate(va)
+        core_id = thread.core_id
+        mflush = machine.flush
+
+        tid = thread.tid
+        core = kernel._sched_thread_core.get(tid)
+        shared = (
+            core is not None and len(kernel._sched_assignments[core]) > 1
+        )
+        timeshare = kernel._timeshare
+        sched_rng = kernel._sched_rng
+
+        STEP_FLUSH = self.STEP_FLUSH
+        STEP_DELAY = self.STEP_DELAY
+        TAIL = self.TAIL
+
+        clock = thread.clock
+        events = rt.events
+        global_clock = rt.global_clock
+        event_limit = rt.event_limit
+        cycle_limit = rt.cycle_limit
+        state = self.state
+        index = self.index
+        ops = 0
+        value = 0
+        path = None
+        latency = 0.0
+        try:
+            while True:
+                is_delay = False
+                if state == STEP_FLUSH:
+                    # Start of step ``index``: record the previous
+                    # step's bit (the program appends it at the resume
+                    # after that step's delay), retarget the workers,
+                    # flush B everywhere.
+                    bit = self.pending_bit
+                    if bit is not None:
+                        control.bits_sent.append(bit)
+                    pair, _slots, step_bit = steps[index]
+                    control.set_pair(pair)
+                    latency = mflush(core_id, paddr, clock)
+                    value = 0
+                    path = None
+                    self.pending_bit = step_bit
+                    state = STEP_DELAY
+                elif state == STEP_DELAY:
+                    latency = float(steps[index][1] * slot_cycles)
+                    if latency < 0.0:
+                        latency = 0.0
+                    is_delay = True
+                    value = 0
+                    path = None
+                    index += 1
+                    state = STEP_FLUSH if index < n_steps else TAIL
+                elif state == TAIL:
+                    bit = self.pending_bit
+                    if bit is not None:
+                        control.bits_sent.append(bit)
+                        self.pending_bit = None
+                    control.stop()
+                    latency = float(self.TAIL_SLOTS * slot_cycles)
+                    if latency < 0.0:
+                        latency = 0.0
+                    is_delay = True
+                    value = 0
+                    path = None
+                    state = self.EXIT
+                else:  # EXIT: the program returns — no op, no event.
+                    thread.state = _DONE
+                    thread.result = None
+                    thread._fire_exit()
+                    return
+
+                if shared:
+                    factor, penalty = timeshare(tid, sched_rng)
+                    if is_delay:
+                        latency = latency * factor
+                    latency += penalty
+                clock += latency
+                ops += 1
+                events += 1
+                if clock > global_clock:
+                    global_clock = clock
+                if events >= event_limit:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    self.sim._push(thread)
+                    raise SimulationError(
+                        f"exceeded max_events={rt.max_events} "
+                        f"(global clock {global_clock:.0f})"
+                    )
+                if global_clock > cycle_limit:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    self.sim._push(thread)
+                    raise SimulationError(
+                        f"exceeded max_cycles={rt.max_cycles}"
+                    )
+                if clock >= bound:
+                    self._park(clock, latency, value, path, ops)
+                    ops = 0
+                    return
+        finally:
+            rt.events = events
+            rt.global_clock = global_clock
+            self.state = state
+            self.index = index
+            if ops:
+                thread.clock = clock
+                thread.ops_executed += ops
+
+    def _park(self, clock: float, latency: float, value: int,
+              path: Any, ops: int) -> None:
+        # No pending result: rebuild() below raises, so nothing ever
+        # resumes this thread's generator with one.
+        thread = self.thread
+        thread.clock = clock
+        thread.ops_executed += ops
+
+    def rebuild(self) -> None:
+        # Unreachable by construction: the controller is a non-daemon
+        # (runs end only once it is DONE) and the resync reap kills it
+        # before the stand-down.  A controller parked mid-step cannot
+        # be rebuilt without re-executing its flush.
+        raise SimulationError(
+            f"lane stand-down cannot rebuild partially-driven controller "
+            f"thread {self.thread.name!r}"
+        )
+
+
+#: ProgramSpec factory path -> driver class.  Only these three programs
+#: are ever driven; everything else (noise workloads, ksmd, fault
+#: injectors, ad-hoc programs) runs on the unchanged reference path.
+_DRIVER_FACTORIES = {
+    "repro.channel.trojan:worker_program": _WorkerDriver,
+    "repro.channel.spy:spy_program": _SpyDriver,
+    "repro.channel.trojan:controller_program": _ControllerDriver,
+}
+
+
+# ----------------------------------------------------------------------
+# the simulator
+# ----------------------------------------------------------------------
+
+class LaneSimulator(Simulator):
+    """A :class:`Simulator` that lane-drives the known channel programs.
+
+    Drop-in compatible: threads without a recognized
+    :class:`~repro.checkpoint.spec.ProgramSpec` run through the exact
+    reference loop, and :meth:`lane_stand_down` converts the whole
+    simulator back to the reference path mid-session.
+    """
+
+    def __init__(self, stats: Any | None = None):
+        super().__init__(stats)
+        self._drivers: dict[int, Any] = {}
+        self._lane_down = False
+        self._rt = _Runtime()
+        #: Bypass/stand-down reasons recorded on this simulator (the
+        #: module-level notes aggregate across sessions for the runner).
+        self.lane_bypasses: list[str] = []
+
+    # -- spawn: driver attach -------------------------------------------
+
+    def spawn(self, name, program, core_id, executor, start_time=None,
+              daemon=False, process=None, spec=None):
+        thread = super().spawn(
+            name, program, core_id, executor, start_time=start_time,
+            daemon=daemon, process=process, spec=spec,
+        )
+        if spec is not None and not self._lane_down and not self.checkpointing:
+            factory = _DRIVER_FACTORIES.get(getattr(spec, "fn", None))
+            if factory is not None:
+                kernel = _kernel_of(executor)
+                if kernel is not None:
+                    try:
+                        self._drivers[thread.tid] = factory(
+                            self, thread, kernel, spec
+                        )
+                    except _LaneIneligible:
+                        pass
+        return thread
+
+    # -- divergence handling --------------------------------------------
+
+    def _dynamic_bypass_reason(self) -> str | None:
+        """Run-entry check for conditions the drivers do not model.
+
+        Both only change between runs: obfuscation policies are
+        installed by mitigation experiments on a built session, and
+        detection monitors interpose on the machine's bound methods
+        from outside the event loop.
+        """
+        kernel = None
+        for driver in self._drivers.values():
+            kernel = driver.kernel
+            break
+        if kernel is None:
+            return None
+        machine = kernel.machine
+        if machine.obfuscation is not None:
+            return "obfuscation"
+        instance = machine.__dict__
+        if "load" in instance or "store" in instance or "flush" in instance:
+            return "interposition"
+        return None
+
+    def lane_stand_down(self, reason: str) -> None:
+        """Fall out of the lane into the reference path permanently.
+
+        Every partially-driven live thread is re-materialized as an
+        ordinary generator at its exact park position (see
+        ``_WorkerDriver.rebuild``); unstarted drivers are simply
+        dropped — their generators were never touched.
+        """
+        if self._lane_down:
+            return
+        self._lane_down = True
+        self.lane_bypasses.append(reason)
+        note_bypass(reason)
+        drivers, self._drivers = self._drivers, {}
+        for driver in drivers.values():
+            if driver.started and driver.thread.state is _READY:
+                driver.rebuild()
+
+    # -- the run loop ----------------------------------------------------
+
+    def run(self, max_cycles=None, max_events=50_000_000, stop_when=None,
+            kill_daemons=False, pause_at=None):
+        drivers = self._drivers
+        if (
+            self._lane_down
+            or not drivers
+            or stop_when is not None
+            or pause_at is not None
+            or self.checkpointing
+        ):
+            return super().run(
+                max_cycles=max_cycles, max_events=max_events,
+                stop_when=stop_when, kill_daemons=kill_daemons,
+                pause_at=pause_at,
+            )
+        reason = self._dynamic_bypass_reason()
+        if reason is not None:
+            self.lane_stand_down(reason)
+            return super().run(
+                max_cycles=max_cycles, max_events=max_events,
+                stop_when=stop_when, kill_daemons=kill_daemons,
+                pause_at=pause_at,
+            )
+
+        # The reference loop verbatim (see Simulator.run), with one
+        # addition: a popped thread with a driver takes the inline-run
+        # path instead of the generator resume.
+        events = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        seq_next = self._seq.__next__
+        global_clock = self.global_clock
+        op_types = SimThread._OP_TYPES
+        valid_ops = SimThread._VALID_OPS
+        event_limit = float("inf") if max_events is None else max_events
+        cycle_limit = float("inf") if max_cycles is None else max_cycles
+        rt = self._rt
+        rt.event_limit = event_limit
+        rt.cycle_limit = cycle_limit
+        rt.max_events = max_events
+        rt.max_cycles = max_cycles
+        get_driver = drivers.get
+        try:
+            while heap:
+                if self._live_count == 0:
+                    break
+                clock, _seq, thread = heappop(heap)
+                if thread.state is not _READY:
+                    drivers.pop(thread.tid, None)
+                    continue
+                tclock = thread.clock
+                if clock < tclock:
+                    heappush(heap, (tclock, seq_next(), thread))
+                    continue
+                driver = get_driver(thread.tid)
+                if driver is not None:
+                    bound = heap[0][0] if heap else _INF
+                    rt.events = events
+                    rt.global_clock = global_clock
+                    try:
+                        driver.advance(bound, rt)
+                    finally:
+                        events = rt.events
+                        if rt.global_clock > global_clock:
+                            global_clock = rt.global_clock
+                            self.global_clock = global_clock
+                    if thread.state is _READY:
+                        heappush(heap, (thread.clock, seq_next(), thread))
+                    else:
+                        del drivers[thread.tid]
+                    continue
+                # -- reference inlined step ----------------------------
+                pending = thread._pending_result
+                log = thread.replay_log
+                if log is not None and pending is not None:
+                    log.append(pending)
+                try:
+                    op = thread._generator.send(pending)
+                except StopIteration as stop:
+                    thread.state = _DONE
+                    thread.result = stop.value
+                    thread._fire_exit()
+                    continue
+                except BaseException:
+                    thread.state = _FAILED
+                    thread._fire_exit()
+                    raise
+                if type(op) not in op_types and not isinstance(op, valid_ops):
+                    thread.state = _FAILED
+                    thread._fire_exit()
+                    from repro.errors import ThreadProgramError
+
+                    raise ThreadProgramError(
+                        f"thread {thread.name!r} yielded {op!r}; "
+                        "expected a simulator op"
+                    )
+                result = thread.executor(thread, op)
+                tclock = result.timestamp
+                thread.clock = tclock
+                thread.ops_executed += 1
+                thread._pending_result = result
+                if tclock > global_clock:
+                    global_clock = tclock
+                    self.global_clock = tclock
+                heappush(heap, (tclock, seq_next(), thread))
+                events += 1
+                if events >= event_limit:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} "
+                        f"(global clock {global_clock:.0f})"
+                    )
+                if global_clock > cycle_limit:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}"
+                    )
+            else:
+                if self._live_count > 0:
+                    from repro.errors import DeadlockError
+
+                    raise DeadlockError(
+                        "event heap empty but non-daemon threads remain READY"
+                    )
+        finally:
+            self._events_counter.value += events
+        if kill_daemons:
+            self.kill_daemons()
+        return False

@@ -57,3 +57,27 @@ def slow_point(*, x, seconds):
 
     time.sleep(seconds)
     return x
+
+
+def square_marked(*, x, fault_rate=None):
+    """Like :func:`square`, accepting a lane-ineligibility marker."""
+    return x * x
+
+
+def transmit_point(*, cell, seed, bits, fault_rate=None):
+    """One real transmission on a registered scenario cell.
+
+    Returns the full :class:`TransmissionResult` so the lane tests can
+    compare pickles byte-for-byte.  *fault_rate* is accepted purely as
+    a lane-ineligibility marker (see
+    :func:`repro.sim.lanes.point_bypass_reason`); it does not change the
+    computation, so lane and reference dispatch of the same params must
+    produce identical bytes.
+    """
+    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.experiments.common import payload_bits
+
+    session = ChannelSession(SessionConfig(
+        spec=cell, seed=seed, calibration_samples=120,
+    ))
+    return session.transmit(payload_bits(bits, seed=seed + 77))

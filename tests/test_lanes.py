@@ -1,0 +1,373 @@
+"""The vectorized lane backend: bit-identity, bypasses, dispatch.
+
+The lane backend (:mod:`repro.sim.lanes`) is a pure performance play —
+its single correctness contract is *bit-identity with the reference
+engine*.  These tests pin that contract from every direction:
+
+* lane-vs-reference transmission digests across **every** live cell of
+  the scenario registry (protocol x channel matrix, Table I names, and
+  the directory-topology cells);
+* the five golden determinism digests, unchanged with lanes forced on;
+* a Hypothesis property: any random interleaving of lane-eligible and
+  lane-ineligible grid points produces byte-identical
+  ``TransmissionResult`` pickles (and cache keys) to a pure-reference
+  run, across mesi-es, moesi-ostate and dir-es;
+* every divergence path falls back to the reference engine — trace
+  sessions, fault plans, obfuscation, machine interposition — and each
+  fall-out is recorded (``lane_bypass`` runner events, session notes);
+* the ``REPRO_LANES=0`` kill switch wins over every other opt-in.
+
+The calibration memo is process-local (see
+``repro.channel.calibration``), so in-process lane-vs-reference
+comparisons clear it before *each* run — otherwise the second run
+reuses the first run's calibration pass and the manifests (not the
+transmissions) drift apart.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.channel.calibration import clear_calibration_memo
+from repro.channel.scenarios import SCENARIOS
+from repro.channel.session import ChannelSession, SessionConfig
+from repro.obs.recorder import clear_runner_recorder, runner_recorder
+from repro.runner import ExperimentSpec, Point, ResultCache, Runner
+from repro.runner.executor import lane_batches
+from repro.sim.engine import Simulator
+from repro.sim.lanes import (
+    DEFAULT_LANE_WIDTH,
+    LaneSimulator,
+    LaneState,
+    consume_bypass_notes,
+    lane_fingerprint,
+    lane_scope,
+    lane_width,
+    lanes_enabled,
+    point_bypass_reason,
+)
+
+from tests.test_golden_determinism import GOLDEN, run_config, transmission_digest
+
+TRANSMIT = "tests.runner_points:transmit_point"
+PAYLOAD = [1, 0, 1, 1, 0, 1]
+
+
+def one_transmission(cell, *, seed=11, lanes=False):
+    """One cold-calibration transmission; returns (session, result)."""
+    clear_calibration_memo()
+    with lane_scope(lanes):
+        session = ChannelSession(SessionConfig(
+            spec=cell, seed=seed, calibration_samples=120,
+        ))
+        result = session.transmit(list(PAYLOAD))
+    return session, result
+
+
+# -- lane-vs-reference equivalence, every live registry cell --------------
+
+
+@pytest.mark.parametrize("cell", sorted(SCENARIOS))
+def test_lane_matches_reference_on_registry_cell(cell):
+    """Every registry cell behaves identically on both backends.
+
+    Dead cells (e.g. ``mesi-ostate``, whose O bands collapse) must fail
+    with the *same* calibration error; live cells must transmit
+    bit-identically.
+    """
+    from repro.errors import CalibrationError
+
+    try:
+        _, reference = one_transmission(cell, lanes=False)
+    except CalibrationError as exc:
+        with pytest.raises(CalibrationError) as laned_exc:
+            one_transmission(cell, lanes=True)
+        assert str(laned_exc.value) == str(exc)
+        return
+    session, laned = one_transmission(cell, lanes=True)
+    assert isinstance(session.sim, LaneSimulator)
+    assert session.sim.lane_bypasses == []
+    assert transmission_digest(laned) == transmission_digest(reference)
+    assert pickle.dumps(laned) == pickle.dumps(reference)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_digests_unchanged_with_lanes_on(name):
+    clear_calibration_memo()
+    with lane_scope(True):
+        assert run_config(name) == GOLDEN[name], (
+            f"{name} is not bit-identical on the lane backend"
+        )
+
+
+def test_lane_drivers_actually_engage(monkeypatch):
+    """Equivalence must not pass vacuously: the drivers must run."""
+    from repro.sim import lanes
+
+    advances = {"worker": 0, "spy": 0, "controller": 0}
+    for key, cls in (
+        ("worker", lanes._WorkerDriver),
+        ("spy", lanes._SpyDriver),
+        ("controller", lanes._ControllerDriver),
+    ):
+        real = cls.advance
+
+        def counted(self, bound, rt, _real=real, _key=key):
+            advances[_key] += 1
+            return _real(self, bound, rt)
+
+        monkeypatch.setattr(cls, "advance", counted)
+    one_transmission("mesi-es", lanes=True)
+    assert advances["worker"] > 0
+    assert advances["spy"] > 0
+    assert advances["controller"] > 0
+
+
+# -- gates and kill switch ------------------------------------------------
+
+
+def test_lanes_off_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_LANES", raising=False)
+    assert not lanes_enabled()
+    session = ChannelSession(SessionConfig(
+        spec="mesi-es", seed=1, calibration_samples=120,
+    ))
+    assert type(session.sim) is Simulator
+
+
+def test_kill_switch_wins_everywhere(monkeypatch):
+    monkeypatch.setenv("REPRO_LANES", "0")
+    with lane_scope(True):
+        assert not lanes_enabled()
+        session = ChannelSession(SessionConfig(
+            spec="mesi-es", seed=1, calibration_samples=120,
+        ))
+        assert type(session.sim) is Simulator
+    assert Runner(lanes=8).lanes == 0
+
+
+def test_env_width_enables_lanes(monkeypatch):
+    monkeypatch.setenv("REPRO_LANES", "4")
+    assert lanes_enabled()
+    assert lane_width() == 4
+    assert Runner().lanes == 4
+    monkeypatch.setenv("REPRO_LANES", "1")
+    assert lane_width() == 1
+    monkeypatch.delenv("REPRO_LANES")
+    assert lane_width() == DEFAULT_LANE_WIDTH
+
+
+# -- divergence: sessions that must not (or cease to) use lanes -----------
+
+
+def test_traced_session_bypasses_lanes():
+    consume_bypass_notes()
+    with lane_scope(True):
+        session = ChannelSession(SessionConfig(
+            spec="mesi-es", seed=1, calibration_samples=120, trace=True,
+        ))
+    assert type(session.sim) is Simulator
+    notes = consume_bypass_notes()
+    assert any(note["reason"] == "trace" for note in notes)
+
+
+def test_obfuscation_stands_down_mid_session():
+    from repro.mitigation.hardware import attach_obfuscator
+
+    session, _ = one_transmission("mesi-es", lanes=True)
+    assert session.sim.lane_bypasses == []
+    attach_obfuscator(session.machine, suspicious_cores=range(16))
+    consume_bypass_notes()
+    session.transmit([1, 0, 1])
+    assert session.sim.lane_bypasses == ["obfuscation"]
+    notes = consume_bypass_notes()
+    assert any(note["reason"] == "obfuscation" for note in notes)
+
+
+def test_interposition_stands_down_mid_session():
+    session, _ = one_transmission("mesi-es", lanes=True)
+    # Detection monitors interpose by binding wrappers into the
+    # machine's instance dict; the run-entry check must notice.
+    session.machine.load = session.machine.load
+    session.transmit([1, 0])
+    assert session.sim.lane_bypasses == ["interposition"]
+
+
+def test_stand_down_is_idempotent():
+    session, _ = one_transmission("mesi-es", lanes=True)
+    session.sim.lane_stand_down("resync")
+    session.sim.lane_stand_down("resync")
+    assert session.sim.lane_bypasses == ["resync"]
+    # And the session still transmits correctly on the reference path.
+    result = session.transmit([1, 0, 1, 1])
+    assert result.accuracy == 1.0
+
+
+def test_simulation_fault_plan_bypasses_lanes():
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.build_simulation(
+        seed=3, rate_per_mcycle=10.0, window_cycles=500_000.0,
+    )
+    if not plan.simulation_events:  # pragma: no cover - seed-dependent
+        pytest.skip("fault plan drew no simulation events")
+    consume_bypass_notes()
+    with lane_scope(True):
+        session = ChannelSession(SessionConfig(
+            spec="mesi-es", seed=1, calibration_samples=120,
+            faults=plan.to_json(),
+        ))
+    assert type(session.sim) is Simulator
+    assert any(
+        note["reason"] == "faults" for note in consume_bypass_notes()
+    )
+
+
+# -- grouping: fingerprints and batches -----------------------------------
+
+
+def test_fingerprint_groups_vectorizing_params_only():
+    a = Point(fn=TRANSMIT, params={"cell": "mesi-es", "seed": 1, "bits": 4})
+    b = Point(fn=TRANSMIT, params={"cell": "mesi-es", "seed": 9, "bits": 8})
+    c = Point(fn=TRANSMIT, params={"cell": "dir-es", "seed": 1, "bits": 4})
+    assert lane_fingerprint(a) == lane_fingerprint(b)
+    assert lane_fingerprint(a) != lane_fingerprint(c)
+
+
+def test_point_bypass_reason_flags_fault_params():
+    clean = Point(fn=TRANSMIT, params={"cell": "mesi-es", "seed": 1,
+                                       "bits": 4})
+    faulted = Point(fn=TRANSMIT, params={"cell": "mesi-es", "seed": 1,
+                                         "bits": 4, "fault_rate": 0.25})
+    assert point_bypass_reason(clean) is None
+    assert point_bypass_reason(faulted) == "faults"
+
+
+class _OneFault:
+    """Duck-typed injector: plans a fault for index 2, attempt 0."""
+
+    def event_for(self, index, attempt):
+        if index == 2 and attempt == 0:
+            return object()
+        return None
+
+
+def test_lane_batches_group_cut_and_bypass():
+    points = [
+        Point(fn=TRANSMIT, params={"cell": "mesi-es", "seed": s, "bits": 4})
+        for s in range(5)
+    ] + [
+        Point(fn=TRANSMIT, params={"cell": "dir-es", "seed": 0, "bits": 4}),
+        Point(fn=TRANSMIT, params={"cell": "dir-es", "seed": 1, "bits": 4,
+                                   "fault_rate": 0.5}),
+    ]
+    batches, bypassed = lane_batches(
+        points, list(range(7)), width=3, injector=_OneFault()
+    )
+    # mesi-es group {0,1,3,4} (2 is injector-bypassed) cut at width 3,
+    # then the dir-es singleton {5}; 6 carries declared fault params.
+    assert batches == [[0, 1, 3], [4], [5]]
+    assert bypassed == [(2, "injected-fault"), (6, "faults")]
+
+
+def test_lane_state_bookkeeping():
+    state = LaneState(3)
+    state.record(0, 1000.0, 50)
+    state.record(2, 3000.0, 70)
+    state.drop(1)
+    summary = state.summary()
+    assert summary["width"] == 3
+    assert summary["events"] == 120
+    assert summary["max_clock"] == 3000.0
+    assert summary["bypassed"] == 1
+
+
+# -- runner dispatch ------------------------------------------------------
+
+
+SQUARE_MARKED = "tests.runner_points:square_marked"
+
+
+def test_serial_lane_dispatch_emits_bypass_events(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    clear_runner_recorder()
+    try:
+        spec = ExperimentSpec(
+            experiment="lane-obs",
+            points=(
+                Point(fn=SQUARE_MARKED, params={"x": 1}),
+                Point(fn=SQUARE_MARKED, params={"x": 2, "fault_rate": 0.5}),
+                Point(fn=SQUARE_MARKED, params={"x": 3}),
+            ),
+        )
+        report = Runner(jobs=1, lanes=4).run(spec)
+        assert report.values == [1, 4, 9]
+        events = runner_recorder().select("runner")
+        bypasses = [e for e in events if e.name == "lane_bypass"]
+        assert [(e.data["index"], e.data["reason"]) for e in bypasses] == [
+            (1, "faults"),
+        ]
+        modes = [e.data.get("mode") for e in events if e.name == "dispatch"]
+        assert modes == ["lane", "serial", "lane"]
+    finally:
+        clear_runner_recorder()
+
+
+def test_pool_lane_dispatch_matches_reference(tmp_path):
+    points = tuple(
+        Point(fn=TRANSMIT, params={"cell": cell, "seed": seed, "bits": 3})
+        for cell in ("mesi-es", "moesi-ostate")
+        for seed in (0, 1)
+    )
+    spec = ExperimentSpec(experiment="lane-pool", points=points)
+    reference = Runner(jobs=2, cache=None).run(spec)
+    laned = Runner(jobs=2, cache=None, lanes=2).run(spec)
+    for ref, lane in zip(reference.values, laned.values):
+        assert transmission_digest(lane) == transmission_digest(ref)
+
+
+# -- the interleaving property (ISSUE 8 satellite) ------------------------
+
+
+@settings(
+    max_examples=3, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    choices=st.lists(
+        st.tuples(
+            st.sampled_from(["mesi-es", "moesi-ostate", "dir-es"]),
+            st.integers(min_value=0, max_value=2),
+            st.booleans(),
+        ),
+        min_size=2, max_size=4,
+    ),
+)
+def test_interleaved_lane_grid_is_byte_identical(choices, tmp_path_factory):
+    """Random eligible/ineligible interleavings reproduce the reference.
+
+    Every grid point — whether it took a lane batch or fell through to
+    the reference dispatch — must store the same cache key and pickle
+    to the same bytes as a pure-reference run of the same spec.
+    """
+    points = []
+    for cell, seed, eligible in choices:
+        params = {"cell": cell, "seed": seed, "bits": 3}
+        if not eligible:
+            params["fault_rate"] = 0.25  # marker only; see transmit_point
+        points.append(Point(fn=TRANSMIT, params=params))
+    spec = ExperimentSpec(experiment="lane-mix", points=tuple(points))
+
+    root = tmp_path_factory.mktemp("lane-mix-cache")
+    clear_calibration_memo()
+    ref_cache = ResultCache(root / "ref")
+    reference = Runner(jobs=1, cache=ref_cache).run(spec)
+    clear_calibration_memo()
+    lane_cache = ResultCache(root / "lane")
+    laned = Runner(jobs=1, cache=lane_cache, lanes=3).run(spec)
+
+    for point, ref, lane in zip(points, reference.values, laned.values):
+        assert lane_cache.key_for(point) == ref_cache.key_for(point)
+        assert pickle.dumps(lane) == pickle.dumps(ref)
