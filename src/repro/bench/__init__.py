@@ -19,6 +19,10 @@ emits a machine-readable ``BENCH_<date>.json`` report:
 * ``lane_sweep`` — the lane backend (:mod:`repro.sim.lanes`) against
   the chunked pool on the same grid, serial and pool-composed, gated
   on bit-identity and a minimum speedup floor;
+* ``service_sweep`` — two overlapping grids submitted concurrently to
+  the experiment service (:mod:`repro.service`), gated on the
+  fleet-wide dedupe ratio (each unique point executes exactly once)
+  and on the served blobs decoding bit-identical to local runs;
 * ``trace_overhead`` — the wall-time cost of structured tracing
   (:mod:`repro.obs`): disabled-mode overhead is gated (< 2%, since the
   disabled path is the unmodified hot code), enabled-mode cost is
@@ -37,6 +41,7 @@ for how to run and read the reports, and how CI gates on them.
 from repro.bench.harness import (
     LANE_MIN_SPEEDUP,
     SEGMENT_OVERHEAD_LIMIT,
+    SERVICE_MIN_DEDUPE,
     TRACE_OVERHEAD_LIMIT,
     check_regression,
     default_report_name,
@@ -48,6 +53,7 @@ from repro.bench.harness import (
     noise_point,
     run_all,
     segment_overhead,
+    service_sweep,
     trace_overhead,
     write_report,
 )
@@ -55,6 +61,7 @@ from repro.bench.harness import (
 __all__ = [
     "LANE_MIN_SPEEDUP",
     "SEGMENT_OVERHEAD_LIMIT",
+    "SERVICE_MIN_DEDUPE",
     "TRACE_OVERHEAD_LIMIT",
     "check_regression",
     "default_report_name",
@@ -66,6 +73,7 @@ __all__ = [
     "noise_point",
     "run_all",
     "segment_overhead",
+    "service_sweep",
     "trace_overhead",
     "write_report",
 ]

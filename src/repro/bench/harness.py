@@ -37,7 +37,9 @@ _PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
 #: v4 added ``segment_overhead`` (armed-but-idle segmentation cost).
 #: v5 added ``lane_sweep`` (lane backend vs chunked pool throughput)
 #: and the ``lanes`` mode inside ``grid_sweep``.
-SCHEMA = 5
+#: v6 added ``service_sweep`` (two overlapping grids through the
+#: experiment service vs back-to-back local runs; dedupe ratio gated).
+SCHEMA = 6
 
 #: Minimum lane-backend speedup over the chunked pool mode on the
 #: ``lane_sweep`` grid.  An absolute floor, not baseline-relative: if
@@ -47,6 +49,14 @@ SCHEMA = 5
 #: host (where the pool is pure overhead) and lanes+pool compose on
 #: multicore hosts, so 1.2x holds comfortably on both.
 LANE_MIN_SPEEDUP = 1.2
+
+#: Minimum fleet-wide dedupe ratio (points submitted / points actually
+#: executed) on the ``service_sweep`` workload.  The two grids overlap
+#: by construction, and single-flight guarantees each unique key runs
+#: exactly once, so the ratio is deterministic (1.88x on the full grid,
+#: 2.0x on the fully-overlapping quick grid); 1.8x holds for both and
+#: fails loudly if the service ever starts re-executing shared points.
+SERVICE_MIN_DEDUPE = 1.8
 
 #: Allowed wall-time overhead of *disabled* tracing vs the baseline.
 #: Disabled tracing attaches nothing to the machine — the hot path is
@@ -294,13 +304,18 @@ def grid_point(
     )
 
 
-def _grid_spec(points: int, bits: int):
-    """A fig8-shaped scenario × rate grid of *points* full-result points."""
+def _grid_spec(points: int, bits: int, rate_offset: float = 0.0):
+    """A fig8-shaped scenario × rate grid of *points* full-result points.
+
+    *rate_offset* shifts every rate by a constant, producing a second
+    grid that overlaps the first on all but the shifted-out rates — the
+    ``service_sweep`` benchmark's workload shape.
+    """
     from repro.runner import ExperimentSpec, Point
 
     scenarios = ("LExclc-LSharedb", "RExclc-LSharedb")
     per = max(1, points // len(scenarios))
-    rates = [100.0 + 25.0 * i for i in range(per)]
+    rates = [100.0 + rate_offset + 25.0 * i for i in range(per)]
     grid = tuple(
         Point(
             fn="repro.bench.harness:grid_point",
@@ -518,6 +533,95 @@ def lane_sweep(
     }
 
 
+def service_sweep(
+    jobs: int = 4, points: int = 64, bits: int = 24
+) -> dict[str, Any]:
+    """Fleet-wide dedupe: two overlapping grids through the service.
+
+    The PR 9 benchmark.  Two fig8-shaped grids of *points* points each,
+    the second with its rates shifted so most of its keys coincide with
+    the first's (on the full 64-point grid: 128 points submitted, 68
+    unique; the quick grid fully overlaps), run two ways:
+
+    * ``local`` — back-to-back uncached :class:`~repro.runner.Runner`
+      sweeps, paying for every submitted point: the pre-service cost of
+      two teammates sweeping overlapping grids;
+    * ``service`` — both grids submitted concurrently to one
+      :class:`~repro.service.ExperimentService` over HTTP, sharing the
+      sharded single-flight index and one warm worker pool.
+
+    ``dedupe_ratio`` (submitted / executed) is deterministic — the
+    single-flight index executes each unique key exactly once whatever
+    the scheduler interleaving — and :func:`check_regression` gates it
+    against :data:`SERVICE_MIN_DEDUPE`.  ``bit_identical`` asserts the
+    blobs served over HTTP decode byte-equal to the local runs' values.
+    ``speedup_vs_local`` is reported as context but does not gate (it
+    mixes pool warm-up and HTTP overhead into a host-sensitive number).
+    """
+    import tempfile
+
+    from repro.runner.cache import ResultCache
+    from repro.runner.executor import FailurePolicy
+    from repro.service import ExperimentService, ServiceClient
+
+    per = max(1, points // 2)
+    # Shift ~1/16th of the rate axis: 2 rates on the full grid (68
+    # unique of 128), 0 on the quick grid (full overlap).
+    offset = 25.0 * (per // 16)
+    spec_a = _grid_spec(points, bits)
+    spec_b = _grid_spec(points, bits, rate_offset=offset)
+    submitted = len(spec_a.points) + len(spec_b.points)
+    unique = len({
+        point.key("bench-svc")
+        for point in spec_a.points + spec_b.points
+    })
+
+    local_a, wall_a = _run_grid_mode(spec_a, {"jobs": jobs})
+    local_b, wall_b = _run_grid_mode(spec_b, {"jobs": jobs})
+    local_wall = wall_a + wall_b
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-svc-")
+    service = ExperimentService(
+        cache=ResultCache(scratch, salt="bench-svc"),
+        workers=jobs,
+        policy=FailurePolicy(keep_going=True),
+    )
+    handle = service.run_in_thread()
+    try:
+        client = ServiceClient(handle.base_url)
+        t0 = time.perf_counter()
+        job_a = client.submit_spec(spec_a)
+        job_b = client.submit_spec(spec_b)
+        manifest_a = client.wait(job_a, timeout=3600)
+        manifest_b = client.wait(job_b, timeout=3600)
+        service_wall = time.perf_counter() - t0
+        served_a = client.values(job_a)
+        served_b = client.values(job_b)
+        stats = handle.stats()
+    finally:
+        handle.stop()
+
+    executed = manifest_a["executed"] + manifest_b["executed"]
+    bit_identical = (
+        _values_digest(served_a) == _values_digest(local_a)
+        and _values_digest(served_b) == _values_digest(local_b)
+    )
+    return {
+        "points": points,
+        "bits": bits,
+        "jobs": jobs,
+        "submitted": submitted,
+        "unique": unique,
+        "executed": executed,
+        "coalesced": stats["coalesced"],
+        "dedupe_ratio": submitted / max(1, executed),
+        "bit_identical": bit_identical,
+        "local_wall_s": local_wall,
+        "service_wall_s": service_wall,
+        "speedup_vs_local": local_wall / service_wall,
+    }
+
+
 def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
     """Run every benchmark and return the full report dict."""
     if quick:
@@ -539,6 +643,9 @@ def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "noise_point": noise_point(repeats=repeats, bits=noise_bits),
             "grid_sweep": grid_sweep(points=grid_points, bits=grid_bits),
             "lane_sweep": lane_sweep(points=grid_points, bits=grid_bits),
+            "service_sweep": service_sweep(
+                points=grid_points, bits=grid_bits
+            ),
             "trace_overhead": trace_overhead(
                 bits=noise_bits, repeats=repeats
             ),
@@ -595,7 +702,12 @@ def check_regression(
       ``speedup_vs_chunked`` must reach the absolute
       :data:`LANE_MIN_SPEEDUP` floor, and when the baseline carries a
       ``lane_sweep`` the speedup must also stay within
-      ``max_regression`` of the baseline's.
+      ``max_regression`` of the baseline's;
+    * experiment service — ``service_sweep`` must report
+      ``bit_identical`` (blobs served over HTTP must decode to exactly
+      the local values) and a ``dedupe_ratio`` of at least
+      :data:`SERVICE_MIN_DEDUPE` (both absolute: the ratio is
+      deterministic, so any shortfall means shared points re-executed).
 
     Wall times of the end-to-end points are reported as context but do
     not gate (they include calibration and are noisier on shared
@@ -673,4 +785,18 @@ def check_regression(
                     f"chunked < {lane_floor:.2f}x (baseline "
                     f"{base_speedup:.2f}x - {max_regression:.0%})"
                 )
+    service = current["benchmarks"].get("service_sweep")
+    if service is not None:
+        if not service.get("bit_identical", False):
+            problems.append(
+                "service_sweep: blobs served by the experiment service "
+                "are not bit-identical to local runner values"
+            )
+        ratio = service.get("dedupe_ratio", 0.0)
+        if ratio < SERVICE_MIN_DEDUPE:
+            problems.append(
+                f"service_sweep: dedupe ratio {ratio:.2f}x < the "
+                f"{SERVICE_MIN_DEDUPE:.2f}x floor (overlapping points "
+                f"are being re-executed)"
+            )
     return problems

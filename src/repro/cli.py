@@ -192,6 +192,14 @@ def cmd_bench(argv: list[str]) -> None:
         print(f"lane_sweep    bit-identity {identity}; best "
               f"{lane['speedup_vs_chunked']:.2f}x vs chunked "
               f"(lane width {lane['width']})")
+    svc = bench.get("service_sweep")
+    if svc:
+        identity = "ok" if svc["bit_identical"] else "MISMATCH"
+        print(f"service_sweep {svc['dedupe_ratio']:>12.2f}x dedupe "
+              f"({svc['executed']} executed of {svc['submitted']} "
+              f"submitted, {svc['coalesced']} coalesced)")
+        print(f"service_sweep bit-identity {identity}; "
+              f"{svc['speedup_vs_local']:.2f}x vs back-to-back local")
     trace = bench.get("trace_overhead")
     if trace:
         print(f"trace_overhead  disabled {trace['disabled_overhead']:+.1%}  "
@@ -398,6 +406,170 @@ def cmd_trace(argv: list[str]) -> None:
             print(timeline)
 
 
+def cmd_serve(argv: list[str]) -> None:
+    """Run the experiment service in the foreground."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="host the experiment service: HTTP job API + shared "
+                    "single-flight cache server + one warm worker pool "
+                    "serving every submitted grid",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="HTTP job-API port (default: 8765; 0 = any)")
+    parser.add_argument("--cache-port", type=int, default=0,
+                        help="cache-server socket port (default: any free)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shared pool size (default: cpu count)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache root backing the index")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="default per-point retry budget")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="default per-point wall-clock timeout (s)")
+    args = parser.parse_args(argv)
+
+    import asyncio
+    import os
+
+    from repro.runner import FailurePolicy, ResultCache
+    from repro.service import ExperimentService
+
+    workers = args.workers if args.workers else (os.cpu_count() or 2)
+    service = ExperimentService(
+        cache=ResultCache(args.cache_dir),
+        host=args.host,
+        http_port=args.port,
+        cache_port=args.cache_port,
+        workers=workers,
+        policy=FailurePolicy(
+            retries=args.retries, timeout=args.timeout, keep_going=True,
+        ),
+    )
+
+    async def host() -> None:
+        await service.start()
+        http_host, http_port = service.host, service.http_port
+        cache_host, cache_port = service.cache_server.address
+        print(f"job API     http://{http_host}:{http_port}", file=sys.stderr)
+        print(f"cache server {cache_host}:{cache_port}", file=sys.stderr)
+        print(f"workers     {workers}  cache {service.cache.root}",
+              file=sys.stderr)
+        assert service._http_server is not None
+        try:
+            await service._http_server.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(host())
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+
+
+def cmd_submit(argv: list[str]) -> None:
+    """Submit a registered driver's grid to a running service."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="submit an experiment grid to 'repro serve' and "
+                    "stream its JSON-lines progress events",
+    )
+    parser.add_argument("driver", help="registered driver name (see "
+                                       "'repro list'), e.g. fig8")
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="driver build_spec parameter (repeatable); values parse as "
+             "JSON when possible, else string",
+    )
+    parser.add_argument("--retries", type=int, default=None,
+                        help="per-point retry budget for this job")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point wall-clock timeout (s)")
+    parser.add_argument("--no-follow", action="store_true",
+                        help="print the job id and exit (don't stream "
+                             "events)")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    params = {}
+    for item in args.param:
+        key, sep, raw = item.partition("=")
+        if not sep:
+            parser.error(f"--param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+
+    client = ServiceClient(args.url)
+    try:
+        payload: dict = {"driver": args.driver, "params": params}
+        if args.retries is not None:
+            payload["retries"] = args.retries
+        if args.timeout is not None:
+            payload["timeout"] = args.timeout
+        job_id = client.submit_job(payload)
+        print(job_id)
+        if args.no_follow:
+            return
+        for event in client.events(job_id):
+            print(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        manifest = client.job(job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    if manifest["status"] != "done":
+        raise SystemExit(1)
+
+
+def cmd_jobs(argv: list[str]) -> None:
+    """List a running service's jobs and dedupe counters."""
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="show the service's jobs, and per-job or global "
+                    "cache/dedupe counters",
+    )
+    parser.add_argument("job", nargs="?", default=None,
+                        help="job id for a full manifest (default: list "
+                             "all jobs + server stats)")
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job is not None:
+            print(json.dumps(client.job(args.job), indent=2, sort_keys=True))
+            return
+        jobs = client.jobs()
+        if not jobs:
+            print("(no jobs)")
+        for job in jobs:
+            print(f"{job['id']:10s} {job['status']:8s} "
+                  f"{job['completed']:4d}/{job['total']:<4d} "
+                  f"{job['experiment']}")
+        stats = client.stats()
+        cache = stats["cache"]
+        print(f"cache: {cache['hits']} hits, {cache['published']} executed, "
+              f"{cache['coalesced']} coalesced, "
+              f"{cache['in_flight']} in flight")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def cmd_bands(argv: list[str]) -> None:
     """Calibrate and print the latency bands (Figure 2's summary)."""
     from repro.mem.protocols import PROTOCOLS
@@ -443,6 +615,10 @@ UTILITIES: dict[str, tuple[str, Callable[[list[str]], None]]] = {
     "cache": ("inspect or prune the on-disk result cache", cmd_cache),
     "checkpoint": ("inspect an exported checkpoint blob", cmd_checkpoint),
     "trace": ("run a traced transmission and export the events", cmd_trace),
+    "serve": ("host the experiment service (job API + shared cache)",
+              cmd_serve),
+    "submit": ("submit a driver grid to a running service", cmd_submit),
+    "jobs": ("list a service's jobs and dedupe counters", cmd_jobs),
 }
 
 

@@ -152,3 +152,11 @@ class DecodeError(ChannelError):
 
 class CalibrationError(ChannelError):
     """Latency-band calibration produced unusable (overlapping) bands."""
+
+
+class ServiceError(ReproError):
+    """The experiment service (job API or cache server) failed."""
+
+
+class CacheProtocolError(ServiceError):
+    """The cache server spoke an unexpected frame (or went away)."""

@@ -190,7 +190,7 @@ def execute_from_args(spec, args: argparse.Namespace) -> list:
     import os
     import sys
 
-    from repro.runner import FailurePolicy, ResultCache, Runner, StderrProgress
+    from repro.runner import FailurePolicy, ResultCache, Runner, auto_progress
 
     if getattr(args, "trace", False):
         # Environment propagation (not a Point param) keeps grid cache
@@ -225,7 +225,10 @@ def execute_from_args(spec, args: argparse.Namespace) -> list:
     cache = None if getattr(args, "no_cache", False) else ResultCache(
         cache_dir
     )
-    progress = None if getattr(args, "no_progress", False) else StderrProgress(
+    # auto_progress keeps the interactive renderer on a TTY and switches
+    # to JSON-lines when stderr is piped (CI logs, the service's event
+    # feed) — same hook, machine-readable output.
+    progress = None if getattr(args, "no_progress", False) else auto_progress(
         spec.experiment
     )
     policy = FailurePolicy(

@@ -33,18 +33,26 @@ from repro.runner.executor import (
     auto_chunk_size,
     execute,
 )
-from repro.runner.progress import StderrProgress
+from repro.runner.progress import (
+    JsonLinesProgress,
+    StderrProgress,
+    auto_progress,
+    outcome_record,
+    summary_record,
+)
 from repro.runner.spec import (
     ExperimentSpec,
     Point,
     canonical_json,
     chunk_pending,
     resolve_callable,
+    spec_from_json,
 )
 
 __all__ = [
     "ExperimentSpec",
     "FailurePolicy",
+    "JsonLinesProgress",
     "Point",
     "PointOutcome",
     "ResultCache",
@@ -52,10 +60,14 @@ __all__ = [
     "Runner",
     "StderrProgress",
     "auto_chunk_size",
+    "auto_progress",
     "canonical_json",
     "chunk_pending",
     "default_cache_dir",
     "execute",
+    "outcome_record",
     "resolve_callable",
+    "spec_from_json",
+    "summary_record",
     "version_salt",
 ]

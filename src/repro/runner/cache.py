@@ -148,9 +148,18 @@ class ResultCache:
             # (<root>/<shard>/ legacy, <root>/<salt>/<shard>/ current).
             for tmp in self.root.rglob("*.tmp"):
                 try:
-                    if tmp.stat().st_mtime < cutoff:
-                        tmp.unlink()
-                        removed += 1
+                    # The age guard protects a concurrent store() whose
+                    # temp is about to be renamed into place: a fresh
+                    # temp is never touched.  A temp that disappears
+                    # between the listing and the stat/unlink (the
+                    # writer's os.replace won the race) is simply not
+                    # ours to sweep.
+                    if tmp.stat().st_mtime >= cutoff:
+                        continue
+                    tmp.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    continue
                 except OSError:
                     continue
         except OSError:
@@ -161,9 +170,52 @@ class ResultCache:
         """The content hash addressing *point* under this cache's salt."""
         return point.key(self.salt)
 
-    def path_for(self, point: Point) -> Path:
-        key = self.key_for(point)
+    def path_for_key(self, key: str) -> Path:
+        """On-disk entry path for a raw content *key* (current salt)."""
         return self.root / _salt_dirname(self.salt) / key[:2] / f"{key}.pkl"
+
+    def path_for(self, point: Point) -> Path:
+        return self.path_for_key(self.key_for(point))
+
+    # -- raw key-addressed blob access (the cache-server transport) -----
+
+    def lookup_blob(self, key: str) -> bytes | None:
+        """Raw entry bytes for *key*, or ``None`` on miss.
+
+        The cache *server* (:mod:`repro.service`) moves entries as
+        opaque framed blobs — same keys, same on-disk encoding — so a
+        blob fetched here can be shipped over a socket and decoded by
+        any client with :func:`decode_entry`.  Corrupt entries cannot be
+        detected without decoding, so unlike :meth:`lookup` this never
+        deletes; transiently unreadable entries are misses.
+        """
+        try:
+            with open(self.path_for_key(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def store_blob(self, key: str, blob: bytes) -> None:
+        """Persist raw entry bytes for *key* atomically; best-effort."""
+        path = self.path_for_key(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache dir must not fail the caller.
+            pass
 
     def lookup(self, point: Point) -> tuple[bool, Any]:
         """Return ``(hit, value)``; a corrupt entry counts as a miss."""
@@ -194,25 +246,11 @@ class ResultCache:
 
     def store(self, point: Point, value: Any) -> None:
         """Persist *value* for *point* atomically; best-effort on errors."""
-        path = self.path_for(point)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(encode_entry(value))
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except (OSError, pickle.PicklingError):
-            # A read-only or full cache dir must not fail the experiment.
-            pass
+            blob = encode_entry(value)
+        except pickle.PicklingError:
+            return
+        self.store_blob(self.key_for(point), blob)
 
     def evict(self, point: Point) -> bool:
         """Remove the entry for *point*; returns whether one existed."""
@@ -311,21 +349,38 @@ class ResultCache:
         freed = 0
         for name, files in self._generations().items():
             for path in files:
+                # One stat decides both the age check and the freed-byte
+                # accounting; a second stat-then-unlink window would let
+                # a concurrent store() rename a *fresh* blob into place
+                # after an age check made against the old bytes.
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
                 if name == current:
                     if cutoff is None:
                         continue
+                    if st.st_mtime >= cutoff:
+                        continue
+                    # Guard against the rename race: re-check the mtime
+                    # immediately before the unlink.  A writer that
+                    # refreshed the entry between the two stats makes it
+                    # current again, so it must survive this sweep.
                     try:
-                        if path.stat().st_mtime >= cutoff:
+                        if path.stat().st_mtime_ns != st.st_mtime_ns:
                             continue
+                    except FileNotFoundError:
+                        continue  # already reaped by a concurrent gc
                     except OSError:
                         continue
                 try:
-                    size = path.stat().st_size
                     path.unlink()
+                except FileNotFoundError:
+                    continue  # vanished mid-sweep: nothing was freed
                 except OSError:
                     continue
                 removed += 1
-                freed += size
+                freed += st.st_size
         # Sweep now-empty generation directories (bottom-up).
         try:
             candidates = sorted(

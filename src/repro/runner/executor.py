@@ -134,6 +134,10 @@ class PointOutcome:
     cached: bool
     attempts: int = 1
     error: PointExecutionError | None = None
+    #: The value arrived from another client's concurrent execution via
+    #: a single-flight cache (reserved elsewhere, awaited here) rather
+    #: than from disk or local compute.  Always ``cached`` too.
+    deduped: bool = False
 
     @property
     def failed(self) -> bool:
@@ -188,6 +192,11 @@ class RunReport:
     @property
     def cache_misses(self) -> int:
         return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def deduped_hits(self) -> int:
+        """Points whose value came from another client's execution."""
+        return sum(1 for o in self.outcomes if o.deduped)
 
     @property
     def point_seconds(self) -> float:
@@ -444,7 +453,16 @@ class Runner:
         takes the width from ``REPRO_LANES`` when that enables lanes;
         ``0`` disables lane dispatch.  ``REPRO_LANES=0`` is the global
         kill switch and wins over an explicit width.
+    wait_timeout:
+        With a *single-flight* cache (``cache.single_flight`` true, e.g.
+        :class:`repro.service.RemoteCache`), how long to wait for a
+        point another client reserved before taking it over and
+        executing locally.  Dedupe is best-effort: a takeover can only
+        recompute the same deterministic value.
     """
+
+    #: Default single-flight wait before a takeover (seconds).
+    DEFAULT_WAIT_TIMEOUT = 600.0
 
     def __init__(
         self,
@@ -455,6 +473,7 @@ class Runner:
         injector: Any = None,
         chunk_size: int | None = None,
         lanes: int | None = None,
+        wait_timeout: float | None = None,
     ):
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
@@ -477,6 +496,14 @@ class Runner:
         if lanes is not None and lanes < 0:
             raise ValueError(f"lanes must be >= 0, got {lanes}")
         self.lanes = lanes or 0
+        self.wait_timeout = (
+            self.DEFAULT_WAIT_TIMEOUT if wait_timeout is None
+            else float(wait_timeout)
+        )
+        # Single-flight caches expose reserve/wait_for/release on top of
+        # the plain lookup/store contract; the flag is bound once so the
+        # ordinary ResultCache path stays exactly as before.
+        self._single_flight = bool(getattr(cache, "single_flight", False))
         # Bound once: None when tracing is disabled, so the scheduling
         # paths carry a single attribute test and no environment reads.
         self._recorder = runner_recorder()
@@ -507,21 +534,47 @@ class Runner:
         )
 
         pending: list[int] = []
+        waiting: list[int] = []
         for index, point in enumerate(spec.points):
             if self.cache is not None:
-                hit, value = self.cache.lookup(point)
-                if hit:
-                    self._emit("cache-hit", index=index)
-                    slots[index] = self._completed(
-                        index, total, point, value, 0.0, cached=True
-                    )
-                    continue
+                if self._single_flight:
+                    # Reserve instead of looking up: a miss makes this
+                    # runner the key's single executor fleet-wide, and
+                    # a key someone else is already computing is parked
+                    # to be awaited (never recomputed) below.
+                    status, value = self.cache.reserve(point)
+                    if status == "hit":
+                        self._emit("cache-hit", index=index)
+                        slots[index] = self._completed(
+                            index, total, point, value, 0.0, cached=True
+                        )
+                        continue
+                    if status == "wait":
+                        self._emit("cache-wait", index=index)
+                        waiting.append(index)
+                        continue
+                else:
+                    hit, value = self.cache.lookup(point)
+                    if hit:
+                        self._emit("cache-hit", index=index)
+                        slots[index] = self._completed(
+                            index, total, point, value, 0.0, cached=True
+                        )
+                        continue
             pending.append(index)
 
-        if pending and self.jobs > 1:
-            self._run_pool(spec, pending, slots, total, report)
-        else:
-            self._run_serial(spec, pending, slots, total)
+        try:
+            if (pending or waiting) and self.jobs > 1:
+                self._run_pool(spec, pending, slots, total, report, waiting)
+            else:
+                self._run_serial(spec, pending, slots, total, waiting)
+        finally:
+            # Whatever happened, reservations this runner still owns
+            # (aborted before executing, crashed mid-grid) are handed
+            # back so remote waiters are promoted instead of timing out.
+            release_all = getattr(self.cache, "release_all", None)
+            if self._single_flight and release_all is not None:
+                release_all()
 
         report.outcomes = [s for s in slots if s is not None]
         report.wall_seconds = time.perf_counter() - started
@@ -546,87 +599,116 @@ class Runner:
         pending: list[int],
         slots: list[PointOutcome | None],
         total: int,
+        waiting: list[int] | None = None,
     ) -> None:
-        policy = self.policy
         if self.lanes:
             consume_bypass_notes()  # stale notes from an earlier in-process run
         for index in pending:
+            self._serial_point(spec, index, slots, total)
+        for index in waiting or ():
             point = spec.points[index]
-            static_reason = (
-                point_bypass_reason(point) if self.lanes else None
+            status, value = self.cache.wait_for(
+                point, timeout=self.wait_timeout
             )
-            if static_reason is not None:
-                self._emit("lane_bypass", index=index, reason=static_reason)
-            for attempt in range(policy.retries + 1):
-                event = self._fault_for(index, attempt)
-                fault = event.to_json() if event is not None else None
-                use_lane = (
-                    bool(self.lanes)
-                    and static_reason is None
-                    and fault is None
+            if status == "hit":
+                self._emit("cache-dedup", index=index)
+                slots[index] = self._completed(
+                    index, total, point, value, 0.0,
+                    cached=True, deduped=True,
                 )
-                if (
-                    self.lanes
-                    and fault is not None
-                    and static_reason is None
-                ):
-                    self._emit(
-                        "lane_bypass", index=index, reason="injected-fault",
-                    )
+                continue
+            # "own": the remote executor failed or released, and this
+            # runner was promoted to owner.  "pending": the wait timed
+            # out.  Either way the point executes locally — dedupe is
+            # an optimization, never a correctness dependency.
+            self._emit("dedup-takeover", index=index, status=status)
+            self._serial_point(spec, index, slots, total)
+
+    def _serial_point(
+        self,
+        spec: ExperimentSpec,
+        index: int,
+        slots: list[PointOutcome | None],
+        total: int,
+    ) -> None:
+        policy = self.policy
+        point = spec.points[index]
+        static_reason = (
+            point_bypass_reason(point) if self.lanes else None
+        )
+        if static_reason is not None:
+            self._emit("lane_bypass", index=index, reason=static_reason)
+        for attempt in range(policy.retries + 1):
+            event = self._fault_for(index, attempt)
+            fault = event.to_json() if event is not None else None
+            use_lane = (
+                bool(self.lanes)
+                and static_reason is None
+                and fault is None
+            )
+            if (
+                self.lanes
+                and fault is not None
+                and static_reason is None
+            ):
                 self._emit(
-                    "dispatch", index=index, attempt=attempt + 1,
-                    mode="lane" if use_lane else "serial",
+                    "lane_bypass", index=index, reason="injected-fault",
                 )
+            self._emit(
+                "dispatch", index=index, attempt=attempt + 1,
+                mode="lane" if use_lane else "serial",
+            )
+            try:
+                if fault is not None and fault["kind"] == "worker_kill":
+                    # There is no worker to kill in-process; degrade
+                    # to a transient failure instead of exiting the
+                    # parent interpreter.
+                    raise InjectedFaultError(
+                        f"injected worker_kill on point {index} "
+                        f"(serial mode: degraded to transient)"
+                    )
                 try:
-                    if fault is not None and fault["kind"] == "worker_kill":
-                        # There is no worker to kill in-process; degrade
-                        # to a transient failure instead of exiting the
-                        # parent interpreter.
-                        raise InjectedFaultError(
-                            f"injected worker_kill on point {index} "
-                            f"(serial mode: degraded to transient)"
+                    scope = (
+                        lane_scope(True) if use_lane
+                        else nullcontext()
+                    )
+                    with scope:
+                        value, seconds = _timed_point(
+                            point.fn, point.params, policy.timeout, fault
                         )
-                    try:
-                        scope = (
-                            lane_scope(True) if use_lane
-                            else nullcontext()
-                        )
-                        with scope:
-                            value, seconds = _timed_point(
-                                point.fn, point.params, policy.timeout, fault
-                            )
-                    finally:
-                        if use_lane:
-                            for note in consume_bypass_notes():
-                                self._emit("lane_bypass", index=index, **note)
-                except PointExecutionError:
-                    raise
-                except Exception as exc:
-                    error = PointExecutionError(point.describe(), exc)
-                    error.__cause__ = exc
-                    if attempt < policy.retries:
-                        self._emit(
-                            "retry", index=index, attempt=attempt + 1,
-                            error=type(exc).__name__,
-                        )
-                        time.sleep(
-                            policy.backoff_seconds(point.describe(), attempt + 1)
-                        )
-                        continue
-                    if policy.keep_going:
-                        slots[index] = self._completed(
-                            index, total, point, None, 0.0,
-                            cached=False, attempts=attempt + 1, error=error,
-                        )
-                        break
-                    raise error from exc
-                else:
-                    self._store(point, value, index)
+                finally:
+                    if use_lane:
+                        for note in consume_bypass_notes():
+                            self._emit("lane_bypass", index=index, **note)
+            except PointExecutionError:
+                raise
+            except Exception as exc:
+                error = PointExecutionError(point.describe(), exc)
+                error.__cause__ = exc
+                if attempt < policy.retries:
+                    self._emit(
+                        "retry", index=index, attempt=attempt + 1,
+                        error=type(exc).__name__,
+                    )
+                    time.sleep(
+                        policy.backoff_seconds(point.describe(), attempt + 1)
+                    )
+                    continue
+                self._release(point)
+                if policy.keep_going:
                     slots[index] = self._completed(
-                        index, total, point, value, seconds,
-                        cached=False, attempts=attempt + 1,
+                        index, total, point, None, 0.0,
+                        cached=False, attempts=attempt + 1, error=error,
                     )
                     break
+                raise error from exc
+            else:
+                self._store(point, value, index)
+                slots[index] = self._completed(
+                    index, total, point, value, seconds,
+                    cached=False, attempts=attempt + 1,
+                )
+                break
 
     def _run_pool(
         self,
@@ -635,13 +717,17 @@ class Runner:
         slots: list[PointOutcome | None],
         total: int,
         report: RunReport,
+        waiting: list[int] | None = None,
     ) -> None:
         policy = self.policy
-        workers = min(self.jobs, len(pending))
+        waiting = list(waiting or ())
+        workers = min(self.jobs, max(1, len(pending) + len(waiting)))
         size = self.chunk_size
         if size is None:
-            size = auto_chunk_size(len(pending), workers)
-        attempts = dict.fromkeys(pending, 0)  # attempts started per index
+            size = auto_chunk_size(max(1, len(pending)), workers)
+        # attempts started per index; waiting indices are charged only
+        # if a dedupe wait falls through to a local takeover.
+        attempts = dict.fromkeys([*pending, *waiting], 0)
         futures: dict[Any, list[int]] = {}  # future -> chunk grid indices
         lane_futures: set[Any] = set()  # futures running _timed_lane_batch
         misfired: list[int] = []  # dispatches that hit an already-broken pool
@@ -680,6 +766,7 @@ class Runner:
         def terminal(index: int, error: PointExecutionError) -> None:
             """Record a point whose retry budget is spent."""
             nonlocal first_error, aborting
+            self._release(spec.points[index])
             if policy.keep_going:
                 slots[index] = self._completed(
                     index, total, spec.points[index], None, 0.0,
@@ -722,9 +809,16 @@ class Runner:
             else:
                 for chunk in chunk_pending(spec.points, pending, size):
                     submit(chunk)
-            while futures or misfired:
+            while futures or misfired or waiting:
                 if futures:
-                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                    # With dedupe waits outstanding, poll instead of
+                    # blocking so remote publishes are picked up even
+                    # while local chunks grind.
+                    done, _ = wait(
+                        set(futures),
+                        timeout=0.25 if waiting else None,
+                        return_when=FIRST_COMPLETED,
+                    )
                 else:
                     done = set()
                 crashed: list[int] = misfired[:]
@@ -807,6 +901,40 @@ class Runner:
                         )
                     )
                     submit([index])
+                if aborting:
+                    # Abandoned waits hold no reservation; just stop
+                    # watching them so the drain loop can exit.
+                    waiting.clear()
+                elif waiting:
+                    # When local work is still in flight, poll each wait
+                    # without blocking; once the pool is idle, block up
+                    # to wait_timeout so an abandoned reservation cannot
+                    # wedge the sweep.
+                    block = not (futures or misfired)
+                    still: list[int] = []
+                    for index in waiting:
+                        point = spec.points[index]
+                        status, value = self.cache.wait_for(
+                            point,
+                            timeout=self.wait_timeout if block else 0.0,
+                        )
+                        if status == "hit":
+                            self._emit("cache-dedup", index=index)
+                            slots[index] = self._completed(
+                                index, total, point, value, 0.0,
+                                cached=True, deduped=True,
+                            )
+                        elif status == "own" or block:
+                            # Promoted to owner (remote executor failed)
+                            # or the blocking wait timed out: execute
+                            # locally as a singleton chunk.
+                            self._emit(
+                                "dedup-takeover", index=index, status=status,
+                            )
+                            submit([index])
+                        else:
+                            still.append(index)
+                    waiting[:] = still
         finally:
             pool.shutdown(wait=True)
         if first_error is not None:
@@ -818,6 +946,18 @@ class Runner:
             if self.injector is not None:
                 self.injector.maybe_tear(self.cache, index, point)
 
+    def _release(self, point: Point) -> None:
+        """Give up a single-flight reservation after a terminal failure.
+
+        Releasing promptly lets a remote waiter take the point over
+        instead of blocking until this run's final ``release_all``.
+        """
+        if not self._single_flight:
+            return
+        release = getattr(self.cache, "release", None)
+        if release is not None:
+            release(point)
+
     def _completed(
         self,
         index: int,
@@ -828,6 +968,7 @@ class Runner:
         cached: bool,
         attempts: int = 1,
         error: PointExecutionError | None = None,
+        deduped: bool = False,
     ) -> PointOutcome:
         outcome = PointOutcome(
             index=index,
@@ -838,11 +979,12 @@ class Runner:
             cached=cached,
             attempts=attempts,
             error=error,
+            deduped=deduped,
         )
         self._emit(
             "point-failed" if error is not None else "point-complete",
             index=index, cached=cached, attempts=attempts,
-            seconds=round(seconds, 6),
+            seconds=round(seconds, 6), deduped=deduped,
         )
         if self.progress is not None:
             self.progress(outcome)

@@ -6,13 +6,23 @@ substitute a recording stub and the drivers stay print-free::
 
     [ 12/60] fig8 scenario=RExclc-LSharedb,rate=500.0   0.84s
     [ 13/60] fig8 scenario=RExclc-LSharedb,rate=600.0   cached
+
+Two renderers share that hook signature:
+
+* :class:`StderrProgress` — the historical interactive lines above;
+* :class:`JsonLinesProgress` — one JSON object per line, for pipes and
+  CI logs, and the exact payload the experiment service streams from
+  ``GET /jobs/<id>/events``.
+
+:func:`auto_progress` picks between them on ``stream.isatty()``.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
-from typing import TextIO
+from typing import Any, TextIO
 
 from repro.runner.executor import PointOutcome, RunReport
 
@@ -64,3 +74,89 @@ class StderrProgress:
             f"{self.experiment}: " + ", ".join(parts),
             file=self.stream,
         )
+
+
+def outcome_record(experiment: str, outcome: PointOutcome) -> dict[str, Any]:
+    """The machine-readable form of one finished point.
+
+    This is the shared wire schema: :class:`JsonLinesProgress` prints it
+    to non-TTY stderr and the service's ``/jobs/<id>/events`` endpoint
+    streams it per point, so a consumer can parse either source with the
+    same code.  Values stay JSON-plain; errors are reduced to the
+    causing exception's type name and message.
+    """
+    record: dict[str, Any] = {
+        "event": "point-failed" if outcome.failed else "point-complete",
+        "experiment": experiment,
+        "index": outcome.index,
+        "total": outcome.total,
+        "label": outcome.point.describe(),
+        "cached": outcome.cached,
+        "deduped": outcome.deduped,
+        "attempts": outcome.attempts,
+        "seconds": round(outcome.seconds, 6),
+    }
+    if outcome.failed:
+        cause = outcome.error.__cause__ or outcome.error
+        record["error"] = type(cause).__name__
+        record["message"] = str(cause)
+    return record
+
+
+def summary_record(experiment: str, report: RunReport) -> dict[str, Any]:
+    """The machine-readable end-of-sweep summary line."""
+    return {
+        "event": "run-summary",
+        "experiment": experiment,
+        "points": len(report.outcomes),
+        "wall_seconds": round(report.wall_seconds, 6),
+        "point_seconds": round(report.point_seconds, 6),
+        "cache_hits": report.cache_hits,
+        "deduped": report.deduped_hits,
+        "failed": len(report.errors),
+        "pool_respawns": report.pool_respawns,
+    }
+
+
+class JsonLinesProgress:
+    """Emit one compact JSON object per completed point.
+
+    The non-interactive twin of :class:`StderrProgress`: same hook
+    signature, but machine-readable output for pipes, CI logs, and the
+    experiment service's event stream.  Lines are flushed eagerly so a
+    tail-reader sees points as they finish.
+    """
+
+    def __init__(self, experiment: str, stream: TextIO | None = None):
+        self.experiment = experiment
+        self.stream = stream if stream is not None else sys.stderr
+        self.completed = 0
+
+    def _write(self, record: dict[str, Any]) -> None:
+        print(
+            json.dumps(record, sort_keys=True, separators=(",", ":")),
+            file=self.stream, flush=True,
+        )
+
+    def __call__(self, outcome: PointOutcome) -> None:
+        self.completed += 1
+        self._write(outcome_record(self.experiment, outcome))
+
+    def summarize(self, report: RunReport) -> None:
+        self._write(summary_record(self.experiment, report))
+
+
+def auto_progress(
+    experiment: str, stream: TextIO | None = None
+) -> StderrProgress | JsonLinesProgress:
+    """The right renderer for *stream*: interactive lines on a TTY,
+    JSON-lines everywhere else (pipes, redirects, CI).
+    """
+    target = stream if stream is not None else sys.stderr
+    try:
+        interactive = target.isatty()
+    except (AttributeError, ValueError):
+        interactive = False
+    if interactive:
+        return StderrProgress(experiment, stream=target)
+    return JsonLinesProgress(experiment, stream=target)

@@ -200,3 +200,51 @@ class ExperimentSpec:
         for point in self.points:
             digest.update(point.key(salt).encode("ascii"))
         return digest.hexdigest()
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-plain form of the grid (the service job-submission body).
+
+        Points are JSON-safe by construction (:func:`canonical_json`
+        validates them eagerly), so the round-trip through
+        :func:`spec_from_json` reproduces an identical spec — same
+        content keys, same cache hits.
+        """
+        return {
+            "experiment": self.experiment,
+            "points": [
+                {"fn": p.fn, "params": dict(p.params), "label": p.label}
+                for p in self.points
+            ],
+            "meta": dict(self.meta),
+        }
+
+
+def spec_from_json(data: Mapping[str, Any]) -> ExperimentSpec:
+    """Rebuild an :class:`ExperimentSpec` from :meth:`~ExperimentSpec.to_json`.
+
+    Raises :class:`SpecError` on malformed input (missing fields, bad
+    point shapes) — the error path the service's job API turns into an
+    HTTP 400 instead of a worker-side crash.
+    """
+    try:
+        experiment = data["experiment"]
+        raw_points = data["points"]
+    except (KeyError, TypeError) as exc:
+        raise SpecError(f"malformed spec payload: missing {exc}")
+    if not isinstance(experiment, str) or not experiment:
+        raise SpecError("spec experiment must be a non-empty string")
+    points = []
+    for i, raw in enumerate(raw_points):
+        try:
+            points.append(Point(
+                fn=raw["fn"],
+                params=raw.get("params", {}),
+                label=str(raw.get("label", "")),
+            ))
+        except (KeyError, TypeError) as exc:
+            raise SpecError(f"malformed point {i} in spec payload: {exc}")
+    meta = data.get("meta") or {}
+    if not isinstance(meta, Mapping):
+        raise SpecError("spec meta must be a mapping")
+    return ExperimentSpec(experiment=experiment, points=tuple(points),
+                          meta=meta)

@@ -1,0 +1,244 @@
+"""The synchronous cache-server client and the Runner-facing adapter.
+
+:class:`RemoteCache` is a drop-in for
+:class:`~repro.runner.cache.ResultCache` that speaks to a running
+:class:`~repro.service.cacheserver.CacheServer` instead of the local
+disk.  It additionally exposes the single-flight surface
+(``reserve`` / ``wait_for`` / ``release`` / ``release_all``) and sets
+``single_flight = True``, which flips the
+:class:`~repro.runner.Runner` into reservation mode: overlapping grids
+run by *different processes* then execute each unique point exactly
+once between them.
+
+Keys and blobs are byte-identical to the local cache's (same salt, same
+:func:`~repro.runner.cache.encode_entry` framing), so a value computed
+through the service decodes to the same object a local run produces —
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any
+
+from repro.errors import CacheProtocolError
+from repro.runner.cache import decode_entry, encode_entry, version_salt
+from repro.runner.spec import Point
+from repro.service.cacheserver import blob_from_wire, blob_to_wire
+
+
+class CacheConnection:
+    """One blocking JSON-frame connection to the cache server.
+
+    Thread-safe per call: a lock serializes request/response pairs, so a
+    single connection may be shared by a runner's main loop and a
+    progress thread without interleaving frames.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = None):
+        self.host = host
+        self.port = port
+        self._lock = threading.Lock()
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def call(self, op: str, **operands: Any) -> dict[str, Any]:
+        """One request/response round-trip; raises on transport failure."""
+        frame = {"op": op, **operands}
+        payload = (
+            json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        with self._lock:
+            try:
+                self._file.write(payload)
+                self._file.flush()
+                line = self._file.readline()
+            except OSError as exc:
+                raise CacheProtocolError(
+                    f"cache server at {self.host}:{self.port} unreachable: "
+                    f"{exc}"
+                )
+        if not line:
+            raise CacheProtocolError(
+                f"cache server at {self.host}:{self.port} closed the "
+                f"connection"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise CacheProtocolError(f"malformed server frame: {exc}")
+        if response.get("status") == "error":
+            raise CacheProtocolError(
+                f"server rejected {op!r}: {response.get('error')}"
+            )
+        return response
+
+
+class RemoteCache:
+    """A :class:`ResultCache`-shaped view of the shared cache server.
+
+    Parameters
+    ----------
+    host, port:
+        The cache server's socket address (``CacheServer.address``).
+    salt:
+        Content-key salt; defaults to the installed repro version, the
+        same default the local cache uses — **must** match the server's
+        backing cache for keys to collide (that collision is the whole
+        point).
+    timeout:
+        Socket-level timeout for a single round-trip.  ``wait_for``
+        passes its own application-level timeout through to the server
+        and pads the socket deadline past it.
+    """
+
+    #: Runner probes this to switch into reserve/wait single-flight mode.
+    single_flight = True
+
+    def __init__(self, host: str, port: int, salt: str | None = None,
+                 timeout: float | None = 30.0):
+        self.host = host
+        self.port = port
+        self.salt = salt if salt is not None else version_salt()
+        self.timeout = timeout
+        self.hits = 0
+        self.misses = 0
+        self._conn: CacheConnection | None = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def _connection(self) -> CacheConnection:
+        if self._conn is None:
+            self._conn = CacheConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the connection; owned reservations release server-side."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def key_for(self, point: Point) -> str:
+        return point.key(self.salt)
+
+    # -- the ResultCache contract ---------------------------------------
+
+    def lookup(self, point: Point) -> tuple[bool, Any]:
+        response = self._connection().call(
+            "lookup", key=self.key_for(point)
+        )
+        blob = blob_from_wire(response.get("blob"))
+        if blob is None:
+            self.misses += 1
+            return False, None
+        try:
+            value = decode_entry(blob)
+        except Exception:
+            # Same contract as the local cache: corrupt entry == miss.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, point: Point, value: Any) -> None:
+        """Publish *point*'s value — this is what wakes remote waiters."""
+        try:
+            blob = encode_entry(value)
+        except Exception:
+            return  # unpicklable values are simply not cached
+        self._connection().call(
+            "publish", key=self.key_for(point), blob=blob_to_wire(blob)
+        )
+
+    # -- the single-flight surface the Runner uses -----------------------
+
+    def reserve(self, point: Point) -> tuple[str, Any]:
+        """``("hit", value)`` / ``("own", None)`` / ``("wait", None)``."""
+        response = self._connection().call(
+            "reserve", key=self.key_for(point)
+        )
+        status = response.get("status")
+        if status == "hit":
+            blob = blob_from_wire(response.get("blob"))
+            try:
+                value = decode_entry(blob)
+            except Exception:
+                # A corrupt published entry must not wedge the grid:
+                # treat as our own miss and recompute.
+                self.misses += 1
+                return "own", None
+            self.hits += 1
+            return "hit", value
+        if status in ("own", "wait"):
+            if status == "own":
+                self.misses += 1
+            return status, None
+        raise CacheProtocolError(f"unexpected reserve status {status!r}")
+
+    def wait_for(
+        self, point: Point, timeout: float | None = None
+    ) -> tuple[str, Any]:
+        """``("hit", value)`` / ``("own", None)`` / ``("pending", None)``.
+
+        The server parks this connection until the blob is published,
+        this client is promoted to owner, or *timeout* elapses.  The
+        socket deadline stretches past the application timeout so the
+        long-poll is never cut off mid-wait by the transport.
+        """
+        conn = self._connection()
+        stretch = None if timeout is None else timeout + 30.0
+        if self.timeout is not None:
+            conn._sock.settimeout(stretch)
+        try:
+            response = conn.call(
+                "wait", key=self.key_for(point), timeout=timeout
+            )
+        finally:
+            if self.timeout is not None:
+                conn._sock.settimeout(self.timeout)
+        status = response.get("status")
+        if status == "hit":
+            blob = blob_from_wire(response.get("blob"))
+            try:
+                value = decode_entry(blob)
+            except Exception:
+                return "own", None
+            self.hits += 1
+            return "hit", value
+        if status in ("own", "pending"):
+            return status, None
+        raise CacheProtocolError(f"unexpected wait status {status!r}")
+
+    def release(self, point: Point) -> None:
+        try:
+            self._connection().call("release", key=self.key_for(point))
+        except CacheProtocolError:
+            pass  # a dead server released us on disconnect already
+
+    def release_all(self) -> None:
+        try:
+            self._connection().call("release_all")
+        except CacheProtocolError:
+            pass
+
+    def server_stats(self) -> dict[str, Any]:
+        """The index's global counters (the dedupe proof)."""
+        response = self._connection().call("stats")
+        return response.get("stats", {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemoteCache({self.host}:{self.port}, salt={self.salt!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

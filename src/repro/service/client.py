@@ -1,0 +1,169 @@
+""":class:`ServiceClient`: the urllib caller behind ``repro submit``.
+
+Synchronous and stdlib-only — every method is one HTTP round-trip
+against a running :class:`~repro.service.server.ExperimentService`,
+plus :meth:`events` (a generator over the JSON-lines stream) and
+:meth:`point_value` (fetches the raw entry blob and decodes it with the
+cache's own :func:`~repro.runner.cache.decode_entry`, which is how a
+client proves bit-identity against a local run).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.runner.cache import decode_entry
+from repro.runner.spec import ExperimentSpec
+
+
+class ServiceClient:
+    """Talk to the job API at ``base_url`` (e.g. http://127.0.0.1:8765)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, bytes]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service at {self.base_url} unreachable: {exc.reason}"
+            )
+
+    def _json(self, method: str, path: str, payload: Any = None) -> Any:
+        status, body = self._request(method, path, payload)
+        try:
+            data = json.loads(body)
+        except ValueError:
+            raise ServiceError(
+                f"{method} {path}: non-JSON response (HTTP {status})"
+            )
+        if status >= 400:
+            raise ServiceError(
+                f"{method} {path}: HTTP {status}: "
+                f"{data.get('error', 'unknown error')}"
+            )
+        return data
+
+    # -- the API ---------------------------------------------------------
+
+    def submit_spec(
+        self,
+        spec: ExperimentSpec,
+        retries: int | None = None,
+        timeout: float | None = None,
+    ) -> str:
+        """Submit a built grid; returns the job id."""
+        payload: dict[str, Any] = {"spec": spec.to_json()}
+        if retries is not None:
+            payload["retries"] = retries
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self._json("POST", "/jobs", payload)["id"]
+
+    def submit_driver(self, driver: str, **params: Any) -> str:
+        """Submit a registered driver's grid by name; returns the job id."""
+        return self._json(
+            "POST", "/jobs", {"driver": driver, "params": params}
+        )["id"]
+
+    def submit_job(self, payload: dict[str, Any]) -> str:
+        """Submit a raw ``POST /jobs`` body; returns the job id."""
+        return self._json("POST", "/jobs", payload)["id"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("GET", "/stats")
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the job's JSON-lines events; returns after ``job-end``."""
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                if response.status >= 400:
+                    raise ServiceError(
+                        f"events for {job_id}: HTTP {response.status}"
+                    )
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"events for {job_id}: HTTP {exc.code}"
+            )
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"service at {self.base_url} unreachable: {exc.reason}"
+            )
+
+    def wait(self, job_id: str, poll: float = 0.1,
+             timeout: float = 600.0) -> dict[str, Any]:
+        """Poll until the job leaves the running states; returns manifest."""
+        deadline = time.monotonic() + timeout
+        while True:
+            manifest = self.job(job_id)
+            if manifest["status"] in ("done", "failed"):
+                return manifest
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {manifest['status']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def point_value(self, job_id: str, index: int) -> Any:
+        """The decoded value of one finished point (raw blob fetch)."""
+        status, body = self._request(
+            "GET", f"/jobs/{job_id}/points/{index}"
+        )
+        if status >= 400:
+            try:
+                detail = json.loads(body).get("error", "")
+            except ValueError:
+                detail = ""
+            raise ServiceError(
+                f"point {index} of {job_id}: HTTP {status}: {detail}"
+            )
+        return decode_entry(body)
+
+    def values(self, job_id: str) -> list[Any]:
+        """All point values of a finished job, in grid order."""
+        manifest = self.job(job_id)
+        return [
+            self.point_value(job_id, i) for i in range(manifest["total"])
+        ]

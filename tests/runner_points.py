@@ -81,3 +81,38 @@ def transmit_point(*, cell, seed, bits, fault_rate=None):
         spec=cell, seed=seed, calibration_samples=120,
     ))
     return session.transmit(payload_bits(bits, seed=seed + 77))
+
+
+def transmit_opts(*, cell, seed, bits, trace=None):
+    """Like :func:`transmit_point` with an explicit trace override.
+
+    ``trace=False`` keeps a session lane-eligible under ``REPRO_TRACE``
+    (the bypass-event tests need the runner recorder on while the
+    session itself stays untraced); ``trace=True`` forces a recorder
+    session regardless of the environment.
+    """
+    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.experiments.common import payload_bits
+
+    session = ChannelSession(SessionConfig(
+        spec=cell, seed=seed, calibration_samples=120, trace=trace,
+    ))
+    return session.transmit(payload_bits(bits, seed=seed + 77))
+
+
+def transmit_obfuscated(*, cell, seed, bits):
+    """A transmission whose machine is obfuscated *after* session build.
+
+    The session is lane-eligible at construction; the obfuscation policy
+    appears before the first run, forcing the lane simulator's dynamic
+    stand-down — the mid-flight divergence path, not the static one.
+    """
+    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.experiments.common import payload_bits
+    from repro.mitigation.hardware import attach_obfuscator
+
+    session = ChannelSession(SessionConfig(
+        spec=cell, seed=seed, calibration_samples=120, trace=False,
+    ))
+    attach_obfuscator(session.machine, suspicious_cores=range(16))
+    return session.transmit(payload_bits(bits, seed=seed + 77))

@@ -23,7 +23,8 @@ def test_run_all_shape(quick_report):
     bench = quick_report["benchmarks"]
     assert set(bench) == {
         "engine_micro", "fig8_point", "noise_point", "grid_sweep",
-        "lane_sweep", "trace_overhead", "segment_overhead",
+        "lane_sweep", "service_sweep", "trace_overhead",
+        "segment_overhead",
     }
     micro = bench["engine_micro"]
     assert micro["events"] > 0
@@ -59,6 +60,15 @@ def test_run_all_shape(quick_report):
         max(info["speedup_vs_chunked"]
             for mode, info in lane["modes"].items() if mode != "chunked")
     )
+    svc = bench["service_sweep"]
+    assert svc["bit_identical"] is True
+    # Single-flight makes the dedupe ratio deterministic: every unique
+    # key executed exactly once, fleet-wide.
+    assert svc["executed"] == svc["unique"]
+    assert svc["dedupe_ratio"] == pytest.approx(
+        svc["submitted"] / svc["unique"]
+    )
+    assert svc["local_wall_s"] > 0 and svc["service_wall_s"] > 0
     trace = bench["trace_overhead"]
     assert trace["baseline_wall_s"] > 0
     assert trace["disabled_wall_s"] > 0
@@ -161,6 +171,31 @@ def test_check_regression_lane_sweep_gates():
     # Healthy report passes.
     current["benchmarks"]["lane_sweep"] = {
         "bit_identical": True, "speedup_vs_chunked": 2.4,
+    }
+    assert check_regression(current, baseline) == []
+
+
+def test_check_regression_service_sweep_gates():
+    from repro.bench import SERVICE_MIN_DEDUPE
+
+    baseline = _report(100_000.0)
+    current = _report(100_000.0)
+    # Bit-identity failure gates regardless of the dedupe ratio.
+    current["benchmarks"]["service_sweep"] = {
+        "bit_identical": False, "dedupe_ratio": 2.0,
+    }
+    problems = check_regression(current, baseline)
+    assert len(problems) == 1 and "bit-identical" in problems[0]
+    # A dedupe ratio below the floor means shared points re-executed.
+    current["benchmarks"]["service_sweep"] = {
+        "bit_identical": True,
+        "dedupe_ratio": SERVICE_MIN_DEDUPE - 0.1,
+    }
+    problems = check_regression(current, baseline)
+    assert len(problems) == 1 and "dedupe ratio" in problems[0]
+    # Healthy report passes.
+    current["benchmarks"]["service_sweep"] = {
+        "bit_identical": True, "dedupe_ratio": 1.88,
     }
     assert check_regression(current, baseline) == []
 

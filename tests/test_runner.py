@@ -10,6 +10,7 @@ import io
 import os
 import pickle
 import time
+from pathlib import Path
 
 import pytest
 
@@ -251,6 +252,76 @@ def test_orphaned_tmp_files_swept_on_construction(tmp_path):
     assert swept.swept_tmp == 1
     assert not orphan.exists()
     assert young.exists()
+    assert swept.lookup(point) == (True, 1)
+
+
+def _racing_stat(monkeypatch, target, on_first_stat):
+    """Patch ``Path.stat`` so *on_first_stat* runs right after the first
+    stat of *target* — modelling a concurrent writer acting inside the
+    stat→unlink window of ``gc()`` / the tmp sweep."""
+    real_stat = Path.stat
+    fired = []
+
+    def racy(self, *args, **kwargs):
+        st = real_stat(self, *args, **kwargs)
+        if self == target and not fired:
+            fired.append(True)
+            on_first_stat()
+        return st
+
+    monkeypatch.setattr(Path, "stat", racy)
+
+
+def test_gc_survives_concurrent_store_refresh(tmp_path, monkeypatch):
+    """Regression: a store() that refreshes an entry between gc's age
+    check and its unlink must win — the now-fresh blob survives."""
+    cache = ResultCache(tmp_path, salt="s")
+    point = Point(fn=SQUARE, params={"x": 1})
+    cache.store(point, 1)
+    target = cache.path_for(point)
+    past = time.time() - 7200
+    os.utime(target, (past, past))
+
+    # The first stat sees the stale mtime; the "writer" then refreshes
+    # the entry, so gc's re-check sees a different mtime_ns and skips.
+    _racing_stat(monkeypatch, target, lambda: os.utime(target))
+    assert cache.gc(max_age_seconds=3600) == (0, 0)
+    monkeypatch.undo()
+    assert cache.lookup(point) == (True, 1)
+
+
+def test_gc_survives_entry_vanishing_mid_sweep(tmp_path, monkeypatch):
+    """Regression: an entry deleted by a concurrent gc between stat and
+    unlink is skipped without crashing or inflating the freed count."""
+    old = ResultCache(tmp_path, salt="old")
+    point = Point(fn=SQUARE, params={"x": 1})
+    old.store(point, 1)
+    target = old.path_for(point)
+
+    cache = ResultCache(tmp_path, salt="new")
+    _racing_stat(monkeypatch, target, target.unlink)
+    assert cache.gc() == (0, 0)
+
+
+def test_tmp_sweep_survives_concurrent_rename(tmp_path, monkeypatch):
+    """Regression: a writer's os.replace landing between the sweep's
+    stat and unlink must not crash the sweep or lose the renamed blob."""
+    cache = ResultCache(tmp_path, salt="s")
+    point = Point(fn=SQUARE, params={"x": 1})
+    cache.store(point, 1)
+    final = cache.path_for(point)
+    payload = final.read_bytes()
+    final.unlink()
+    tmp = final.with_suffix(".pkl.tmp")
+    tmp.write_bytes(payload)
+    past = time.time() - 120  # looks orphaned: past the grace window
+    os.utime(tmp, (past, past))
+
+    _racing_stat(monkeypatch, tmp, lambda: os.replace(tmp, final))
+    swept = ResultCache(tmp_path, salt="s")
+    monkeypatch.undo()
+    assert swept.swept_tmp == 0
+    assert final.exists()
     assert swept.lookup(point) == (True, 1)
 
 
