@@ -27,6 +27,11 @@ emits a machine-readable ``BENCH_<date>.json`` report:
   (:mod:`repro.obs`): disabled-mode overhead is gated (< 2%, since the
   disabled path is the unmodified hot code), enabled-mode cost is
   reported for information;
+* ``streaming_overhead`` — the wall-time cost of live streaming
+  detection (:mod:`repro.detection.streaming` subscribed to the trace
+  feed): the unsubscribed path is gated (< 2%, same contract as
+  disabled tracing), the live-monitoring and marginal sink costs are
+  reported for information;
 * ``segment_overhead`` — the wall-time cost of arming segmented
   checkpointing (:mod:`repro.checkpoint`) with a boundary the run never
   reaches, gated (< 5%) so the crash-resume machinery stays cheap
@@ -42,6 +47,7 @@ from repro.bench.harness import (
     LANE_MIN_SPEEDUP,
     SEGMENT_OVERHEAD_LIMIT,
     SERVICE_MIN_DEDUPE,
+    STREAMING_OVERHEAD_LIMIT,
     TRACE_OVERHEAD_LIMIT,
     check_regression,
     default_report_name,
@@ -54,6 +60,7 @@ from repro.bench.harness import (
     run_all,
     segment_overhead,
     service_sweep,
+    streaming_overhead,
     trace_overhead,
     write_report,
 )
@@ -62,6 +69,7 @@ __all__ = [
     "LANE_MIN_SPEEDUP",
     "SEGMENT_OVERHEAD_LIMIT",
     "SERVICE_MIN_DEDUPE",
+    "STREAMING_OVERHEAD_LIMIT",
     "TRACE_OVERHEAD_LIMIT",
     "check_regression",
     "default_report_name",
@@ -74,6 +82,7 @@ __all__ = [
     "run_all",
     "segment_overhead",
     "service_sweep",
+    "streaming_overhead",
     "trace_overhead",
     "write_report",
 ]

@@ -39,7 +39,10 @@ _PAYLOAD = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1]
 #: and the ``lanes`` mode inside ``grid_sweep``.
 #: v6 added ``service_sweep`` (two overlapping grids through the
 #: experiment service vs back-to-back local runs; dedupe ratio gated).
-SCHEMA = 6
+#: v7 added ``streaming_overhead`` (live streaming detection subscribed
+#: to the trace feed vs traced-only and untraced runs; the path with
+#: the feature absent is gated like disabled tracing).
+SCHEMA = 7
 
 #: Minimum lane-backend speedup over the chunked pool mode on the
 #: ``lane_sweep`` grid.  An absolute floor, not baseline-relative: if
@@ -64,6 +67,14 @@ SERVICE_MIN_DEDUPE = 1.8
 #: work and the gate bounds measurement noise plus any accidental
 #: reintroduction of per-event checks.
 TRACE_OVERHEAD_LIMIT = 0.02
+
+#: Allowed wall-time overhead of the *disabled* streaming-detection
+#: path vs the baseline.  With no sink subscribed the recorder's
+#: notify loop is skipped behind one truthiness check, and with tracing
+#: off the recorder does not exist at all — so, like disabled tracing,
+#: this is an A/B of identical work and the gate bounds noise plus any
+#: accidental per-event cost added to the unsubscribed path.
+STREAMING_OVERHEAD_LIMIT = 0.02
 
 #: Allowed wall-time overhead of segmentation armed with a boundary the
 #: run never reaches.  This isolates the per-event bookkeeping the
@@ -216,6 +227,92 @@ def trace_overhead(
         "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
         "enabled_overhead": best["enabled"] / best["baseline"] - 1.0,
         "traced_events": traced_events,
+    }
+
+
+def streaming_overhead(
+    seed: int = 0, bits: int = 24, repeats: int = 3
+) -> dict[str, Any]:
+    """Streaming-detection cost: disabled (gated) and live (reported).
+
+    Four session variants transmit the same fixed payload:
+
+    * ``baseline`` — ``trace=False``: no recorder, no sink, the
+      untraced hot path;
+    * ``disabled`` — ``trace=None`` with ``REPRO_TRACE`` unset, the
+      default production path with the streaming machinery present but
+      dormant (must resolve to the same untraced code);
+    * ``traced`` — ``trace=True`` with no subscriber: recorder cost
+      alone;
+    * ``streaming`` — ``trace=True`` with a
+      :class:`~repro.detection.streaming.StreamingDetector` subscribed
+      to the session recorder, interim scans included — the live
+      monitoring configuration the arena driver runs.
+
+    Variants are interleaved within each repeat so host drift hits all
+    four equally; the best wall per variant is kept.  The report
+    carries ``disabled_overhead`` (gated at
+    :data:`STREAMING_OVERHEAD_LIMIT` by :func:`check_regression`),
+    ``streaming_overhead`` (live monitoring vs baseline) and
+    ``sink_overhead`` (the detector's marginal cost over tracing
+    alone), both informational.
+    """
+    import os
+
+    from repro.channel.session import ChannelSession, SessionConfig
+    from repro.detection.streaming import StreamingDetector
+
+    payload = _payload(bits)
+
+    def one(trace: bool | None, subscribe: bool) -> tuple[float, int, bool]:
+        session = ChannelSession(SessionConfig(
+            spec="LExclc-LSharedb",
+            seed=seed,
+            calibration_samples=200,
+            trace=trace,
+        ))
+        detector = None
+        if subscribe:
+            detector = StreamingDetector(scan_interval=100_000.0)
+            session.recorder.subscribe(detector)
+        t0 = time.perf_counter()
+        session.transmit(payload)
+        wall = time.perf_counter() - t0
+        events = detector.events if detector else 0
+        flagged = bool(detector and detector.scan())
+        return wall, events, flagged
+
+    saved = os.environ.pop("REPRO_TRACE", None)
+    best = {"baseline": float("inf"), "disabled": float("inf"),
+            "traced": float("inf"), "streaming": float("inf")}
+    events = 0
+    flagged = False
+    try:
+        for _ in range(max(1, repeats)):
+            for name, trace, subscribe in (
+                ("baseline", False, False),
+                ("disabled", None, False),
+                ("traced", True, False),
+                ("streaming", True, True),
+            ):
+                wall, n, hit = one(trace, subscribe)
+                best[name] = min(best[name], wall)
+                if name == "streaming":
+                    events, flagged = n, hit
+    finally:
+        if saved is not None:
+            os.environ["REPRO_TRACE"] = saved
+    return {
+        "bits": bits,
+        "baseline_wall_s": best["baseline"],
+        "disabled_wall_s": best["disabled"],
+        "traced_wall_s": best["traced"],
+        "streaming_wall_s": best["streaming"],
+        "disabled_overhead": best["disabled"] / best["baseline"] - 1.0,
+        "streaming_overhead": best["streaming"] / best["baseline"] - 1.0,
+        "sink_overhead": best["streaming"] / best["traced"] - 1.0,
+        "streamed_events": events,
+        "flagged": flagged,
     }
 
 
@@ -649,6 +746,9 @@ def run_all(repeats: int = 3, quick: bool = False) -> dict[str, Any]:
             "trace_overhead": trace_overhead(
                 bits=noise_bits, repeats=repeats
             ),
+            "streaming_overhead": streaming_overhead(
+                bits=noise_bits, repeats=repeats
+            ),
             "segment_overhead": segment_overhead(
                 bits=noise_bits, repeats=repeats
             ),
@@ -687,6 +787,10 @@ def check_regression(
     * disabled-mode tracing — ``trace_overhead.disabled_overhead`` must
       stay under :data:`TRACE_OVERHEAD_LIMIT` (an absolute bound, not
       baseline-relative: disabled tracing is contractually free);
+    * unsubscribed streaming detection —
+      ``streaming_overhead.disabled_overhead`` must stay under
+      :data:`STREAMING_OVERHEAD_LIMIT` (same contract: with no sink
+      subscribed the feed hook must be free);
     * armed-but-idle segmentation — ``segment_overhead.overhead`` must
       stay under :data:`SEGMENT_OVERHEAD_LIMIT` (also absolute: the
       checkpoint plane's per-event bookkeeping must stay cheap enough
@@ -733,6 +837,15 @@ def check_regression(
                 f"trace_overhead: disabled-mode tracing costs "
                 f"{overhead:.1%} >= {TRACE_OVERHEAD_LIMIT:.0%} "
                 f"(must be free when off)"
+            )
+    streaming = current["benchmarks"].get("streaming_overhead")
+    if streaming is not None:
+        overhead = streaming.get("disabled_overhead", 0.0)
+        if overhead >= STREAMING_OVERHEAD_LIMIT:
+            problems.append(
+                f"streaming_overhead: unsubscribed streaming path costs "
+                f"{overhead:.1%} >= {STREAMING_OVERHEAD_LIMIT:.0%} "
+                f"(must be free when no detector is attached)"
             )
     segment = current["benchmarks"].get("segment_overhead")
     if segment is not None:

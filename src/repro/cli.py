@@ -205,6 +205,13 @@ def cmd_bench(argv: list[str]) -> None:
         print(f"trace_overhead  disabled {trace['disabled_overhead']:+.1%}  "
               f"enabled {trace['enabled_overhead']:+.1%} "
               f"({trace['traced_events']} events)")
+    streaming = bench.get("streaming_overhead")
+    if streaming:
+        print(f"streaming_overhead  disabled "
+              f"{streaming['disabled_overhead']:+.1%}  "
+              f"live {streaming['streaming_overhead']:+.1%}  "
+              f"sink {streaming['sink_overhead']:+.1%} "
+              f"({streaming['streamed_events']} events)")
     segment = bench.get("segment_overhead")
     if segment:
         print(f"segment_overhead  armed-idle {segment['overhead']:+.1%} "

@@ -5,7 +5,11 @@ exploits; this package implements the detection side: per-line
 coherence-event telemetry (:mod:`~repro.detection.events`) and three
 signature detectors — flush storms, ownership ping-pong, slot-quantized
 modulation — combined in
-:class:`~repro.detection.detector.ChannelDetector`.
+:class:`~repro.detection.detector.ChannelDetector` for offline batches
+and in :class:`~repro.detection.streaming.StreamingDetector` for the
+live ``repro.obs`` trace feed (bounded memory, online ROC via
+:class:`~repro.detection.streaming.OnlineRoc`, proven equivalent to
+the batch path by ``tests/test_streaming_detection.py``).
 """
 
 from repro.detection.detector import (
@@ -16,6 +20,11 @@ from repro.detection.detector import (
     PingPongDetector,
 )
 from repro.detection.events import EventMonitor, LineActivity
+from repro.detection.streaming import (
+    OnlineRoc,
+    StreamingDetector,
+    TraceMonitor,
+)
 
 __all__ = [
     "ChannelDetector",
@@ -24,5 +33,8 @@ __all__ = [
     "FlushStormDetector",
     "LineActivity",
     "ModulationDetector",
+    "OnlineRoc",
     "PingPongDetector",
+    "StreamingDetector",
+    "TraceMonitor",
 ]

@@ -146,11 +146,15 @@ class ChannelDetector:
         self.modulation = modulation or ModulationDetector()
         self.flag_threshold = flag_threshold
 
-    def scan(self, now: float) -> list[Detection]:
-        """Score every monitored line; return flagged ones, worst first."""
-        detections = []
+    def score_all(self, now: float) -> dict[int, tuple[float, tuple[str, ...]]]:
+        """Raw combined score and reasons for every monitored line.
+
+        Unthresholded: lines scoring below ``flag_threshold`` appear
+        too (ROC sweeps need the sub-threshold mass).  :meth:`scan` is
+        this plus the flag filter.
+        """
+        scores: dict[int, tuple[float, tuple[str, ...]]] = {}
         for line in list(self.monitor.lines):
-            activity = self.monitor.lines[line]
             total = 0.0
             reasons = []
             for detector in (self.flush_storm, self.ping_pong,
@@ -159,7 +163,15 @@ class ChannelDetector:
                 total += score
                 if reason:
                     reasons.append(reason)
+            scores[line] = (total, tuple(reasons))
+        return scores
+
+    def scan(self, now: float) -> list[Detection]:
+        """Score every monitored line; return flagged ones, worst first."""
+        detections = []
+        for line, (total, reasons) in self.score_all(now).items():
             if total >= self.flag_threshold and reasons:
+                activity = self.monitor.lines[line]
                 detections.append(Detection(
                     line=line,
                     score=total,

@@ -30,6 +30,7 @@ __all__ = [
     "REGISTRY",
     "ExperimentInfo",
     "ablations",
+    "arena",
     "capacity_analysis",
     "common",
     "detection_roc",
@@ -138,6 +139,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
         ExperimentInfo(
             "leaderboard", "leaderboard",
             "scenario-matrix leaderboard: every (protocol x channel) cell",
+        ),
+        ExperimentInfo(
+            "arena", "arena",
+            "extension: detection-vs-evasion arena on live traces",
         ),
     )
 }

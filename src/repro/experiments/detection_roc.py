@@ -15,7 +15,7 @@ import argparse
 from repro.analysis.reporting import ascii_table
 from repro.channel.config import TABLE_I
 from repro.channel.session import ChannelSession, SessionConfig
-from repro.detection import ChannelDetector, EventMonitor
+from repro.detection import ChannelDetector, EventMonitor, OnlineRoc
 from repro.experiments.common import (
     execute_from_args,
     payload_bits,
@@ -175,12 +175,22 @@ def build_spec(seed: int = 0, bits: int = 40) -> ExperimentSpec:
 def collect(spec: ExperimentSpec, values: list) -> dict:
     n_attacks = spec.meta["attacks"]
     attacks, benign = values[:n_attacks], values[n_attacks:]
+    # The offline ROC over workload scores, via the same fixed-bin
+    # histogram the streaming path accumulates online — the two are
+    # identical by construction (asserted in
+    # tests/test_streaming_detection.py).
+    roc = OnlineRoc.from_samples(
+        [(r["score"], True) for r in attacks]
+        + [(r["score"], False) for r in benign]
+    )
     return {
         "rows": attacks + benign,
         "true_positives": sum(1 for r in attacks if r["detected"]),
         "attacks": len(attacks),
         "false_positives": sum(1 for r in benign if r["detected"]),
         "benign": len(benign),
+        "roc_points": [list(p) for p in roc.points()],
+        "auc": roc.auc(),
     }
 
 
@@ -213,6 +223,7 @@ def render(result: dict) -> str:
         f"{table}\n\ndetected {result['true_positives']}/"
         f"{result['attacks']} attacks, {result['false_positives']}/"
         f"{result['benign']} false positives"
+        f" (AUC {result['auc']:.2f})"
     )
 
 

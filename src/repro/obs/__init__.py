@@ -6,7 +6,12 @@ every link of that chain observable as *typed events* instead of
 aggregate counters:
 
 * :class:`TraceRecorder` — a bounded ring buffer of
-  :class:`TraceEvent` records with a stable content digest;
+  :class:`TraceEvent` records with a stable content digest, plus a
+  :data:`TraceSink` subscription hook
+  (:meth:`~TraceRecorder.subscribe`) that hands every emitted event to
+  live consumers — e.g. the streaming detector
+  (:mod:`repro.detection.streaming`) — without a second interposition
+  layer on the machine;
 * :class:`MachineTap` — read-only interposition on a
   :class:`~repro.mem.hierarchy.Machine` that records loads, stores,
   flushes, interconnect hops and the coherence-state transitions of
@@ -37,6 +42,7 @@ from repro.obs.recorder import (
     DEFAULT_CAPACITY,
     TraceEvent,
     TraceRecorder,
+    TraceSink,
     clear_runner_recorder,
     runner_recorder,
     trace_enabled,
@@ -49,6 +55,7 @@ __all__ = [
     "RunManifest",
     "TraceEvent",
     "TraceRecorder",
+    "TraceSink",
     "clear_runner_recorder",
     "runner_recorder",
     "text_timeline",

@@ -21,11 +21,18 @@ import hashlib
 import json
 import os
 import time
+from typing import Callable
 
 #: Default ring capacity.  A full fixed-seed transmission (calibration
 #: included) emits a few tens of thousands of events, so the default
 #: retains complete runs while bounding memory to a few MB.
 DEFAULT_CAPACITY = 1 << 17
+
+#: A live consumer of the event feed: any callable taking one
+#: :class:`TraceEvent`.  Sinks observe the same object the ring buffer
+#: retains and must treat it as read-only — mutating ``event.data``
+#: would corrupt the recorded stream (and its digest).
+TraceSink = Callable[["TraceEvent"], None]
 
 
 def trace_enabled() -> bool:
@@ -91,6 +98,26 @@ class TraceRecorder:
         self._buffer: list[TraceEvent] = []
         self._head = 0  # next overwrite slot once the buffer is full
         self.emitted = 0
+        self._sinks: tuple[TraceSink, ...] = ()
+
+    def subscribe(self, sink: TraceSink) -> None:
+        """Attach a live :data:`TraceSink` to the feed (idempotent).
+
+        Every subsequent :meth:`emit` calls *sink* with the event, after
+        it has been placed in the ring — so a streaming consumer (e.g.
+        :class:`repro.detection.streaming.StreamingDetector`) sees the
+        identical feed a later replay of :meth:`events` would, without a
+        second interposition layer on the machine.  Sinks never affect
+        what is recorded: the ring contents, counters and
+        :meth:`digest` are byte-for-byte the same with or without
+        subscribers.
+        """
+        if sink not in self._sinks:
+            self._sinks = self._sinks + (sink,)
+
+    def unsubscribe(self, sink: TraceSink) -> None:
+        """Detach a previously subscribed sink (no-op if absent)."""
+        self._sinks = tuple(s for s in self._sinks if s is not sink)
 
     def emit(
         self, ts: float, category: str, name: str, data: dict | None = None
@@ -103,6 +130,9 @@ class TraceRecorder:
             self._buffer[self._head] = event
             self._head = (self._head + 1) % self.capacity
         self.emitted += 1
+        if self._sinks:
+            for sink in self._sinks:
+                sink(event)
 
     @property
     def dropped(self) -> int:

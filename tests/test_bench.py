@@ -24,7 +24,7 @@ def test_run_all_shape(quick_report):
     assert set(bench) == {
         "engine_micro", "fig8_point", "noise_point", "grid_sweep",
         "lane_sweep", "service_sweep", "trace_overhead",
-        "segment_overhead",
+        "streaming_overhead", "segment_overhead",
     }
     micro = bench["engine_micro"]
     assert micro["events"] > 0
@@ -77,6 +77,18 @@ def test_run_all_shape(quick_report):
     assert trace["disabled_overhead"] == pytest.approx(
         trace["disabled_wall_s"] / trace["baseline_wall_s"] - 1.0
     )
+    streaming = bench["streaming_overhead"]
+    for key in ("baseline_wall_s", "disabled_wall_s", "traced_wall_s",
+                "streaming_wall_s"):
+        assert streaming[key] > 0
+    assert streaming["streamed_events"] > 0
+    assert streaming["flagged"] is True
+    assert streaming["disabled_overhead"] == pytest.approx(
+        streaming["disabled_wall_s"] / streaming["baseline_wall_s"] - 1.0
+    )
+    assert streaming["sink_overhead"] == pytest.approx(
+        streaming["streaming_wall_s"] / streaming["traced_wall_s"] - 1.0
+    )
     segment = bench["segment_overhead"]
     assert segment["baseline_wall_s"] > 0
     assert segment["armed_wall_s"] > 0
@@ -127,6 +139,20 @@ def test_check_regression_trace_overhead_gate():
     # Negative overhead (disabled faster than baseline: pure noise) passes.
     current["benchmarks"]["trace_overhead"] = {"disabled_overhead": -0.01}
     assert check_regression(current, _report(100_000.0)) == []
+
+
+def test_check_regression_streaming_overhead_gate():
+    current = _report(100_000.0)
+    current["benchmarks"]["streaming_overhead"] = {"disabled_overhead": 0.05}
+    problems = check_regression(current, _report(100_000.0))
+    assert len(problems) == 1
+    assert "streaming_overhead" in problems[0]
+    # Under the cap — or negative (host noise) — passes.
+    for overhead in (0.005, -0.01):
+        current["benchmarks"]["streaming_overhead"] = {
+            "disabled_overhead": overhead,
+        }
+        assert check_regression(current, _report(100_000.0)) == []
 
 
 def test_check_regression_segment_overhead_gate():

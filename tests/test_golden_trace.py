@@ -21,9 +21,16 @@ stream); that choice changes nothing about the simulated behavior.
 import pytest
 
 from repro.channel.config import scenario_by_name
-from repro.channel.session import ChannelSession, SessionConfig
+from repro.channel.session import ChannelSession, SessionConfig, resolve_spec
+from repro.detection import StreamingDetector
+from repro.mem.hierarchy import MachineConfig
 
-from tests.test_golden_determinism import PAYLOAD, transmission_digest
+from tests.test_golden_determinism import (
+    CONFIGS,
+    GOLDEN,
+    PAYLOAD,
+    transmission_digest,
+)
 
 GOLDEN_TRACE = (
     "f4916c5b557d3af2c5f327c976d99892f1f7f1030203e6cdede5d56e4a2b8df6"
@@ -68,3 +75,46 @@ def test_tracing_is_inert(traced_session):
     _session, traced = traced_session
     untraced = make_session(trace=False).transmit(list(PAYLOAD))
     assert transmission_digest(traced) == transmission_digest(untraced)
+
+
+def test_streaming_sink_leaves_trace_digest_unchanged():
+    """A subscribed live detector must not perturb the recorded stream."""
+    session = make_session(trace=True)
+    detector = StreamingDetector(scan_interval=100_000.0)
+    session.recorder.subscribe(detector)
+    session.transmit(list(PAYLOAD))
+    assert detector.events > 0, "the sink must actually see the feed"
+    assert session.recorder.digest() == GOLDEN_TRACE
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_digests_hold_with_streaming_tap(name):
+    """The five pinned configs, traced + live-monitored: bit-identical.
+
+    Observation (tap, recorder, subscribed streaming detector) must
+    never move the transmission digests — the strongest inertness
+    statement the golden locks can make.
+    """
+    config = CONFIGS[name]
+    if isinstance(config, str):
+        session_config = SessionConfig(
+            spec=config, seed=7, calibration_samples=150, trace=True,
+        )
+    else:
+        machine_kwargs, scenario = config
+        session_config = SessionConfig(
+            spec=resolve_spec(scenario_by_name(scenario)),
+            seed=7,
+            calibration_samples=150,
+            machine=MachineConfig(**machine_kwargs),
+            trace=True,
+        )
+    session = ChannelSession(session_config)
+    detector = StreamingDetector(scan_interval=100_000.0)
+    session.recorder.subscribe(detector)
+    digest = transmission_digest(session.transmit(list(PAYLOAD)))
+    assert detector.events > 0, "the sink must actually see the feed"
+    assert digest == GOLDEN[name], (
+        f"{name} transmission changed with the streaming tap attached; "
+        "observation must be inert"
+    )

@@ -419,7 +419,7 @@ def test_registry_covers_every_driver():
     assert set(REGISTRY) == {
         "fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11",
         "sync", "mitigations", "ablations", "detect", "capacity",
-        "faults", "leaderboard",
+        "faults", "leaderboard", "arena",
     }
     for name, info in REGISTRY.items():
         assert info.name == name
